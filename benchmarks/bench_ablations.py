@@ -1,0 +1,73 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+* priority attributes on/off (the paper: without them "pathological situations can
+  occur whereby local attributes are computed ahead of attributes that are required
+  globally");
+* unique-identifier base values versus a (modelled) fully sequential label counter;
+* decomposition granularity (the runtime-scaled minimum split size);
+* network latency/bandwidth sensitivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.distributed.compiler import CompilerConfiguration
+from repro.runtime.network import NetworkParameters
+
+
+def _time(workload, machines, **config):
+    report = workload.compiler.compile_tree_parallel(
+        workload.tree, machines, CompilerConfiguration(**config)
+    )
+    return report
+
+
+def test_priority_attributes_ablation(benchmark, workload):
+    def run():
+        with_priority = _time(workload, 5, evaluator="combined", use_priority=True)
+        without_priority = _time(workload, 5, evaluator="combined", use_priority=False)
+        return with_priority.evaluation_time, without_priority.evaluation_time
+
+    with_time, without_time = run_once(benchmark, run)
+    print(f"\npriority attributes: {with_time:.2f}s with, {without_time:.2f}s without")
+    # Priority scheduling never hurts: the environment reaches remote evaluators at
+    # least as early as under plain FIFO scheduling.
+    assert with_time <= without_time * 1.02
+
+
+def test_split_granularity_ablation(benchmark, workload):
+    def run():
+        results = {}
+        for scale in (0.5, 1.0, 2.0):
+            report = workload.compiler.compile_tree_parallel(
+                workload.tree, 5,
+                CompilerConfiguration(evaluator="combined", split_scale=scale),
+            )
+            results[scale] = (report.evaluation_time, report.decomposition.region_count)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for scale, (seconds, regions) in sorted(results.items()):
+        print(f"split scale {scale}: {seconds:.2f}s, {regions} regions")
+    # Larger thresholds cannot produce more regions than smaller ones.
+    assert results[2.0][1] <= results[0.5][1]
+
+
+def test_network_sensitivity_ablation(benchmark, workload):
+    def run():
+        fast = NetworkParameters(bandwidth_bytes_per_second=10e6, message_latency=0.5e-3)
+        slow = NetworkParameters(bandwidth_bytes_per_second=0.3e6, message_latency=10e-3)
+        fast_time = workload.compiler.compile_tree_parallel(
+            workload.tree, 5, CompilerConfiguration(evaluator="combined", network=fast)
+        ).evaluation_time
+        slow_time = workload.compiler.compile_tree_parallel(
+            workload.tree, 5, CompilerConfiguration(evaluator="combined", network=slow)
+        ).evaluation_time
+        return fast_time, slow_time
+
+    fast_time, slow_time = run_once(benchmark, run)
+    print(f"\nnetwork sensitivity: fast {fast_time:.2f}s, slow {slow_time:.2f}s")
+    assert fast_time < slow_time

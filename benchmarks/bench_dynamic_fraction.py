@@ -1,0 +1,18 @@
+"""T1 — fraction of attributes evaluated dynamically by the combined evaluator."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.dynamic_fraction import run_dynamic_fraction
+
+
+def test_dynamic_fraction(benchmark, workload):
+    result = run_once(benchmark, run_dynamic_fraction, workload)
+    print()
+    print(result.describe())
+
+    # Paper: "on average less than 10 percent of the attributes are evaluated
+    # dynamically"; with our grammar the fraction is well below that.
+    assert result.average < 0.10
+    for fraction in result.fractions.values():
+        assert fraction < 0.10

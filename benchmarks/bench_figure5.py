@@ -1,0 +1,23 @@
+"""Figure 5 — evaluator running times versus number of machines."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_running_times(benchmark, workload):
+    result = run_once(benchmark, run_figure5, workload)
+    print()
+    print(result.describe())
+
+    # Qualitative shape from the paper: the combined evaluator is consistently faster
+    # than the dynamic one, reaches a speedup of roughly 4 on five machines (dynamic
+    # roughly 3 over its own sequential time), and the gap narrows as machines are added.
+    for machines in result.machine_counts:
+        assert result.combined_times[machines] <= result.dynamic_times[machines]
+    assert result.speedup("combined", 5) > 2.5
+    assert result.speedup("dynamic", 5) > 2.0
+    gap_at_1 = result.dynamic_times[1] / result.combined_times[1]
+    gap_at_6 = result.dynamic_times[6] / result.combined_times[6]
+    assert gap_at_6 < gap_at_1

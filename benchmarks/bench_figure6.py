@@ -1,0 +1,24 @@
+"""Figure 6 — behaviour (activity timeline) of the parallel combined evaluator."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_timeline(benchmark, workload):
+    result = run_once(benchmark, run_figure6, workload, machines=5)
+    print()
+    print(result.ascii_timeline())
+
+    # The paper's qualitative observations: the symbol-table phase is small and largely
+    # sequential, code generation dominates and runs concurrently on all machines, and
+    # the librarian / result propagation happens at the end.
+    assert result.phase_totals.get("code-generation", 0.0) > result.phase_totals.get(
+        "symbol-table", 0.0
+    )
+    busy_machines = [
+        machine for machine, intervals in result.timeline.items() if intervals
+    ]
+    assert len(busy_machines) == 5
+    assert result.phase_totals.get("result-propagation", 0.0) > 0.0

@@ -1,0 +1,24 @@
+"""Figure 7 — source program decomposition into regions a, b, c, ..."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure7 import run_figure7
+
+
+def test_figure7_decomposition(benchmark, workload):
+    result = run_once(benchmark, run_figure7, workload, machines=5)
+    print()
+    print(result.describe())
+
+    # Five machines should yield five regions of roughly equal size (the paper explains
+    # the good five-machine performance by this balance).
+    assert result.plan.region_count == 5
+    assert result.plan.balance() < 1.6
+    labels = [region.label for region in result.plan.regions]
+    assert labels == ["a", "b", "c", "d", "e"]
+    # Splits only happen at the grammar's declared split nonterminals.
+    for region in result.plan.regions[1:]:
+        assert region.root.symbol.name in {
+            "statement", "statement_list", "proc_decl", "proc_decls"
+        }

@@ -1,0 +1,19 @@
+"""T2 — string librarian versus naive up-the-tree code propagation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.librarian import run_librarian_comparison
+
+
+def test_librarian_improvement(benchmark, workload):
+    result = run_once(benchmark, run_librarian_comparison, workload, machines=5)
+    print()
+    print(result.describe())
+
+    # Paper: the librarian saves about a second (~10 %) by sending each evaluator's code
+    # over the network exactly once.  The shape we check: the librarian never loses, and
+    # it moves strictly fewer bytes across the network.
+    assert result.with_librarian <= result.without_librarian
+    assert result.bytes_with < result.bytes_without
+    assert result.improvement_fraction >= 0.0

@@ -1,0 +1,17 @@
+"""T4 — pipelined-compiler baseline (related work): speedup limited to about 2."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.pipeline_baseline import run_pipeline_baseline
+
+
+def test_pipeline_baseline(benchmark, workload):
+    result = run_once(benchmark, run_pipeline_baseline, workload)
+    print()
+    print(result.describe())
+
+    # Paper: pipelining the compiler phases gives a speedup of roughly 2, far below the
+    # parallel attribute-grammar evaluator on the same number of machines.
+    assert 1.2 < result.speedup < 3.5
+    assert result.attribute_grammar_speedup > result.speedup

@@ -1,0 +1,21 @@
+"""T3 — sequential compilation times (combined/static versus dynamic, plus parser)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.sequential import run_sequential_comparison
+
+
+def test_sequential_times(benchmark, workload):
+    result = run_once(benchmark, run_sequential_comparison, workload)
+    print()
+    print(result.describe())
+
+    # Paper: static evaluation is clearly more efficient sequentially than dynamic
+    # evaluation (that is the whole motivation for the combined evaluator), and the
+    # sequential compile time for the ~1100-line program is a handful of seconds on the
+    # modelled SUN-2-class machine, with parsing a secondary cost.
+    assert result.dynamic_time > result.combined_time
+    assert 1.0 < result.combined_time < 30.0
+    assert result.parse_time < result.combined_time
+    assert result.code_bytes > 10_000

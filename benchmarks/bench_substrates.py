@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the efficiency substrates the paper calls out (§4.3):
+rope strings with O(1) concatenation and applicative symbol tables."""
+
+from __future__ import annotations
+
+from repro.strings.rope import Rope
+from repro.symtab.symbol_table import SymbolTable
+
+
+def test_rope_concatenation(benchmark):
+    fragment = Rope.leaf("movl\tr0, r1\n" * 4)
+
+    def build(pieces: int = 2000):
+        code = Rope.empty()
+        for _ in range(pieces):
+            code = Rope.concat(code, fragment)
+        return code
+
+    code = benchmark(build)
+    assert len(code) == 2000 * len(fragment)
+
+
+def test_symbol_table_applicative_updates(benchmark):
+    names = [f"identifier_{index}" for index in range(500)]
+
+    def build():
+        table = SymbolTable()
+        for index, name in enumerate(names):
+            table = table.add(name, index)
+        return table
+
+    table = benchmark(build)
+    assert len(table) == 500
+    # Hash-index keys keep the unbalanced BST shallow (the paper's balancing argument).
+    assert table.depth() <= 40
+
+
+def test_symbol_table_lookup(benchmark):
+    table = SymbolTable()
+    for index in range(500):
+        table = table.add(f"identifier_{index}", index)
+
+    def lookups():
+        total = 0
+        for index in range(0, 500, 7):
+            total += table.lookup(f"identifier_{index}")
+        return total
+
+    assert benchmark(lookups) > 0

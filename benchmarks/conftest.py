@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one figure or table of the paper and prints the reproduced
+rows (captured by pytest with ``-s``; always recorded in ``EXPERIMENTS.md``).  The
+simulations are deterministic, so a single round per benchmark is sufficient and keeps
+the whole harness fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workload import default_workload
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The paper-sized Pascal program (parsed once for the whole benchmark session)."""
+    return default_workload()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline experiment interactively (Figure 5, 6 and 7).
+
+Compiles a synthetic ~1100-line, 46-procedure Pascal program on 1..6 simulated
+workstations with both the parallel dynamic and the parallel combined evaluators,
+prints the running-time table, the 5-machine activity timeline, and the source
+program decomposition.
+
+Run with::
+
+    python examples/parallel_speedup.py
+"""
+
+from repro.experiments import (
+    default_workload,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_dynamic_fraction,
+)
+
+
+def main() -> None:
+    workload = default_workload()
+    print(
+        f"workload: {workload.source_lines} source lines, "
+        f"{workload.statistics.node_count} parse-tree nodes"
+    )
+
+    print()
+    print(run_figure5(workload).describe())
+
+    print()
+    print(run_figure6(workload, machines=5).ascii_timeline())
+
+    print()
+    print(run_figure7(workload, machines=5).describe())
+
+    print()
+    print(run_dynamic_fraction(workload).describe())
+
+
+if __name__ == "__main__":
+    main()

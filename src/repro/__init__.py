@@ -1,0 +1,77 @@
+"""repro — Parallel Attribute Grammar Evaluation.
+
+A reproduction of Boehm & Zwaenepoel, "Parallel Attribute Grammar Evaluation"
+(ICDCS 1987): attribute grammars, dynamic / static (ordered) / combined evaluators, a
+simulated network multiprocessor, tree partitioning, a distributed parallel compiler
+driver with string-librarian result propagation, and a Pascal-subset compiler used as
+the headline workload.
+
+Quick start::
+
+    from repro import evaluate_expression
+    assert evaluate_expression("let x = 3 in 1 + 2 * x ni") == 7
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system inventory
+and experiment index, and ``EXPERIMENTS.md`` for paper-versus-measured results.
+"""
+
+from repro.grammar import (
+    AttributeGrammar,
+    AttributeKind,
+    GrammarBuilder,
+    GrammarError,
+    Rule,
+    parse_grammar_spec,
+)
+from repro.analysis import (
+    build_evaluation_plan,
+    check_noncircular,
+    CircularGrammarError,
+    NotOrderedError,
+)
+from repro.evaluation import (
+    CombinedEvaluator,
+    DynamicEvaluator,
+    EvaluationError,
+    EvaluationStatistics,
+    StaticEvaluator,
+)
+from repro.parsing import Lexer, Parser, ParseError, Token, TokenSpec
+from repro.strings import Rope, rope
+from repro.symtab import SymbolTable, st_add, st_create, st_lookup
+from repro.exprlang import evaluate_expression, expression_grammar, parse_expression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeGrammar",
+    "AttributeKind",
+    "GrammarBuilder",
+    "GrammarError",
+    "Rule",
+    "parse_grammar_spec",
+    "build_evaluation_plan",
+    "check_noncircular",
+    "CircularGrammarError",
+    "NotOrderedError",
+    "CombinedEvaluator",
+    "DynamicEvaluator",
+    "EvaluationError",
+    "EvaluationStatistics",
+    "StaticEvaluator",
+    "Lexer",
+    "Parser",
+    "ParseError",
+    "Token",
+    "TokenSpec",
+    "Rope",
+    "rope",
+    "SymbolTable",
+    "st_add",
+    "st_create",
+    "st_lookup",
+    "evaluate_expression",
+    "expression_grammar",
+    "parse_expression",
+    "__version__",
+]

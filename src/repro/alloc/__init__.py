@@ -1,0 +1,13 @@
+"""Bump-allocation arena accounting.
+
+The paper notes that "storage allocation is extremely fast throughout since we make no
+provision for reusing memory".  CPython manages memory for us, so the substantive part
+of that design decision — how much memory a dynamic versus a combined evaluator touches
+— is reproduced as *accounting*: an :class:`~repro.alloc.arena.Arena` charges an
+abstract byte count per allocation class, and the evaluators report their allocation
+profile through it so the memory comparison between evaluation strategies can be made.
+"""
+
+from repro.alloc.arena import Arena, AllocationStats
+
+__all__ = ["Arena", "AllocationStats"]

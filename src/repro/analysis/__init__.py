@@ -1,0 +1,54 @@
+"""Grammar-time analysis: dependency graphs, circularity, ordered evaluation.
+
+The static evaluator used by the paper is Kastens' *ordered attribute grammar* (OAG)
+evaluator: a grammar-time analysis computes, for every nonterminal, a total order on its
+attributes (grouped into alternating inherited/synthesized *visit* sets) and, for every
+production, a *visit sequence* — a fixed schedule of semantic-rule evaluations and child
+visits.  Evaluation then needs no runtime dependency analysis at all.
+
+This package implements:
+
+* :mod:`repro.analysis.dependencies` — production-local dependency graphs and the
+  induced (transitive) dependencies among the attributes of each nonterminal;
+* :mod:`repro.analysis.cycles` — the non-circularity test over induced dependencies;
+* :mod:`repro.analysis.ordered` — attribute partitions and visit numbers;
+* :mod:`repro.analysis.visit_sequences` — per-production visit sequences consumed by the
+  static and combined evaluators.
+"""
+
+from repro.analysis.dependencies import (
+    DependencyGraph,
+    production_dependency_graph,
+    induced_dependencies,
+)
+from repro.analysis.cycles import CircularGrammarError, check_noncircular
+from repro.analysis.ordered import (
+    NotOrderedError,
+    AttributePartition,
+    compute_partitions,
+)
+from repro.analysis.visit_sequences import (
+    VisitInstruction,
+    EvalInstruction,
+    VisitChildInstruction,
+    VisitSequence,
+    OrderedEvaluationPlan,
+    build_evaluation_plan,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "production_dependency_graph",
+    "induced_dependencies",
+    "CircularGrammarError",
+    "check_noncircular",
+    "NotOrderedError",
+    "AttributePartition",
+    "compute_partitions",
+    "VisitInstruction",
+    "EvalInstruction",
+    "VisitChildInstruction",
+    "VisitSequence",
+    "OrderedEvaluationPlan",
+    "build_evaluation_plan",
+]

@@ -1,0 +1,234 @@
+"""Dependency graphs over attribute occurrences and attributes.
+
+Two levels of dependency information are computed from a grammar:
+
+* the *production-local* graph ``DP(p)``: for each production, an edge from occurrence
+  ``a`` to occurrence ``b`` whenever a semantic rule of ``p`` computes ``b`` from ``a``
+  (edges point from prerequisite to dependent, i.e. in evaluation order);
+* the *induced* relation ``IDS(X)``: for each nonterminal ``X``, the transitive
+  dependencies among the attributes of ``X`` that can arise in any parse tree.  This is
+  the classical fixpoint over all productions, and is what the combined evaluator enters
+  into its dynamic graph for statically evaluated subtree roots ("the transitive
+  dependencies between the child's attributes as precomputed by the static evaluator
+  generator").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.grammar.grammar import AttributeGrammar
+from repro.grammar.productions import AttributeRef, Production
+from repro.grammar.symbols import Nonterminal
+
+
+class DependencyGraph:
+    """A small directed-graph helper with hashable vertices.
+
+    Edges point from prerequisite to dependent: an edge ``a -> b`` means ``a`` must be
+    evaluated before ``b``.
+    """
+
+    def __init__(self):
+        self._successors: Dict[object, Set[object]] = {}
+        self._predecessors: Dict[object, Set[object]] = {}
+
+    def add_vertex(self, vertex) -> None:
+        self._successors.setdefault(vertex, set())
+        self._predecessors.setdefault(vertex, set())
+
+    def add_edge(self, source, target) -> bool:
+        """Add an edge, returning ``True`` if it was not already present."""
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if target in self._successors[source]:
+            return False
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+        return True
+
+    def has_edge(self, source, target) -> bool:
+        return target in self._successors.get(source, ())
+
+    def vertices(self) -> Tuple:
+        return tuple(self._successors)
+
+    def successors(self, vertex) -> FrozenSet:
+        return frozenset(self._successors.get(vertex, ()))
+
+    def predecessors(self, vertex) -> FrozenSet:
+        return frozenset(self._predecessors.get(vertex, ()))
+
+    def edges(self) -> Tuple[Tuple[object, object], ...]:
+        return tuple(
+            (source, target)
+            for source, targets in self._successors.items()
+            for target in targets
+        )
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._successors.values())
+
+    def transitive_closure(self) -> "DependencyGraph":
+        """Return a new graph containing an edge for every nonempty path."""
+        closure = DependencyGraph()
+        for vertex in self._successors:
+            closure.add_vertex(vertex)
+            # Breadth-first reachability from each vertex.
+            seen: Set[object] = set()
+            frontier = list(self._successors[vertex])
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                closure.add_edge(vertex, node)
+                frontier.extend(self._successors.get(node, ()))
+        return closure
+
+    def topological_order(self) -> List[object]:
+        """Kahn topological sort; raises ``ValueError`` if the graph has a cycle."""
+        in_degree = {v: len(self._predecessors[v]) for v in self._successors}
+        ready = sorted(
+            (v for v, d in in_degree.items() if d == 0), key=repr
+        )
+        order: List[object] = []
+        while ready:
+            vertex = ready.pop()
+            order.append(vertex)
+            for successor in sorted(self._successors[vertex], key=repr):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self._successors):
+            raise ValueError("dependency graph contains a cycle")
+        return order
+
+    def find_cycle(self) -> List[object]:
+        """Return one cycle as a list of vertices, or an empty list if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {v: WHITE for v in self._successors}
+        parent: Dict[object, object] = {}
+
+        for start in self._successors:
+            if color[start] != WHITE:
+                continue
+            stack = [(start, iter(sorted(self._successors[start], key=repr)))]
+            color[start] = GRAY
+            while stack:
+                vertex, iterator = stack[-1]
+                advanced = False
+                for successor in iterator:
+                    if color[successor] == WHITE:
+                        color[successor] = GRAY
+                        parent[successor] = vertex
+                        stack.append(
+                            (successor, iter(sorted(self._successors[successor], key=repr)))
+                        )
+                        advanced = True
+                        break
+                    if color[successor] == GRAY:
+                        # Found a back edge; reconstruct the cycle.
+                        cycle = [successor, vertex]
+                        node = vertex
+                        while node != successor and node in parent:
+                            node = parent[node]
+                            cycle.append(node)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[vertex] = BLACK
+                    stack.pop()
+        return []
+
+
+def production_dependency_graph(production: Production) -> DependencyGraph:
+    """The production-local dependency graph DP(p) over attribute occurrences."""
+    graph = DependencyGraph()
+    for ref in production.defined_occurrences():
+        graph.add_vertex(ref)
+    for ref in production.used_occurrences():
+        graph.add_vertex(ref)
+    for rule in production.rules:
+        for argument in rule.arguments:
+            graph.add_edge(argument, rule.target)
+    return graph
+
+
+def induced_dependencies(
+    grammar: AttributeGrammar,
+) -> Dict[str, DependencyGraph]:
+    """Compute the induced dependency relation IDS(X) for every nonterminal X.
+
+    The result maps nonterminal name to a graph whose vertices are attribute names of
+    that nonterminal and whose edge ``a -> b`` means that in some parse tree the instance
+    of ``b`` at a node labelled ``X`` can (transitively) depend on the instance of ``a``
+    at the same node.
+
+    The computation is the standard fixpoint: project the transitive closure of each
+    production graph, augmented with the current IDS edges of every nonterminal
+    occurrence, onto each occurrence, and repeat until no new edges appear.  This is the
+    same approximation Kastens' ordered evaluator uses (it can reject some non-circular
+    grammars, but never accepts a circular one).
+    """
+    ids: Dict[str, DependencyGraph] = {}
+    for name, nonterminal in grammar.nonterminals.items():
+        graph = DependencyGraph()
+        for attribute in nonterminal.attribute_names:
+            graph.add_vertex(attribute)
+        ids[name] = graph
+
+    local_graphs = {p.index: production_dependency_graph(p) for p in grammar.productions}
+
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            graph = _augmented_production_graph(production, local_graphs[production.index], ids)
+            closure = graph.transitive_closure()
+            for position in (0, *production.nonterminal_positions()):
+                symbol = production.symbol_at(position)
+                assert isinstance(symbol, Nonterminal)
+                target_ids = ids[symbol.name]
+                for a in symbol.attribute_names:
+                    for b in symbol.attribute_names:
+                        if a == b:
+                            continue
+                        if closure.has_edge(AttributeRef(position, a), AttributeRef(position, b)):
+                            if target_ids.add_edge(a, b):
+                                changed = True
+    return ids
+
+
+def _augmented_production_graph(
+    production: Production,
+    local: DependencyGraph,
+    ids: Dict[str, DependencyGraph],
+) -> DependencyGraph:
+    """DP(p) plus the current IDS edges instantiated at every nonterminal occurrence."""
+    graph = DependencyGraph()
+    for vertex in local.vertices():
+        graph.add_vertex(vertex)
+    for source, target in local.edges():
+        graph.add_edge(source, target)
+    for position in (0, *production.nonterminal_positions()):
+        symbol = production.symbol_at(position)
+        assert isinstance(symbol, Nonterminal)
+        symbol_ids = ids[symbol.name]
+        for a, b in symbol_ids.edges():
+            graph.add_edge(AttributeRef(position, a), AttributeRef(position, b))
+    return graph
+
+
+def augmented_production_graphs(
+    grammar: AttributeGrammar, ids: Dict[str, DependencyGraph]
+) -> Dict[int, DependencyGraph]:
+    """Per-production graphs DP(p) ∪ IDS instantiated at each occurrence.
+
+    Used both by the circularity test and by visit-sequence construction.
+    """
+    graphs: Dict[int, DependencyGraph] = {}
+    for production in grammar.productions:
+        local = production_dependency_graph(production)
+        graphs[production.index] = _augmented_production_graph(production, local, ids)
+    return graphs

@@ -1,0 +1,176 @@
+"""Attribute partitions for ordered (Kastens-style) evaluation.
+
+For every nonterminal ``X`` the induced dependency relation ``IDS(X)`` is used to split
+the attributes of ``X`` into an alternating sequence of synthesized / inherited sets,
+built backwards from the attributes nothing else depends on.  Reversing the construction
+order gives the chronological order in which a static evaluator must see the attributes,
+and grouping consecutive (inherited, synthesized) pairs gives the *visits*: during visit
+``v`` the parent supplies the inherited attributes of the visit and the child's visit
+procedure computes the synthesized attributes of the visit.
+
+A grammar for which this construction gets stuck (no attribute of either kind can be
+scheduled although attributes remain) is *not ordered*; such grammars must fall back to
+the dynamic evaluator, exactly as the paper notes ("dynamic evaluators can handle a
+wider variety of languages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.dependencies import DependencyGraph, induced_dependencies
+from repro.grammar.attributes import AttributeKind
+from repro.grammar.grammar import AttributeGrammar, GrammarError
+from repro.grammar.symbols import Nonterminal
+
+
+class NotOrderedError(GrammarError):
+    """Raised when a grammar is not evaluable with a static (ordered) evaluator."""
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One visit to a nonterminal: inherited attributes consumed, synthesized produced."""
+
+    number: int
+    inherited: FrozenSet[str]
+    synthesized: FrozenSet[str]
+
+
+@dataclass
+class AttributePartition:
+    """The visit structure of one nonterminal."""
+
+    nonterminal: str
+    visits: List[Visit] = field(default_factory=list)
+
+    @property
+    def visit_count(self) -> int:
+        return len(self.visits)
+
+    def visit_of(self, attribute: str) -> int:
+        """The visit number during which ``attribute`` becomes available."""
+        for visit in self.visits:
+            if attribute in visit.inherited or attribute in visit.synthesized:
+                return visit.number
+        raise KeyError(
+            f"attribute {attribute!r} is not in the partition of {self.nonterminal!r}"
+        )
+
+    def inherited_up_to(self, visit_number: int) -> FrozenSet[str]:
+        """All inherited attributes needed before visit ``visit_number`` completes."""
+        names = set()
+        for visit in self.visits[:visit_number]:
+            names.update(visit.inherited)
+        return frozenset(names)
+
+    def synthesized_of(self, visit_number: int) -> FrozenSet[str]:
+        return self.visits[visit_number - 1].synthesized
+
+    def inherited_of(self, visit_number: int) -> FrozenSet[str]:
+        return self.visits[visit_number - 1].inherited
+
+    def static_dependencies(self) -> Dict[str, FrozenSet[str]]:
+        """For each synthesized attribute, the inherited attributes it waits for.
+
+        This is the conservative transitive relation introduced by the static evaluation
+        order: a synthesized attribute produced during visit ``v`` is treated as
+        depending on every inherited attribute supplied at visit ``v`` or earlier.  The
+        combined evaluator enters exactly these edges into its dynamic dependency graph
+        for statically evaluated subtree roots.
+        """
+        result: Dict[str, FrozenSet[str]] = {}
+        for visit in self.visits:
+            needed = self.inherited_up_to(visit.number)
+            for attribute in visit.synthesized:
+                result[attribute] = needed
+        return result
+
+
+def compute_partitions(
+    grammar: AttributeGrammar,
+    ids: Optional[Dict[str, DependencyGraph]] = None,
+) -> Dict[str, AttributePartition]:
+    """Compute the attribute partition (visit structure) of every nonterminal."""
+    if ids is None:
+        ids = induced_dependencies(grammar)
+    partitions: Dict[str, AttributePartition] = {}
+    for name, nonterminal in grammar.nonterminals.items():
+        partitions[name] = _partition_nonterminal(nonterminal, ids[name])
+    return partitions
+
+
+def _partition_nonterminal(
+    nonterminal: Nonterminal, ids: DependencyGraph
+) -> AttributePartition:
+    kind_of = {
+        name: decl.kind for name, decl in nonterminal.attributes.items()
+    }
+    remaining = set(kind_of)
+    # Build sets backwards: sets[0] is evaluated last and must be synthesized.
+    reversed_sets: List[Tuple[AttributeKind, FrozenSet[str]]] = []
+    parity = AttributeKind.SYNTHESIZED
+
+    while remaining:
+        candidates = frozenset(
+            attribute
+            for attribute in remaining
+            if kind_of[attribute] is parity
+            and not (ids.successors(attribute) & (remaining - {attribute}))
+        )
+        if not candidates:
+            other = (
+                AttributeKind.INHERITED
+                if parity is AttributeKind.SYNTHESIZED
+                else AttributeKind.SYNTHESIZED
+            )
+            other_candidates = frozenset(
+                attribute
+                for attribute in remaining
+                if kind_of[attribute] is other
+                and not (ids.successors(attribute) & (remaining - {attribute}))
+            )
+            if not other_candidates:
+                raise NotOrderedError(
+                    f"nonterminal {nonterminal.name!r} is not orderable: attributes "
+                    f"{sorted(remaining)} cannot be scheduled (fall back to the dynamic "
+                    "evaluator)"
+                )
+        reversed_sets.append((parity, candidates))
+        remaining -= candidates
+        parity = (
+            AttributeKind.INHERITED
+            if parity is AttributeKind.SYNTHESIZED
+            else AttributeKind.SYNTHESIZED
+        )
+
+    chronological = list(reversed(reversed_sets))
+    # Drop empty sets at either end; they carry no scheduling information.
+    while chronological and not chronological[0][1]:
+        chronological.pop(0)
+    while chronological and not chronological[-1][1]:
+        chronological.pop()
+
+    visits: List[Visit] = []
+    index = 0
+    while index < len(chronological):
+        kind, attributes = chronological[index]
+        inherited: FrozenSet[str] = frozenset()
+        synthesized: FrozenSet[str] = frozenset()
+        if kind is AttributeKind.INHERITED:
+            inherited = attributes
+            index += 1
+            if index < len(chronological) and chronological[index][0] is AttributeKind.SYNTHESIZED:
+                synthesized = chronological[index][1]
+                index += 1
+        else:
+            synthesized = attributes
+            index += 1
+        visits.append(Visit(len(visits) + 1, inherited, synthesized))
+
+    if not visits:
+        # Attribute-less nonterminals still get one (empty) visit so that static
+        # evaluation walks into their subtrees.
+        visits.append(Visit(1, frozenset(), frozenset()))
+    return AttributePartition(nonterminal.name, visits)

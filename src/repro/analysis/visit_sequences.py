@@ -1,0 +1,220 @@
+"""Visit-sequence construction for the static (ordered) evaluator.
+
+For every production we compute a schedule of instructions, partitioned into one
+*segment* per visit of the left-hand-side nonterminal.  When the static evaluator is
+asked to perform visit ``v`` of a node derived by production ``p``, it executes segment
+``v`` of ``p``'s visit sequence.  Instructions are:
+
+* :class:`EvalInstruction` — evaluate one semantic rule and store the result;
+* :class:`VisitChildInstruction` — recursively perform visit ``v'`` of child ``i``.
+
+The schedule is obtained by topologically sorting a small task graph whose vertices are
+rule evaluations, child visits and segment boundaries, with edges expressing attribute
+availability.  If the task graph is cyclic the production cannot be scheduled with the
+partitions at hand and the grammar is rejected as *not ordered*
+(:class:`repro.analysis.ordered.NotOrderedError`); the dynamic evaluator remains
+available for such grammars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.dependencies import DependencyGraph, induced_dependencies
+from repro.analysis.ordered import AttributePartition, NotOrderedError, compute_partitions
+from repro.grammar.attributes import AttributeKind
+from repro.grammar.grammar import AttributeGrammar
+from repro.grammar.productions import AttributeRef, Production, SemanticRule
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+@dataclass(frozen=True)
+class EvalInstruction:
+    """Evaluate one semantic rule of the production."""
+
+    rule_index: int
+
+    def describe(self, production: Production) -> str:
+        rule = production.rules[self.rule_index]
+        return f"eval {rule.target!r} := {rule.name}"
+
+
+@dataclass(frozen=True)
+class VisitChildInstruction:
+    """Perform visit ``visit_number`` of the child at ``child_position`` (1-based)."""
+
+    child_position: int
+    visit_number: int
+
+    def describe(self, production: Production) -> str:
+        child = production.symbol_at(self.child_position)
+        return f"visit {child.name}[{self.child_position}] #{self.visit_number}"
+
+
+VisitInstruction = (EvalInstruction, VisitChildInstruction)
+
+
+@dataclass
+class VisitSequence:
+    """The per-production schedule: one instruction list per LHS visit."""
+
+    production_index: int
+    segments: List[List[object]] = field(default_factory=list)
+
+    @property
+    def visit_count(self) -> int:
+        return len(self.segments)
+
+    def segment(self, visit_number: int) -> List[object]:
+        return self.segments[visit_number - 1]
+
+    def describe(self, production: Production) -> str:
+        lines = [f"visit sequence for {production.label}:"]
+        for number, segment in enumerate(self.segments, start=1):
+            lines.append(f"  visit {number}:")
+            for instruction in segment:
+                lines.append(f"    {instruction.describe(production)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class OrderedEvaluationPlan:
+    """Everything the static and combined evaluators need at run time."""
+
+    grammar: AttributeGrammar
+    partitions: Dict[str, AttributePartition]
+    sequences: Dict[int, VisitSequence]
+    induced: Dict[str, DependencyGraph]
+
+    def partition_of(self, nonterminal_name: str) -> AttributePartition:
+        return self.partitions[nonterminal_name]
+
+    def sequence_of(self, production: Production) -> VisitSequence:
+        return self.sequences[production.index]
+
+    def visit_count(self, nonterminal_name: str) -> int:
+        return self.partitions[nonterminal_name].visit_count
+
+
+# ---------------------------------------------------------------------------- tasks
+
+_BOUNDARY = "boundary"
+_EVAL = "eval"
+_VISIT = "visit"
+
+
+def build_evaluation_plan(
+    grammar: AttributeGrammar,
+    partitions: Optional[Dict[str, AttributePartition]] = None,
+    ids: Optional[Dict[str, DependencyGraph]] = None,
+) -> OrderedEvaluationPlan:
+    """Build partitions and visit sequences for every production of ``grammar``."""
+    if ids is None:
+        ids = induced_dependencies(grammar)
+    if partitions is None:
+        partitions = compute_partitions(grammar, ids)
+    sequences: Dict[int, VisitSequence] = {}
+    for production in grammar.productions:
+        sequences[production.index] = _build_sequence(production, partitions)
+    return OrderedEvaluationPlan(grammar, partitions, sequences, ids)
+
+
+def _producer_task(
+    production: Production,
+    partitions: Dict[str, AttributePartition],
+    rule_for: Dict[AttributeRef, int],
+    ref: AttributeRef,
+) -> Optional[Tuple]:
+    """The task whose completion makes occurrence ``ref`` available, or ``None``."""
+    symbol = production.symbol_at(ref.position)
+    if isinstance(symbol, Terminal):
+        return None
+    assert isinstance(symbol, Nonterminal)
+    decl = symbol.attribute(ref.name)
+    if ref.position == 0:
+        if decl.kind is AttributeKind.INHERITED:
+            visit = partitions[symbol.name].visit_of(ref.name)
+            if visit <= 1:
+                return None
+            return (_BOUNDARY, visit - 1)
+        return (_EVAL, rule_for[ref])
+    if decl.kind is AttributeKind.SYNTHESIZED:
+        visit = partitions[symbol.name].visit_of(ref.name)
+        return (_VISIT, ref.position, visit)
+    return (_EVAL, rule_for[ref])
+
+
+def _build_sequence(
+    production: Production, partitions: Dict[str, AttributePartition]
+) -> VisitSequence:
+    lhs_partition = partitions[production.lhs.name]
+    lhs_visits = max(1, lhs_partition.visit_count)
+
+    rule_for: Dict[AttributeRef, int] = {
+        rule.target: index for index, rule in enumerate(production.rules)
+    }
+
+    graph = DependencyGraph()
+    # Boundary chain.
+    for visit in range(1, lhs_visits + 1):
+        graph.add_vertex((_BOUNDARY, visit))
+        if visit > 1:
+            graph.add_edge((_BOUNDARY, visit - 1), (_BOUNDARY, visit))
+    # Child visit chains.
+    for position in production.nonterminal_positions():
+        child = production.symbol_at(position)
+        assert isinstance(child, Nonterminal)
+        child_visits = max(1, partitions[child.name].visit_count)
+        for visit in range(1, child_visits + 1):
+            graph.add_vertex((_VISIT, position, visit))
+            if visit > 1:
+                graph.add_edge((_VISIT, position, visit - 1), (_VISIT, position, visit))
+    # Rule evaluations.
+    for index, rule in enumerate(production.rules):
+        task = (_EVAL, index)
+        graph.add_vertex(task)
+        for argument in rule.arguments:
+            producer = _producer_task(production, partitions, rule_for, argument)
+            if producer is not None:
+                graph.add_edge(producer, task)
+        target_symbol = production.symbol_at(rule.target.position)
+        assert isinstance(target_symbol, Nonterminal)
+        decl = target_symbol.attribute(rule.target.name)
+        if rule.target.position == 0:
+            # LHS synthesized attribute: pin the evaluation into its visit's segment.
+            visit = lhs_partition.visit_of(rule.target.name)
+            if visit > 1:
+                graph.add_edge((_BOUNDARY, visit - 1), task)
+            graph.add_edge(task, (_BOUNDARY, visit))
+        else:
+            # Child inherited attribute: must be ready before the corresponding visit.
+            child_partition = partitions[target_symbol.name]
+            visit = child_partition.visit_of(rule.target.name)
+            graph.add_edge(task, (_VISIT, rule.target.position, visit))
+
+    try:
+        order = graph.topological_order()
+    except ValueError:
+        raise NotOrderedError(
+            f"production {production.label!r} cannot be scheduled with the computed "
+            "attribute partitions; the grammar is not ordered (use the dynamic evaluator)"
+        ) from None
+
+    segments: List[List[object]] = [[] for _ in range(lhs_visits)]
+    current = 0
+    for task in order:
+        kind = task[0]
+        if kind == _BOUNDARY:
+            # After boundary v, subsequent tasks belong to segment v+1 (0-based index v);
+            # anything after the final boundary is folded into the last segment.
+            current = task[1]
+            continue
+        segment_index = min(current, lhs_visits - 1)
+        if kind == _EVAL:
+            segments[segment_index].append(EvalInstruction(task[1]))
+        else:
+            segments[segment_index].append(
+                VisitChildInstruction(task[1], task[2])
+            )
+    return VisitSequence(production.index, segments)

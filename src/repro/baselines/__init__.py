@@ -1,0 +1,11 @@
+"""Baselines the paper compares against (related-work section)."""
+
+from repro.baselines.pipeline import PipelinedCompilerModel, PipelineReport
+from repro.baselines.parallel_make import ParallelMakeModel, MakeReport
+
+__all__ = [
+    "PipelinedCompilerModel",
+    "PipelineReport",
+    "ParallelMakeModel",
+    "MakeReport",
+]

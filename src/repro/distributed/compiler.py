@@ -1,0 +1,370 @@
+"""The parallel compiler driver.
+
+``ParallelCompiler`` reproduces the structure of the paper's system (§2.1): a sequential
+parser builds the syntax tree, divides it into subtrees and sends them to attribute
+evaluators executing in parallel on different machines; the evaluators exchange
+attribute values, and the root attributes flow back to the parser (optionally routing
+code strings through the string librarian).  Everything runs on the simulated cluster,
+so the returned :class:`CompilationReport` carries simulated times, per-machine activity
+timelines, message statistics and evaluator statistics — the raw material for every
+figure in the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
+from repro.distributed.evaluator_node import (
+    EvaluatorNode,
+    EvaluatorReport,
+    default_attribute_phase,
+)
+from repro.distributed.librarian import StringLibrarian
+from repro.distributed.protocol import (
+    AssembledCodeMessage,
+    ResultMessage,
+    SubtreeMessage,
+)
+from repro.distributed.unique_ids import base_for_region
+from repro.evaluation.base import EvaluationStatistics
+from repro.grammar.attributes import AttributeKind
+from repro.grammar.grammar import AttributeGrammar
+from repro.grammar.symbols import Nonterminal
+from repro.partition.decomposition import DecompositionPlan, plan_decomposition
+from repro.runtime.cluster import Cluster
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import ActivityInterval, ActivityKind, Machine
+from repro.runtime.network import NetworkParameters
+from repro.runtime.simulator import Store
+from repro.strings.rope import Rope
+from repro.tree.linearize import linearize
+from repro.tree.node import ParseTreeNode
+from repro.tree.stats import tree_statistics
+
+
+@dataclass
+class CompilerConfiguration:
+    """Tunable knobs of the parallel compiler.
+
+    :param evaluator: ``"combined"`` (the paper's contribution) or ``"dynamic"``.
+    :param use_librarian: route code attributes through the string librarian instead of
+        shipping full code strings up the evaluator tree.
+    :param librarian_attributes: names of root/split synthesized attributes treated as
+        code strings by the librarian protocol.
+    :param use_priority: honour priority-attribute declarations when scheduling.
+    :param min_split_size: explicit decomposition threshold (abstract bytes); by default
+        the threshold is derived from the tree size and machine count.
+    :param split_scale: multiplier on the automatically derived threshold (the paper's
+        runtime granularity argument).
+    """
+
+    evaluator: str = "combined"
+    use_librarian: bool = True
+    librarian_attributes: Tuple[str, ...] = ("code",)
+    use_priority: bool = True
+    root_inherited: Dict[str, Any] = field(default_factory=dict)
+    cost_model: CostModel = field(default_factory=CostModel)
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    min_split_size: Optional[int] = None
+    split_scale: float = 1.0
+    attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase
+
+
+@dataclass
+class CompilationReport:
+    """Everything measured during one (simulated) parallel compilation."""
+
+    machines: int
+    evaluator: str
+    use_librarian: bool
+    parse_time: float
+    evaluation_time: float
+    decomposition: DecompositionPlan
+    root_attributes: Dict[str, Any]
+    assembled: Dict[str, Rope]
+    evaluator_reports: List[EvaluatorReport]
+    timeline: Dict[str, List[ActivityInterval]]
+    utilization: Dict[str, float]
+    network_messages: int
+    network_bytes: int
+    network_busy_time: float
+    statistics: EvaluationStatistics
+    memory_bytes: int
+    tree_nodes: int
+
+    @property
+    def total_time(self) -> float:
+        """Parse plus evaluation time (the paper reports them separately)."""
+        return self.parse_time + self.evaluation_time
+
+    @property
+    def dynamic_fraction(self) -> float:
+        return self.statistics.dynamic_fraction
+
+    def speedup_against(self, sequential: "CompilationReport") -> float:
+        """Speedup of this run's evaluation time over a sequential reference run."""
+        if self.evaluation_time == 0:
+            return float("inf")
+        return sequential.evaluation_time / self.evaluation_time
+
+    def code_text(self, attribute: str = "code") -> str:
+        """The final (assembled) text of a code attribute."""
+        if attribute in self.assembled:
+            return self.assembled[attribute].flatten()
+        value = self.root_attributes.get(attribute)
+        if isinstance(value, Rope):
+            return value.flatten()
+        if value is None:
+            raise KeyError(f"no root attribute named {attribute!r}")
+        return str(value)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.evaluator} evaluator on {self.machines} machine(s): "
+            f"evaluation {self.evaluation_time:.3f}s (+ parse {self.parse_time:.3f}s)",
+            f"  regions: {self.decomposition.region_count}, "
+            f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
+            f"  network: {self.network_messages} messages, {self.network_bytes} bytes, "
+            f"link busy {self.network_busy_time:.3f}s",
+            f"  memory: {self.memory_bytes} bytes across evaluators",
+        ]
+        return "\n".join(lines)
+
+
+class ParallelCompiler:
+    """Generate-once, compile-many driver for a single attribute grammar."""
+
+    def __init__(
+        self,
+        grammar: AttributeGrammar,
+        configuration: Optional[CompilerConfiguration] = None,
+        plan: Optional[OrderedEvaluationPlan] = None,
+    ):
+        self.grammar = grammar
+        self.configuration = configuration or CompilerConfiguration()
+        if self.configuration.evaluator not in ("combined", "dynamic"):
+            raise ValueError("evaluator must be 'combined' or 'dynamic'")
+        # The ordered-evaluation plan is only needed by the combined evaluator, and some
+        # grammars are evaluable dynamically but not ordered.
+        if self.configuration.evaluator == "combined":
+            self.plan = plan or build_evaluation_plan(grammar)
+        else:
+            self.plan = plan
+
+    # -------------------------------------------------------------------- API
+
+    def compile_tree(
+        self,
+        tree: ParseTreeNode,
+        machines: int,
+        root_inherited: Optional[Dict[str, Any]] = None,
+    ) -> CompilationReport:
+        """Compile an already-parsed tree on ``machines`` simulated workstations."""
+        config = self.configuration
+        stats = tree_statistics(tree)
+        parse_time = config.cost_model.parse_cost(stats.node_count)
+
+        decomposition = plan_decomposition(
+            tree,
+            machines,
+            min_size=config.min_split_size,
+            scale=config.split_scale,
+        )
+        cluster = Cluster(machines, network=config.network, cost_model=config.cost_model)
+        parser_machine = cluster.machine(0)
+        parser_mailbox = cluster.environment.store("parser.mailbox")
+
+        machine_of_region: Dict[int, Machine] = {
+            region.region_id: cluster.machine(region.region_id % machines)
+            for region in decomposition.regions
+        }
+        mailboxes: Dict[int, Store] = {
+            region.region_id: cluster.environment.store(f"evaluator-{region.region_id}.mailbox")
+            for region in decomposition.regions
+        }
+
+        librarian_attrs = self._root_librarian_attributes()
+        librarian_active = (
+            config.use_librarian
+            and decomposition.region_count > 1
+            and bool(librarian_attrs)
+        )
+        librarian: Optional[StringLibrarian] = None
+        librarian_mailbox: Optional[Store] = None
+        if librarian_active:
+            librarian_mailbox = cluster.environment.store("librarian.mailbox")
+            librarian = StringLibrarian(parser_machine, config.cost_model, librarian_mailbox)
+
+        evaluators: List[EvaluatorNode] = []
+        for region in decomposition.regions:
+            node = EvaluatorNode(
+                region_id=region.region_id,
+                machine=machine_of_region[region.region_id],
+                cluster=cluster,
+                grammar=self.grammar,
+                plan=self.plan,
+                evaluator_kind=config.evaluator,
+                cost_model=config.cost_model,
+                mailboxes=mailboxes,
+                machines_of_regions=machine_of_region,
+                parser_machine=parser_machine,
+                parser_mailbox=parser_mailbox,
+                librarian_machine=parser_machine if librarian_active else None,
+                librarian_mailbox=librarian_mailbox,
+                librarian_attributes=config.librarian_attributes if librarian_active else (),
+                use_priority=config.use_priority,
+                attribute_phase=config.attribute_phase,
+            )
+            evaluators.append(node)
+            cluster.spawn(node.run(), name=f"evaluator-{region.region_id}")
+
+        if librarian_active:
+            cluster.spawn(
+                librarian.run(
+                    cluster,
+                    parser_machine,
+                    parser_mailbox,
+                    expected_assemblies=len(librarian_attrs),
+                ),
+                name="librarian",
+            )
+
+        outcome: Dict[str, Any] = {
+            "root_attributes": {},
+            "assembled": {},
+            "finish_time": 0.0,
+        }
+        cluster.spawn(
+            self._parser_process(
+                cluster,
+                parser_machine,
+                parser_mailbox,
+                decomposition,
+                machine_of_region,
+                mailboxes,
+                root_inherited if root_inherited is not None else config.root_inherited,
+                expected_assemblies=len(librarian_attrs) if librarian_active else 0,
+                outcome=outcome,
+            ),
+            name="parser",
+        )
+
+        cluster.run()
+        self._check_finished(cluster)
+
+        aggregate = EvaluationStatistics()
+        memory = 0
+        reports = []
+        for node in evaluators:
+            aggregate.merge(node.report.statistics)
+            memory += node.report.memory_bytes
+            reports.append(node.report)
+
+        network = cluster.network_stats()
+        return CompilationReport(
+            machines=machines,
+            evaluator=config.evaluator,
+            use_librarian=librarian_active,
+            parse_time=parse_time,
+            evaluation_time=outcome["finish_time"],
+            decomposition=decomposition,
+            root_attributes=outcome["root_attributes"],
+            assembled=outcome["assembled"],
+            evaluator_reports=reports,
+            timeline=cluster.timeline(),
+            utilization=cluster.utilization(),
+            network_messages=network.messages,
+            network_bytes=network.bytes_sent,
+            network_busy_time=network.busy_time,
+            statistics=aggregate,
+            memory_bytes=memory,
+            tree_nodes=stats.node_count,
+        )
+
+    # --------------------------------------------------------------- internals
+
+    def _root_librarian_attributes(self) -> Tuple[str, ...]:
+        start = self.grammar.start
+        if start is None:
+            return ()
+        names = []
+        for name in self.configuration.librarian_attributes:
+            if start.has_attribute(name) and start.attribute(name).is_synthesized:
+                names.append(name)
+        return tuple(names)
+
+    def _parser_process(
+        self,
+        cluster: Cluster,
+        parser_machine: Machine,
+        parser_mailbox: Store,
+        decomposition: DecompositionPlan,
+        machine_of_region: Dict[int, Machine],
+        mailboxes: Dict[int, Store],
+        root_inherited: Dict[str, Any],
+        expected_assemblies: int,
+        outcome: Dict[str, Any],
+    ) -> Generator:
+        config = self.configuration
+        # Ship remote regions first (they must cross the network), then hand the root
+        # region to the co-located evaluator.
+        for region in decomposition.regions[1:]:
+            holes = decomposition.holes_of(region.region_id)
+            linearized = linearize(region.root, holes)
+            cost = (
+                config.cost_model.linearize_cost(linearized.size_bytes())
+                + config.cost_model.message_cpu_cost
+            )
+            yield from parser_machine.compute(
+                cost, ActivityKind.PARSE, f"ship region {region.label}"
+            )
+            message = SubtreeMessage(
+                region_id=region.region_id,
+                parent_region=region.parent_region,
+                tree=linearized,
+                unique_base=base_for_region(region.region_id),
+                label=region.label,
+            )
+            cluster.send(
+                parser_machine,
+                machine_of_region[region.region_id],
+                message,
+                message.size_bytes(),
+                mailbox=mailboxes[region.region_id],
+            )
+
+        root_region = decomposition.regions[0]
+        root_linearized = linearize(root_region.root, decomposition.holes_of(0))
+        root_message = SubtreeMessage(
+            region_id=0,
+            parent_region=None,
+            tree=root_linearized,
+            unique_base=base_for_region(0),
+            root_inherited=dict(root_inherited),
+            label=root_region.label,
+        )
+        cluster.send(parser_machine, parser_machine, root_message, 0, mailbox=mailboxes[0])
+
+        expected_messages = 1 + expected_assemblies
+        received = 0
+        while received < expected_messages:
+            message = yield from parser_machine.receive(parser_mailbox)
+            if isinstance(message, ResultMessage):
+                outcome["root_attributes"] = dict(message.attributes)
+            elif isinstance(message, AssembledCodeMessage):
+                outcome["assembled"][message.attribute] = message.text
+            else:
+                raise TypeError(f"parser received unexpected message {message!r}")
+            received += 1
+        outcome["finish_time"] = cluster.now
+
+    def _check_finished(self, cluster: Cluster) -> None:
+        unfinished = cluster.environment.unfinished_processes()
+        blocking = [process.name for process in unfinished]
+        if blocking:
+            raise RuntimeError(
+                "parallel compilation deadlocked; unfinished processes: "
+                + ", ".join(blocking)
+            )

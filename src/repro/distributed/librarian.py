@@ -1,0 +1,146 @@
+"""The string librarian process.
+
+"When an evaluator computes its final code attribute it sends the code string to the
+string librarian process and a string descriptor to its ancestor.  The descriptors are
+combined appropriately by every process in the process tree and finally passed up from
+the root evaluator to the string librarian, which combines the code attributes according
+to the information in the descriptors."  (paper, §4.3)
+
+The librarian therefore has two jobs: store fragments as they arrive (one network
+transmission per evaluator, overlapping with ongoing evaluation), and, once the root
+descriptor arrives, assemble the final string and hand it to the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.distributed.protocol import (
+    AssembleRequest,
+    AssembledCodeMessage,
+    CodeFragmentMessage,
+)
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import ActivityKind, Machine
+from repro.strings.rope import Rope
+
+
+@dataclass
+class LibrarianStats:
+    fragments_received: int = 0
+    fragment_bytes: int = 0
+    assemblies: int = 0
+    assembled_bytes: int = 0
+
+
+class StringLibrarian:
+    """State machine of the librarian; driven as a process by the parallel compiler."""
+
+    def __init__(self, machine: Machine, cost_model: CostModel, mailbox=None):
+        self.machine = machine
+        self.cost_model = cost_model
+        self.mailbox = mailbox if mailbox is not None else machine.environment.store(
+            "librarian.mailbox"
+        )
+        self._fragments: Dict[Tuple[int, int], Rope] = {}
+        self._pending: List[AssembleRequest] = []
+        self.stats = LibrarianStats()
+
+    # -------------------------------------------------------------- fragments
+
+    def store_fragment(self, message: CodeFragmentMessage) -> None:
+        self._fragments[(message.region_id, message.fragment_id)] = message.text
+        self.stats.fragments_received += 1
+        self.stats.fragment_bytes += message.size
+
+    def has_fragment(self, region_id: int, fragment_id: int) -> bool:
+        return (region_id, fragment_id) in self._fragments
+
+    def lookup(self, region_id: int, fragment_id: int) -> Rope:
+        try:
+            return self._fragments[(region_id, fragment_id)]
+        except KeyError:
+            raise KeyError(
+                f"librarian has no fragment ({region_id}, {fragment_id}); "
+                "it has not arrived yet"
+            ) from None
+
+    # --------------------------------------------------------------- assembly
+
+    def can_assemble(self, request: AssembleRequest) -> bool:
+        return all(
+            self.has_fragment(region, fragment)
+            for region, fragment in request.descriptor.fragment_ids()
+        )
+
+    def assemble(self, request: AssembleRequest) -> AssembledCodeMessage:
+        text = request.descriptor.assemble(self.lookup)
+        self.stats.assemblies += 1
+        self.stats.assembled_bytes += len(text)
+        return AssembledCodeMessage(request.attribute, text, text.transmission_size())
+
+    def assembly_cost(self, request: AssembleRequest) -> float:
+        """CPU time to splice the fragments together (proportional to referenced text)."""
+        referenced = sum(
+            len(self._fragments[key])
+            for key in request.descriptor.fragment_ids()
+            if key in self._fragments
+        )
+        return self.cost_model.convert_cost(referenced)
+
+    # ------------------------------------------------------------------ process
+
+    def run(
+        self,
+        cluster,
+        parser_machine: Machine,
+        parser_mailbox=None,
+        expected_assemblies: int = 1,
+    ) -> Generator:
+        """Librarian process body.
+
+        Receives fragment and assemble-request messages, assembling each requested code
+        attribute as soon as all of its fragments are on hand, and terminates once
+        ``expected_assemblies`` assembled strings have been delivered to the parser.
+        """
+        outstanding_requests: List[AssembleRequest] = []
+        finished_assemblies = 0
+        if expected_assemblies <= 0:
+            return
+        while True:
+            message = yield from self.machine.receive(self.mailbox)
+            if isinstance(message, CodeFragmentMessage):
+                yield from self.machine.compute(
+                    self.cost_model.message_cpu_cost
+                    + self.cost_model.convert_cost(message.size),
+                    ActivityKind.LIBRARIAN,
+                    f"fragment r{message.region_id}",
+                )
+                self.store_fragment(message)
+            elif isinstance(message, AssembleRequest):
+                yield from self.machine.compute(
+                    self.cost_model.message_cpu_cost, ActivityKind.LIBRARIAN, "request"
+                )
+                outstanding_requests.append(message)
+            else:
+                raise TypeError(f"librarian received unexpected message {message!r}")
+
+            still_waiting: List[AssembleRequest] = []
+            for request in outstanding_requests:
+                if not self.can_assemble(request):
+                    still_waiting.append(request)
+                    continue
+                yield from self.machine.compute(
+                    self.assembly_cost(request), ActivityKind.LIBRARIAN, "assemble"
+                )
+                assembled = self.assemble(request)
+                cluster.send(
+                    self.machine, parser_machine, assembled, assembled.size_bytes(),
+                    mailbox=parser_mailbox,
+                )
+                finished_assemblies += 1
+            outstanding_requests = still_waiting
+
+            if finished_assemblies >= expected_assemblies:
+                return

@@ -1,0 +1,33 @@
+"""Sequential attribute evaluators: dynamic, static (ordered), and combined.
+
+All three evaluators share a *task scheduler* interface (:mod:`repro.evaluation.base`)
+so that the distributed layer (:mod:`repro.distributed`) can drive any of them
+incrementally, supplying remotely computed attribute values as they arrive over the
+(simulated) network and collecting locally computed values that must be exported.
+"""
+
+from repro.evaluation.base import (
+    EvaluationError,
+    MissingAttributeError,
+    EvaluationStatistics,
+    TaskResult,
+    ComputedAttribute,
+    Scheduler,
+)
+from repro.evaluation.static import StaticEvaluator
+from repro.evaluation.dynamic import DynamicEvaluator, DynamicScheduler
+from repro.evaluation.combined import CombinedEvaluator, CombinedScheduler
+
+__all__ = [
+    "EvaluationError",
+    "MissingAttributeError",
+    "EvaluationStatistics",
+    "TaskResult",
+    "ComputedAttribute",
+    "Scheduler",
+    "StaticEvaluator",
+    "DynamicEvaluator",
+    "DynamicScheduler",
+    "CombinedEvaluator",
+    "CombinedScheduler",
+]

@@ -1,0 +1,169 @@
+"""Shared evaluator infrastructure: statistics, task results, scheduler protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.tree.node import ParseTreeNode
+
+
+class EvaluationError(Exception):
+    """Raised when attribute evaluation cannot complete."""
+
+
+class MissingAttributeError(EvaluationError):
+    """Raised when an attribute value is required but was never computed."""
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters describing one evaluation run.
+
+    The distinction between dynamically and statically evaluated attribute instances is
+    the quantity the paper reports ("on average less than 10 percent of the attributes
+    are evaluated dynamically"), and the dependency-graph counters feed the simulator's
+    cost model for the dynamic evaluator's extra CPU and memory cost.
+    """
+
+    rules_evaluated: int = 0
+    rule_extra_cost: float = 0.0
+    dynamic_instances: int = 0
+    static_instances: int = 0
+    dependency_vertices: int = 0
+    dependency_edges: int = 0
+    visits_performed: int = 0
+    tasks_executed: int = 0
+
+    @property
+    def total_instances(self) -> int:
+        return self.dynamic_instances + self.static_instances
+
+    @property
+    def dynamic_fraction(self) -> float:
+        """Fraction of attribute instances whose scheduling was dynamic."""
+        total = self.total_instances
+        if total == 0:
+            return 0.0
+        return self.dynamic_instances / total
+
+    def merge(self, other: "EvaluationStatistics") -> None:
+        self.rules_evaluated += other.rules_evaluated
+        self.rule_extra_cost += other.rule_extra_cost
+        self.dynamic_instances += other.dynamic_instances
+        self.static_instances += other.static_instances
+        self.dependency_vertices += other.dependency_vertices
+        self.dependency_edges += other.dependency_edges
+        self.visits_performed += other.visits_performed
+        self.tasks_executed += other.tasks_executed
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "rules_evaluated": self.rules_evaluated,
+            "rule_extra_cost": self.rule_extra_cost,
+            "dynamic_instances": self.dynamic_instances,
+            "static_instances": self.static_instances,
+            "dependency_vertices": self.dependency_vertices,
+            "dependency_edges": self.dependency_edges,
+            "visits_performed": self.visits_performed,
+            "tasks_executed": self.tasks_executed,
+            "dynamic_fraction": self.dynamic_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class ComputedAttribute:
+    """One attribute value produced by a task: (node, attribute name, value)."""
+
+    node: ParseTreeNode
+    name: str
+    value: Any
+
+
+@dataclass
+class TaskResult:
+    """The outcome of running one scheduler task.
+
+    :param computed: attribute values produced (already stored on their nodes).
+    :param rules_evaluated: number of semantic rules executed by the task (a VISIT task
+        of the combined evaluator may execute many).
+    :param rule_extra_cost: sum of the per-rule extra costs of those rules.
+    :param dependency_work: dependency-analysis work performed (dynamic scheduling only);
+        charged separately by the cost model.
+    """
+
+    computed: List[ComputedAttribute] = field(default_factory=list)
+    rules_evaluated: int = 0
+    rule_extra_cost: float = 0.0
+    dependency_work: int = 0
+
+
+class Scheduler:
+    """Incremental evaluation interface shared by dynamic and combined schedulers.
+
+    A scheduler owns one (sub)tree.  Attribute instances whose values are computed
+    elsewhere (remote subtrees, or the inherited attributes of the region root) are
+    *external*; they are supplied with :meth:`supply`.  The driver repeatedly pops ready
+    tasks with :meth:`next_task` and executes them with :meth:`run_task`, until
+    :meth:`is_complete` (or until it must block waiting for external values, in which
+    case :meth:`waiting_on` is non-empty).
+    """
+
+    def has_ready_task(self) -> bool:
+        raise NotImplementedError
+
+    def next_task(self):
+        """Pop one ready task (priority-attribute tasks first); ``None`` if none ready."""
+        raise NotImplementedError
+
+    def run_task(self, task) -> TaskResult:
+        raise NotImplementedError
+
+    def supply(self, node: ParseTreeNode, name: str, value: Any) -> List:
+        """Provide an external attribute value; returns tasks that became ready."""
+        raise NotImplementedError
+
+    def is_complete(self) -> bool:
+        raise NotImplementedError
+
+    def waiting_on(self) -> Sequence[Tuple[ParseTreeNode, str]]:
+        """External attribute instances still missing."""
+        raise NotImplementedError
+
+    def statistics(self) -> EvaluationStatistics:
+        raise NotImplementedError
+
+    # Convenience driver used by the sequential evaluators and by tests.
+    def run_to_completion(self) -> EvaluationStatistics:
+        """Run tasks until no more are ready; fails if external values are missing."""
+        while True:
+            task = self.next_task()
+            if task is None:
+                break
+            self.run_task(task)
+        if not self.is_complete():
+            missing = ", ".join(
+                f"{node.symbol.name}.{name}" for node, name in list(self.waiting_on())[:5]
+            )
+            raise MissingAttributeError(
+                "evaluation blocked waiting on external attribute values: " + missing
+            )
+        return self.statistics()
+
+
+def root_inherited_or_default(
+    root: ParseTreeNode, root_inherited: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Check that the caller supplied every inherited attribute of the root symbol."""
+    root_inherited = dict(root_inherited or {})
+    symbol = root.symbol
+    missing = []
+    for decl in getattr(symbol, "inherited", ()):  # Terminal roots have no attributes.
+        if decl.name not in root_inherited:
+            missing.append(decl.name)
+    if missing:
+        raise EvaluationError(
+            f"inherited attributes of the root symbol {symbol.name!r} must be supplied: "
+            + ", ".join(sorted(missing))
+        )
+    return root_inherited

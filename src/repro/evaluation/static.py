@@ -1,0 +1,147 @@
+"""The static (ordered) evaluator.
+
+Evaluation follows the visit sequences computed at grammar-analysis time
+(:mod:`repro.analysis.visit_sequences`); no dependency analysis happens at evaluation
+time.  The tree walk is implemented iteratively (explicit stack) so that deeply nested
+parse trees — long statement lists, deeply nested procedures — do not hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.visit_sequences import (
+    EvalInstruction,
+    OrderedEvaluationPlan,
+    VisitChildInstruction,
+    build_evaluation_plan,
+)
+from repro.evaluation.base import (
+    EvaluationError,
+    EvaluationStatistics,
+    root_inherited_or_default,
+)
+from repro.grammar.grammar import AttributeGrammar
+from repro.tree.node import ParseTreeNode
+
+
+class StaticEvaluator:
+    """Ordered attribute evaluator in the style of Kastens.
+
+    :param grammar: the attribute grammar (must be *ordered*; otherwise
+        :class:`repro.analysis.ordered.NotOrderedError` is raised during plan
+        construction).
+    :param plan: an optional precomputed :class:`OrderedEvaluationPlan`; sharing one
+        plan across evaluators mirrors the paper's generator, which performs the
+        ordered-evaluation analysis once per grammar, not once per compilation.
+    """
+
+    def __init__(
+        self,
+        grammar: AttributeGrammar,
+        plan: Optional[OrderedEvaluationPlan] = None,
+    ):
+        self.grammar = grammar
+        self.plan = plan or build_evaluation_plan(grammar)
+
+    # ------------------------------------------------------------------ driving
+
+    def evaluate(
+        self,
+        root: ParseTreeNode,
+        root_inherited: Optional[Dict[str, Any]] = None,
+    ) -> EvaluationStatistics:
+        """Evaluate every attribute instance in the tree rooted at ``root``.
+
+        ``root_inherited`` supplies the inherited attributes of the root symbol (all of
+        them at once; per-visit supply is available through :meth:`visit`).
+        """
+        statistics = EvaluationStatistics()
+        supplied = root_inherited_or_default(root, root_inherited)
+        for name, value in supplied.items():
+            root.set_attribute(name, value)
+        visit_count = self.plan.visit_count(root.symbol.name)
+        for visit_number in range(1, visit_count + 1):
+            self.visit(root, visit_number, statistics)
+        statistics.static_instances = self._count_instances(root)
+        return statistics
+
+    def visit(
+        self,
+        root: ParseTreeNode,
+        visit_number: int,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> EvaluationStatistics:
+        """Perform one visit of ``root``, executing the corresponding segment.
+
+        The inherited attributes belonging to this and earlier visits of ``root`` must
+        already be stored on the node.  Returns the statistics object (created if not
+        given) so callers can accumulate cost over several visits.
+        """
+        statistics = statistics if statistics is not None else EvaluationStatistics()
+        # Each stack entry is (node, iterator over remaining instructions).
+        stack: List[Tuple[ParseTreeNode, object]] = []
+        stack.append((root, iter(self._segment(root, visit_number))))
+        statistics.visits_performed += 1
+        while stack:
+            node, instructions = stack[-1]
+            instruction = next(instructions, None)
+            if instruction is None:
+                stack.pop()
+                continue
+            if isinstance(instruction, EvalInstruction):
+                self._execute_rule(node, instruction.rule_index, statistics)
+            elif isinstance(instruction, VisitChildInstruction):
+                child = node.children[instruction.child_position - 1]
+                statistics.visits_performed += 1
+                stack.append(
+                    (child, iter(self._segment(child, instruction.visit_number)))
+                )
+            else:  # pragma: no cover - defensive
+                raise EvaluationError(f"unknown visit instruction {instruction!r}")
+        return statistics
+
+    # ------------------------------------------------------------------ helpers
+
+    def _segment(self, node: ParseTreeNode, visit_number: int) -> List[object]:
+        if node.production is None:
+            raise EvaluationError(
+                f"cannot statically visit node {node.node_id} ({node.symbol.name}): it has "
+                "no production (remote hole nodes must be handled by the combined evaluator)"
+            )
+        sequence = self.plan.sequences[node.production.index]
+        if visit_number > sequence.visit_count:
+            return []
+        return sequence.segment(visit_number)
+
+    def _execute_rule(
+        self,
+        node: ParseTreeNode,
+        rule_index: int,
+        statistics: EvaluationStatistics,
+    ) -> Any:
+        assert node.production is not None
+        rule = node.production.rules[rule_index]
+        arguments = []
+        for ref in rule.arguments:
+            source = node.resolve(ref)
+            try:
+                arguments.append(source.get_attribute(ref.name))
+            except KeyError as error:
+                raise EvaluationError(
+                    f"static evaluation order violation at {node.production.label!r}: "
+                    f"{ref!r} not yet available ({error})"
+                ) from None
+        value = rule.evaluate(arguments)
+        target = node.resolve(rule.target)
+        target.set_attribute(rule.target.name, value)
+        statistics.rules_evaluated += 1
+        statistics.rule_extra_cost += rule.cost
+        return value
+
+    def _count_instances(self, root: ParseTreeNode) -> int:
+        count = 0
+        for node in root.walk():
+            count += len(node.symbol.attribute_names)  # type: ignore[attr-defined]
+        return count

@@ -1,0 +1,34 @@
+"""Experiment drivers: one function per figure/table of the paper's evaluation.
+
+Each driver returns a small result object with a ``rows()`` (or ``describe()``) method
+producing the same rows/series the paper reports; ``benchmarks/`` wraps these drivers in
+pytest-benchmark targets and ``EXPERIMENTS.md`` records paper-versus-measured values.
+"""
+
+from repro.experiments.workload import default_workload, WorkloadBundle
+from repro.experiments.figure5 import run_figure5, Figure5Result
+from repro.experiments.figure6 import run_figure6, Figure6Result
+from repro.experiments.figure7 import run_figure7, Figure7Result
+from repro.experiments.dynamic_fraction import run_dynamic_fraction, DynamicFractionResult
+from repro.experiments.librarian import run_librarian_comparison, LibrarianResult
+from repro.experiments.sequential import run_sequential_comparison, SequentialResult
+from repro.experiments.pipeline_baseline import run_pipeline_baseline, PipelineBaselineResult
+
+__all__ = [
+    "default_workload",
+    "WorkloadBundle",
+    "run_figure5",
+    "Figure5Result",
+    "run_figure6",
+    "Figure6Result",
+    "run_figure7",
+    "Figure7Result",
+    "run_dynamic_fraction",
+    "DynamicFractionResult",
+    "run_librarian_comparison",
+    "LibrarianResult",
+    "run_sequential_comparison",
+    "SequentialResult",
+    "run_pipeline_baseline",
+    "PipelineBaselineResult",
+]

@@ -1,0 +1,49 @@
+"""Text result T1 — fraction of attributes evaluated dynamically by the combined
+evaluator ("on average less than 10 percent")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.distributed.compiler import CompilerConfiguration
+from repro.experiments.workload import WorkloadBundle, default_workload
+
+
+@dataclass
+class DynamicFractionResult:
+    fractions: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        if not self.fractions:
+            return 0.0
+        return sum(self.fractions.values()) / len(self.fractions)
+
+    def rows(self) -> List[dict]:
+        return [
+            {"machines": machines, "dynamic_fraction": fraction}
+            for machines, fraction in sorted(self.fractions.items())
+        ]
+
+    def describe(self) -> str:
+        lines = ["T1 — fraction of attribute instances scheduled dynamically (combined evaluator)"]
+        for row in self.rows():
+            lines.append(f"  {row['machines']} machines: {row['dynamic_fraction'] * 100:.2f}%")
+        lines.append(f"  average: {self.average * 100:.2f}%  (paper: < 10%)")
+        return "\n".join(lines)
+
+
+def run_dynamic_fraction(
+    workload: Optional[WorkloadBundle] = None,
+    machine_counts: Sequence[int] = (2, 3, 4, 5, 6),
+) -> DynamicFractionResult:
+    workload = workload or default_workload()
+    configuration = CompilerConfiguration(evaluator="combined")
+    result = DynamicFractionResult()
+    for machines in machine_counts:
+        report = workload.compiler.compile_tree_parallel(
+            workload.tree, machines, configuration
+        )
+        result.fractions[machines] = report.dynamic_fraction
+    return result

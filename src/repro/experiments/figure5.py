@@ -1,0 +1,68 @@
+"""Figure 5 — "Evaluator Running Times": running time versus number of machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.distributed.compiler import CompilerConfiguration
+from repro.experiments.workload import WorkloadBundle, default_workload
+
+
+@dataclass
+class Figure5Result:
+    """Running times (simulated seconds) per machine count for both evaluators."""
+
+    machine_counts: List[int]
+    combined_times: Dict[int, float] = field(default_factory=dict)
+    dynamic_times: Dict[int, float] = field(default_factory=dict)
+
+    def speedup(self, evaluator: str, machines: int) -> float:
+        times = self.combined_times if evaluator == "combined" else self.dynamic_times
+        return times[1] / times[machines]
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "machines": machines,
+                "dynamic_time": self.dynamic_times[machines],
+                "combined_time": self.combined_times[machines],
+                "dynamic_speedup": self.speedup("dynamic", machines),
+                "combined_speedup": self.speedup("combined", machines),
+            }
+            for machines in self.machine_counts
+        ]
+
+    def describe(self) -> str:
+        lines = [
+            "Figure 5 — evaluator running times (simulated seconds)",
+            f"{'machines':>9} {'dynamic':>10} {'combined':>10} {'dyn x':>7} {'comb x':>7}",
+        ]
+        for row in self.rows():
+            lines.append(
+                f"{row['machines']:>9d} {row['dynamic_time']:>10.2f} "
+                f"{row['combined_time']:>10.2f} {row['dynamic_speedup']:>7.2f} "
+                f"{row['combined_speedup']:>7.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_figure5(
+    workload: Optional[WorkloadBundle] = None,
+    machine_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    evaluators: Sequence[str] = ("dynamic", "combined"),
+) -> Figure5Result:
+    """Sweep machine counts for the dynamic and combined parallel evaluators."""
+    workload = workload or default_workload()
+    result = Figure5Result(list(machine_counts))
+    for evaluator in evaluators:
+        configuration = CompilerConfiguration(evaluator=evaluator)
+        for machines in machine_counts:
+            report = workload.compiler.compile_tree_parallel(
+                workload.tree, machines, configuration
+            )
+            if evaluator == "combined":
+                result.combined_times[machines] = report.evaluation_time
+            else:
+                result.dynamic_times[machines] = report.evaluation_time
+    return result

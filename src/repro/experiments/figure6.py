@@ -1,0 +1,83 @@
+"""Figure 6 — "Behavior of Combined Evaluator": per-evaluator activity timeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.distributed.compiler import CompilationReport, CompilerConfiguration
+from repro.experiments.workload import WorkloadBundle, default_workload
+from repro.runtime.machine import ActivityInterval, ActivityKind
+
+
+@dataclass
+class Figure6Result:
+    """The activity timeline of one parallel combined compilation."""
+
+    machines: int
+    evaluation_time: float
+    timeline: Dict[str, List[ActivityInterval]]
+    phase_totals: Dict[str, float]
+    utilization: Dict[str, float]
+    report: CompilationReport
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for machine, intervals in sorted(self.timeline.items()):
+            busy = sum(interval.duration for interval in intervals)
+            rows.append(
+                {
+                    "machine": machine,
+                    "busy": busy,
+                    "utilization": self.utilization.get(machine, 0.0),
+                    "intervals": len(intervals),
+                }
+            )
+        return rows
+
+    def ascii_timeline(self, width: int = 72) -> str:
+        """A textual rendering of Figure 6: thick (#) = busy, thin (-) = idle."""
+        horizon = max(self.evaluation_time, 1e-9)
+        lines = [
+            f"Figure 6 — combined evaluator behaviour on {self.machines} machines "
+            f"(total {self.evaluation_time:.2f}s simulated)"
+        ]
+        for machine, intervals in sorted(self.timeline.items()):
+            cells = ["-"] * width
+            for interval in intervals:
+                start = int(interval.start / horizon * (width - 1))
+                end = max(start, int(interval.end / horizon * (width - 1)))
+                for cell in range(start, min(end + 1, width)):
+                    cells[cell] = "#"
+            lines.append(f"{machine:>12} |{''.join(cells)}|")
+        lines.append(
+            "phases: "
+            + ", ".join(f"{name} {value:.2f}s" for name, value in sorted(self.phase_totals.items()))
+        )
+        return "\n".join(lines)
+
+
+def run_figure6(
+    workload: Optional[WorkloadBundle] = None,
+    machines: int = 5,
+    evaluator: str = "combined",
+) -> Figure6Result:
+    """Run one parallel compilation and extract the per-machine activity trace."""
+    workload = workload or default_workload()
+    report = workload.compiler.compile_tree_parallel(
+        workload.tree, machines, CompilerConfiguration(evaluator=evaluator)
+    )
+    phase_totals: Dict[str, float] = {}
+    for intervals in report.timeline.values():
+        for interval in intervals:
+            phase_totals[interval.kind.value] = (
+                phase_totals.get(interval.kind.value, 0.0) + interval.duration
+            )
+    return Figure6Result(
+        machines=machines,
+        evaluation_time=report.evaluation_time,
+        timeline=report.timeline,
+        phase_totals=phase_totals,
+        utilization=report.utilization,
+        report=report,
+    )

@@ -1,0 +1,41 @@
+"""Figure 7 — "Source Program Decomposition": how the tree is cut into regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.workload import WorkloadBundle, default_workload
+from repro.partition.decomposition import DecompositionPlan, plan_decomposition
+
+
+@dataclass
+class Figure7Result:
+    machines: int
+    plan: DecompositionPlan
+
+    def rows(self) -> List[dict]:
+        return [
+            {
+                "region": region.label,
+                "root_symbol": region.root.symbol.name,
+                "nodes": region.node_count,
+                "size_bytes": region.size,
+                "parent": region.parent_region,
+                "children": [self.plan.regions[c].label for c in region.child_regions],
+            }
+            for region in self.plan.regions
+        ]
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+
+def run_figure7(
+    workload: Optional[WorkloadBundle] = None,
+    machines: int = 5,
+) -> Figure7Result:
+    """Decompose the workload tree for ``machines`` evaluators (the paper uses five)."""
+    workload = workload or default_workload()
+    plan = plan_decomposition(workload.tree, machines)
+    return Figure7Result(machines, plan)

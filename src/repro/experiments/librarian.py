@@ -1,0 +1,62 @@
+"""Text result T2 — string librarian versus naive code propagation.
+
+The paper reports "approximately 1 second improvement in running time, or approximately
+10 percent", from shipping each evaluator's code to the librarian exactly once instead
+of concatenating and re-transmitting it at every level of the evaluator tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distributed.compiler import CompilerConfiguration
+from repro.experiments.workload import WorkloadBundle, default_workload
+
+
+@dataclass
+class LibrarianResult:
+    machines: int
+    with_librarian: float
+    without_librarian: float
+    bytes_with: int
+    bytes_without: int
+
+    @property
+    def improvement_seconds(self) -> float:
+        return self.without_librarian - self.with_librarian
+
+    @property
+    def improvement_fraction(self) -> float:
+        if self.without_librarian == 0:
+            return 0.0
+        return self.improvement_seconds / self.without_librarian
+
+    def describe(self) -> str:
+        return (
+            f"T2 — string librarian on {self.machines} machines: "
+            f"{self.without_librarian:.2f}s naive vs {self.with_librarian:.2f}s with librarian "
+            f"({self.improvement_seconds:.2f}s, {self.improvement_fraction * 100:.1f}% better); "
+            f"network bytes {self.bytes_without} -> {self.bytes_with} "
+            f"(paper: ≈1s, ≈10%)"
+        )
+
+
+def run_librarian_comparison(
+    workload: Optional[WorkloadBundle] = None,
+    machines: int = 5,
+) -> LibrarianResult:
+    workload = workload or default_workload()
+    with_report = workload.compiler.compile_tree_parallel(
+        workload.tree, machines, CompilerConfiguration(evaluator="combined", use_librarian=True)
+    )
+    without_report = workload.compiler.compile_tree_parallel(
+        workload.tree, machines, CompilerConfiguration(evaluator="combined", use_librarian=False)
+    )
+    return LibrarianResult(
+        machines=machines,
+        with_librarian=with_report.evaluation_time,
+        without_librarian=without_report.evaluation_time,
+        bytes_with=with_report.network_bytes,
+        bytes_without=without_report.network_bytes,
+    )

@@ -1,0 +1,54 @@
+"""Text result T4 — the pipelined-compiler alternative (speedup limited to ≈2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.pipeline import PipelinedCompilerModel
+from repro.experiments.sequential import run_sequential_comparison
+from repro.experiments.workload import WorkloadBundle, default_workload
+
+
+@dataclass
+class PipelineBaselineResult:
+    chunks: int
+    stage_count: int
+    sequential_time: float
+    pipelined_time: float
+    speedup: float
+    attribute_grammar_speedup: float
+
+    def describe(self) -> str:
+        return (
+            f"T4 — pipelined compiler baseline: {self.stage_count} stages, "
+            f"{self.chunks} chunks, speedup {self.speedup:.2f} "
+            f"(paper: ≈2); parallel attribute-grammar compiler on 5 machines "
+            f"reaches {self.attribute_grammar_speedup:.2f}x on the same workload"
+        )
+
+
+def run_pipeline_baseline(
+    workload: Optional[WorkloadBundle] = None,
+    chunks: int = 46,
+) -> PipelineBaselineResult:
+    """Compare pipelined compilation against the parallel attribute-grammar compiler."""
+    workload = workload or default_workload()
+    sequential = run_sequential_comparison(workload)
+    model = PipelinedCompilerModel()
+    pipeline = model.run(total_work_seconds=sequential.combined_time, chunks=chunks)
+
+    from repro.distributed.compiler import CompilerConfiguration
+
+    parallel = workload.compiler.compile_tree_parallel(
+        workload.tree, 5, CompilerConfiguration(evaluator="combined")
+    )
+    ag_speedup = sequential.combined_time / parallel.evaluation_time
+    return PipelineBaselineResult(
+        chunks=chunks,
+        stage_count=pipeline.stages,
+        sequential_time=pipeline.sequential_time,
+        pipelined_time=pipeline.pipelined_time,
+        speedup=pipeline.speedup,
+        attribute_grammar_speedup=ag_speedup,
+    )

@@ -1,0 +1,63 @@
+"""Text result T3 — sequential compilation times and parser time.
+
+The paper compares its sequential evaluator against the vendor compiler and reports
+parser time separately ("our parser takes about 2 seconds...").  Here we report the
+simulated sequential evaluation time of the combined (= static) and dynamic evaluators
+plus the modelled parse time, and the real (wall-clock) Python evaluation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.distributed.compiler import CompilerConfiguration
+from repro.experiments.workload import WorkloadBundle, default_workload
+
+
+@dataclass
+class SequentialResult:
+    combined_time: float
+    dynamic_time: float
+    parse_time: float
+    code_bytes: int
+    rules_evaluated: int
+
+    @property
+    def dynamic_overhead(self) -> float:
+        """How much slower the dynamic evaluator is sequentially (paper: noticeably)."""
+        if self.combined_time == 0:
+            return 0.0
+        return self.dynamic_time / self.combined_time
+
+    def rows(self) -> list:
+        return [
+            {"configuration": "combined (static) sequential", "seconds": self.combined_time},
+            {"configuration": "dynamic sequential", "seconds": self.dynamic_time},
+            {"configuration": "parser", "seconds": self.parse_time},
+        ]
+
+    def describe(self) -> str:
+        return (
+            "T3 — sequential times (simulated seconds): "
+            f"combined {self.combined_time:.2f}, dynamic {self.dynamic_time:.2f} "
+            f"({self.dynamic_overhead:.2f}x), parser {self.parse_time:.2f}; "
+            f"generated code {self.code_bytes} bytes from {self.rules_evaluated} rule evaluations"
+        )
+
+
+def run_sequential_comparison(workload: Optional[WorkloadBundle] = None) -> SequentialResult:
+    workload = workload or default_workload()
+    combined = workload.compiler.compile_tree_parallel(
+        workload.tree, 1, CompilerConfiguration(evaluator="combined")
+    )
+    dynamic = workload.compiler.compile_tree_parallel(
+        workload.tree, 1, CompilerConfiguration(evaluator="dynamic")
+    )
+    return SequentialResult(
+        combined_time=combined.evaluation_time,
+        dynamic_time=dynamic.evaluation_time,
+        parse_time=combined.parse_time,
+        code_bytes=len(combined.code_text("code")),
+        rules_evaluated=combined.statistics.rules_evaluated,
+    )

@@ -1,0 +1,52 @@
+"""The shared experiment workload.
+
+All experiments compile the same synthetic Pascal program (≈1100 source lines,
+46 procedures, 6 nested deeper than one level — the shape of the program measured in
+the paper).  The parse tree and the compiler are built once and cached, since every
+figure sweeps machine counts or configurations over the same input, exactly as the
+paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.pascal.compiler import PascalCompiler
+from repro.pascal.programs import generate_program
+from repro.tree.node import ParseTreeNode
+from repro.tree.stats import TreeStatistics, tree_statistics
+
+
+@dataclass
+class WorkloadBundle:
+    """The compiled-in experiment input."""
+
+    source: str
+    tree: ParseTreeNode
+    compiler: PascalCompiler
+    statistics: TreeStatistics
+
+    @property
+    def source_lines(self) -> int:
+        return self.source.count("\n") + 1
+
+
+@lru_cache(maxsize=4)
+def default_workload(
+    procedures: int = 46,
+    nested_procedures: int = 6,
+    statements_per_procedure: int = 4,
+    seed: int = 1987,
+) -> WorkloadBundle:
+    """Build (and cache) the default workload used by every experiment."""
+    source = generate_program(
+        procedures=procedures,
+        nested_procedures=nested_procedures,
+        statements_per_procedure=statements_per_procedure,
+        main_statements=20,
+        seed=seed,
+    )
+    compiler = PascalCompiler()
+    tree = compiler.parse(source)
+    return WorkloadBundle(source, tree, compiler, tree_statistics(tree))

@@ -1,0 +1,54 @@
+"""Scanner and parser front end for the appendix expression language."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional
+
+from repro.exprlang.grammar import expression_grammar
+from repro.grammar.grammar import AttributeGrammar
+from repro.parsing.lexer import Lexer, Token, TokenSpec
+from repro.parsing.parser import Parser
+from repro.tree.node import ParseTreeNode
+
+_TOKEN_SPECS = [
+    TokenSpec("whitespace", r"[ \t\r\n]+", skip=True),
+    TokenSpec("comment", r"--[^\n]*", skip=True),
+    TokenSpec("NUMBER", r"[0-9]+"),
+    TokenSpec("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*"),
+    TokenSpec("+", r"\+"),
+    TokenSpec("*", r"\*"),
+    TokenSpec("=", r"="),
+    TokenSpec("(", r"\("),
+    TokenSpec(")", r"\)"),
+]
+
+_KEYWORDS = {"let": "LET", "in": "IN", "ni": "NI"}
+
+
+def tokenize_expression(source: str) -> List[Token]:
+    """Scan an expression-language source string into tokens."""
+    lexer = Lexer(_TOKEN_SPECS, keywords=_KEYWORDS)
+    return lexer.tokenize(source)
+
+
+@lru_cache(maxsize=None)
+def _default_parser() -> Parser:
+    return Parser(expression_grammar())
+
+
+def parse_expression(
+    source: str, grammar: Optional[AttributeGrammar] = None
+) -> ParseTreeNode:
+    """Parse expression-language source into a parse tree.
+
+    With the default grammar a shared parser instance (and parse table) is reused; pass
+    an explicit ``grammar`` to parse against a customised variant (e.g. different
+    minimum split sizes).
+    """
+    tokens = tokenize_expression(source)
+    if grammar is None:
+        parser = _default_parser()
+    else:
+        parser = Parser(grammar)
+    return parser.parse(tokens)

@@ -1,0 +1,167 @@
+"""The appendix expression grammar, in builder and textual-specification form."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.grammar.attributes import AttributeConverter
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.grammar import AttributeGrammar
+from repro.grammar.spec_parser import parse_grammar_spec
+from repro.symtab.symbol_table import SymbolTable, st_add, st_create, st_lookup, st_get, st_put
+
+
+def _number(text: str) -> int:
+    return int(text)
+
+
+def _add(left: int, right: int) -> int:
+    return left + right
+
+
+def _multiply(left: int, right: int) -> int:
+    return left * right
+
+
+def _stab_converter() -> AttributeConverter:
+    return AttributeConverter(
+        put=st_put,
+        get=st_get,
+        size_of=lambda table: table.transmission_size()
+        if isinstance(table, SymbolTable)
+        else 8,
+    )
+
+
+def expression_grammar(min_split_size: int = 100) -> AttributeGrammar:
+    """Build the appendix grammar programmatically.
+
+    :param min_split_size: minimum linearized subtree size (abstract bytes) for a
+        ``block`` subtree to be evaluated on a separate machine (the appendix uses a
+        byte threshold for exactly this purpose).
+    """
+    builder = GrammarBuilder("exprlang")
+    builder.name_terminals("IDENTIFIER", "NUMBER", value_attribute="string")
+    builder.keywords("LET", "IN", "NI", "+", "*", "=", "(", ")")
+    builder.nonterminal("main_expr", synthesized=["value"])
+    builder.nonterminal("expr", synthesized=["value"], inherited=["stab"],
+                        converters={"stab": _stab_converter()})
+    builder.nonterminal(
+        "block",
+        synthesized=["value"],
+        inherited=["stab"],
+        split=True,
+        min_split_size=min_split_size,
+        converters={"stab": _stab_converter()},
+    )
+    builder.left("+")
+    builder.left("*")
+
+    builder.production(
+        "main_expr -> expr",
+        Rule("$$.value", ["$1.value"]),
+        Rule("$1.stab", [], lambda: st_create(), name="st_create"),
+    )
+    builder.production(
+        "expr -> expr + expr",
+        Rule("$$.value", ["$1.value", "$3.value"], _add, name="add"),
+        Rule("$1.stab", ["$$.stab"]),
+        Rule("$3.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> expr * expr",
+        Rule("$$.value", ["$1.value", "$3.value"], _multiply, name="multiply"),
+        Rule("$1.stab", ["$$.stab"]),
+        Rule("$3.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> ( expr )",
+        Rule("$$.value", ["$2.value"]),
+        Rule("$2.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> IDENTIFIER",
+        Rule("$$.value", ["$$.stab", "$1.string"], st_lookup, name="st_lookup"),
+    )
+    builder.production(
+        "expr -> NUMBER",
+        Rule("$$.value", ["$1.string"], _number, name="number"),
+    )
+    builder.production(
+        "expr -> block",
+        Rule("$$.value", ["$1.value"]),
+        Rule("$1.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "block -> LET IDENTIFIER = expr IN expr NI",
+        Rule("$$.value", ["$6.value"]),
+        Rule("$4.stab", ["$$.stab"]),
+        Rule("$6.stab", ["$$.stab", "$2.string", "$4.value"], st_add, name="st_add"),
+    )
+    return builder.build(start="main_expr")
+
+
+#: Textual form of the same grammar, in the format accepted by
+#: :func:`repro.grammar.spec_parser.parse_grammar_spec`.
+EXPRESSION_SPEC = """
+%name IDENTIFIER NUMBER
+%keyword LET IN NI + * = ( )
+%nosplit main_expr syn(value)
+%nosplit expr syn(value) inh(stab)
+%split 100 block syn(value) inh(stab)
+%left +
+%left *
+%start main_expr
+%%
+main_expr : expr
+    $$.value = $1.value
+    $1.stab  = st_create()
+;
+expr : expr + expr
+    $$.value = add($1.value, $3.value)
+    $1.stab  = $$.stab
+    $3.stab  = $$.stab
+;
+expr : expr * expr
+    $$.value = multiply($1.value, $3.value)
+    $1.stab  = $$.stab
+    $3.stab  = $$.stab
+;
+expr : ( expr )
+    $$.value = $2.value
+    $2.stab  = $$.stab
+;
+expr : IDENTIFIER
+    $$.value = st_lookup($$.stab, $1.string)
+;
+expr : NUMBER
+    $$.value = number($1.string)
+;
+expr : block
+    $$.value = $1.value
+    $1.stab  = $$.stab
+;
+block : LET IDENTIFIER = expr IN expr NI
+    $$.value = $6.value
+    $4.stab  = $$.stab
+    $6.stab  = st_add($$.stab, $2.string, $4.value)
+;
+"""
+
+
+#: Semantic-function environment for :data:`EXPRESSION_SPEC`.
+EXPRESSION_ENVIRONMENT = {
+    "st_create": st_create,
+    "st_add": st_add,
+    "st_lookup": st_lookup,
+    "add": _add,
+    "multiply": _multiply,
+    "number": _number,
+}
+
+
+def expression_grammar_from_spec() -> AttributeGrammar:
+    """Parse :data:`EXPRESSION_SPEC` — exercises the textual specification pipeline."""
+    return parse_grammar_spec(
+        EXPRESSION_SPEC, environment=EXPRESSION_ENVIRONMENT, name="exprlang-spec"
+    )

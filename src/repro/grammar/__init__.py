@@ -1,0 +1,37 @@
+"""Attribute grammar core: symbols, attributes, productions, semantic rules.
+
+This package provides the data model used throughout the library.  An
+:class:`~repro.grammar.grammar.AttributeGrammar` is a context-free grammar whose
+nonterminals carry *synthesized* and *inherited* attribute declarations and whose
+productions carry *semantic rules* (pure functions) defining those attributes, in the
+style of Knuth (1968) and of the evaluator-generator input language described in the
+appendix of Boehm & Zwaenepoel (ICDCS 1987).
+
+Grammars can be defined programmatically with :class:`~repro.grammar.builder.GrammarBuilder`
+or parsed from the paper's textual specification format with
+:func:`~repro.grammar.spec_parser.parse_grammar_spec`.
+"""
+
+from repro.grammar.symbols import Symbol, Terminal, Nonterminal
+from repro.grammar.attributes import AttributeKind, AttributeDecl
+from repro.grammar.productions import AttributeRef, SemanticRule, Production
+from repro.grammar.grammar import AttributeGrammar, GrammarError
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.spec_parser import parse_grammar_spec, SpecSyntaxError
+
+__all__ = [
+    "Symbol",
+    "Terminal",
+    "Nonterminal",
+    "AttributeKind",
+    "AttributeDecl",
+    "AttributeRef",
+    "SemanticRule",
+    "Production",
+    "AttributeGrammar",
+    "GrammarError",
+    "GrammarBuilder",
+    "Rule",
+    "parse_grammar_spec",
+    "SpecSyntaxError",
+]

@@ -1,0 +1,116 @@
+"""Attribute declarations.
+
+An attribute declaration describes one attribute of a nonterminal: whether it is
+synthesized or inherited, whether it is a *priority* attribute (evaluated and propagated
+as early as possible, as the paper uses for the global symbol table), and how its values
+are converted to and from a flat representation for network transmission (the paper's
+``st_put`` / ``st_get`` conversion functions).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+
+class AttributeKind(enum.Enum):
+    """Synthesized attributes flow up the tree, inherited attributes flow down."""
+
+    SYNTHESIZED = "synthesized"
+    INHERITED = "inherited"
+
+    @property
+    def is_synthesized(self) -> bool:
+        return self is AttributeKind.SYNTHESIZED
+
+    @property
+    def is_inherited(self) -> bool:
+        return self is AttributeKind.INHERITED
+
+
+def _default_size_of(value: Any) -> int:
+    """Crude size estimate (abstract bytes) used when no converter is supplied."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple, frozenset, set)):
+        return 8 + sum(_default_size_of(v) for v in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            _default_size_of(k) + _default_size_of(v) for k, v in value.items()
+        )
+    size = getattr(value, "transmission_size", None)
+    if size is not None:
+        return int(size() if callable(size) else size)
+    return 16
+
+
+class AttributeConverter:
+    """Converts attribute values to/from a flat transmissible representation.
+
+    Mirrors the paper's requirement that attributes of splittable nonterminals come with
+    conversion functions (``st_put`` / ``st_get``).  ``put`` flattens a value, ``get``
+    rebuilds it, and ``size_of`` reports the size in abstract bytes used by the network
+    model to charge transmission time.
+    """
+
+    __slots__ = ("put", "get", "size_of")
+
+    def __init__(
+        self,
+        put: Optional[Callable[[Any], Any]] = None,
+        get: Optional[Callable[[Any], Any]] = None,
+        size_of: Optional[Callable[[Any], int]] = None,
+    ):
+        self.put = put or (lambda value: value)
+        self.get = get or (lambda wire: wire)
+        self.size_of = size_of or _default_size_of
+
+
+class AttributeDecl:
+    """Declaration of one attribute of a nonterminal.
+
+    :param name: attribute name (e.g. ``"value"``, ``"stab"``, ``"code"``).
+    :param kind: :class:`AttributeKind`.
+    :param priority: priority attributes are scheduled ahead of ordinary ready work and
+        transmitted to remote evaluators as soon as they are computed.
+    :param converter: optional :class:`AttributeConverter` for network transmission.
+    """
+
+    __slots__ = ("name", "kind", "priority", "converter")
+
+    def __init__(
+        self,
+        name: str,
+        kind: AttributeKind,
+        priority: bool = False,
+        converter: Optional[AttributeConverter] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.priority = priority
+        self.converter = converter or AttributeConverter()
+
+    @property
+    def is_synthesized(self) -> bool:
+        return self.kind.is_synthesized
+
+    @property
+    def is_inherited(self) -> bool:
+        return self.kind.is_inherited
+
+    def size_of(self, value: Any) -> int:
+        return self.converter.size_of(value)
+
+    def __repr__(self) -> str:
+        flags = ", priority" if self.priority else ""
+        return f"AttributeDecl({self.name!r}, {self.kind.value}{flags})"

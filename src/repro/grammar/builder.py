@@ -1,0 +1,221 @@
+"""A compact programmatic DSL for defining attribute grammars.
+
+Example (the paper's appendix expression grammar, abbreviated)::
+
+    builder = GrammarBuilder("expr")
+    builder.name_terminals("IDENTIFIER", "NUMBER")
+    builder.keywords("LET", "IN", "NI", "+", "*", "=")
+    builder.nonterminal("expr", synthesized=["value"], inherited=["stab"])
+    builder.nonterminal("block", synthesized=["value"], inherited=["stab"],
+                        split=True, min_split_size=100)
+    builder.left("+")
+    builder.left("*")
+    builder.production(
+        "expr -> expr + expr",
+        Rule("$$.value", ["$1.value", "$3.value"], lambda a, b: a + b),
+        Rule("$1.stab", ["$$.stab"], lambda s: s),
+        Rule("$3.stab", ["$$.stab"], lambda s: s),
+    )
+    grammar = builder.build(start="expr")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.grammar.attributes import AttributeConverter, AttributeDecl, AttributeKind
+from repro.grammar.grammar import AttributeGrammar, GrammarError
+from repro.grammar.productions import AttributeRef, Production, SemanticRule
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+class Rule:
+    """Declarative form of a semantic rule used with :meth:`GrammarBuilder.production`.
+
+    :param target: target occurrence, e.g. ``"$$.value"`` or ``"$2.stab"``.
+    :param arguments: argument occurrences in the order the function expects them.
+    :param function: pure semantic function; defaults to identity (exactly one argument)
+        which covers the very common copy rules such as ``$1.stab = $$.stab``.
+    :param cost: extra abstract CPU cost for the simulator's cost model.
+    """
+
+    __slots__ = ("target", "arguments", "function", "name", "cost")
+
+    def __init__(
+        self,
+        target: str,
+        arguments: Sequence[str] = (),
+        function: Optional[Callable[..., Any]] = None,
+        name: Optional[str] = None,
+        cost: float = 0.0,
+    ):
+        self.target = target
+        self.arguments = tuple(arguments)
+        if function is None:
+            if len(self.arguments) != 1:
+                raise ValueError(
+                    f"rule for {target!r}: a copy rule needs exactly one argument"
+                )
+            function = _identity
+        self.function = function
+        self.name = name
+        self.cost = cost
+
+    def to_semantic_rule(self) -> SemanticRule:
+        return SemanticRule(
+            target=AttributeRef.parse(self.target),
+            arguments=[AttributeRef.parse(a) for a in self.arguments],
+            function=self.function,
+            name=self.name,
+            cost=self.cost,
+        )
+
+
+def copy_rule(target: str, source: str) -> Rule:
+    """Convenience for the ubiquitous copy rules (``$i.stab = $$.stab``)."""
+    return Rule(target, [source], _identity, name="copy")
+
+
+class GrammarBuilder:
+    """Incrementally assemble an :class:`AttributeGrammar`."""
+
+    def __init__(self, name: str = "grammar"):
+        self._grammar = AttributeGrammar(name=name)
+        self._precedence: List[Tuple[str, Tuple[str, ...]]] = []
+        self._start_name: Optional[str] = None
+
+    # ---------------------------------------------------------------- terminals
+
+    def terminal(self, name: str, value_attribute: Optional[str] = None) -> Terminal:
+        """Declare one terminal; ``value_attribute`` names its scanner attribute."""
+        return self._grammar.add_terminal(Terminal(name, value_attribute))
+
+    def name_terminals(self, *names: str, value_attribute: str = "string") -> None:
+        """Declare ``%name`` terminals carrying a scanner-computed attribute."""
+        for name in names:
+            self.terminal(name, value_attribute)
+
+    def keywords(self, *names: str) -> None:
+        """Declare ``%keyword`` terminals with no associated value."""
+        for name in names:
+            self.terminal(name, None)
+
+    # ------------------------------------------------------------- nonterminals
+
+    def nonterminal(
+        self,
+        name: str,
+        synthesized: Iterable[str] = (),
+        inherited: Iterable[str] = (),
+        split: bool = False,
+        min_split_size: int = 0,
+        priority: Iterable[str] = (),
+        converters: Optional[Dict[str, AttributeConverter]] = None,
+    ) -> Nonterminal:
+        """Declare a nonterminal with its attributes.
+
+        :param priority: names of attributes to mark as priority attributes.
+        :param converters: optional per-attribute transmission converters.
+        """
+        priority_set = set(priority)
+        converters = converters or {}
+        nonterminal = Nonterminal(name, splittable=split, min_split_size=min_split_size)
+        for attr in synthesized:
+            nonterminal.declare(
+                AttributeDecl(
+                    attr,
+                    AttributeKind.SYNTHESIZED,
+                    priority=attr in priority_set,
+                    converter=converters.get(attr),
+                )
+            )
+        for attr in inherited:
+            nonterminal.declare(
+                AttributeDecl(
+                    attr,
+                    AttributeKind.INHERITED,
+                    priority=attr in priority_set,
+                    converter=converters.get(attr),
+                )
+            )
+        unknown = priority_set - set(nonterminal.attribute_names)
+        if unknown:
+            raise GrammarError(
+                f"nonterminal {name!r}: priority attributes {sorted(unknown)} are not declared"
+            )
+        return self._grammar.add_nonterminal(nonterminal)
+
+    # --------------------------------------------------------------- precedence
+
+    def left(self, *tokens: str) -> None:
+        self._precedence.append(("left", tokens))
+
+    def right(self, *tokens: str) -> None:
+        self._precedence.append(("right", tokens))
+
+    def nonassoc(self, *tokens: str) -> None:
+        self._precedence.append(("nonassoc", tokens))
+
+    # -------------------------------------------------------------- productions
+
+    def production(
+        self,
+        signature: str,
+        *rules: Rule,
+        label: Optional[str] = None,
+        precedence: Optional[str] = None,
+    ) -> Production:
+        """Add a production given as ``"lhs -> sym1 sym2 ..."`` plus its rules.
+
+        Every symbol mentioned must already be declared (terminals implicitly declared
+        as keywords if unknown, so punctuation such as ``+`` can be used directly).
+        """
+        lhs_name, rhs_names = self._parse_signature(signature)
+        lhs = self._grammar.nonterminals.get(lhs_name)
+        if lhs is None:
+            raise GrammarError(f"production {signature!r}: unknown nonterminal {lhs_name!r}")
+        rhs = []
+        for symbol_name in rhs_names:
+            if symbol_name in self._grammar.nonterminals:
+                rhs.append(self._grammar.nonterminals[symbol_name])
+            elif symbol_name in self._grammar.terminals:
+                rhs.append(self._grammar.terminals[symbol_name])
+            else:
+                rhs.append(self.terminal(symbol_name))
+        production = Production(lhs, rhs, label=label, precedence=precedence)
+        for rule in rules:
+            production.add_rule(rule.to_semantic_rule())
+        return self._grammar.add_production(production)
+
+    @staticmethod
+    def _parse_signature(signature: str) -> Tuple[str, List[str]]:
+        if "->" not in signature:
+            raise GrammarError(f"production signature {signature!r} must contain '->'")
+        lhs, _, rhs = signature.partition("->")
+        lhs = lhs.strip()
+        rhs_names = rhs.split()
+        if not lhs:
+            raise GrammarError(f"production signature {signature!r} has an empty left side")
+        return lhs, rhs_names
+
+    # -------------------------------------------------------------------- build
+
+    def start(self, name: str) -> None:
+        self._start_name = name
+
+    def build(self, start: Optional[str] = None, validate: bool = True) -> AttributeGrammar:
+        """Finalize the grammar.  ``start`` overrides any earlier :meth:`start` call."""
+        start_name = start or self._start_name
+        if start_name is None:
+            raise GrammarError("no start symbol specified")
+        if start_name not in self._grammar.nonterminals:
+            raise GrammarError(f"start symbol {start_name!r} is not a declared nonterminal")
+        self._grammar.start = self._grammar.nonterminals[start_name]
+        self._grammar.precedence = list(self._precedence)
+        if validate:
+            self._grammar.validate()
+        return self._grammar

@@ -1,0 +1,201 @@
+"""The :class:`AttributeGrammar` container and its well-formedness checks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.grammar.attributes import AttributeKind
+from repro.grammar.productions import AttributeRef, Production
+from repro.grammar.symbols import Nonterminal, Symbol, Terminal
+
+
+class GrammarError(Exception):
+    """Raised when a grammar is malformed (incomplete, inconsistent or circularly
+    declared)."""
+
+
+class AttributeGrammar:
+    """An attribute grammar: CFG + attribute declarations + semantic rules.
+
+    The grammar is the single specification from which the paper generates both the
+    parser and the (sequential and parallel) attribute evaluators.  This class holds the
+    specification; analysis lives in :mod:`repro.analysis`, parsing in
+    :mod:`repro.parsing` and evaluation in :mod:`repro.evaluation` /
+    :mod:`repro.distributed`.
+
+    :param name: grammar name, used in diagnostics.
+    :param start: start nonterminal.
+    :param precedence: YACC-style precedence table: a list of ``(assoc, [token, ...])``
+        entries from lowest to highest precedence, where ``assoc`` is ``"left"``,
+        ``"right"`` or ``"nonassoc"``.
+    """
+
+    def __init__(
+        self,
+        name: str = "grammar",
+        start: Optional[Nonterminal] = None,
+        precedence: Optional[Sequence[Tuple[str, Sequence[str]]]] = None,
+    ):
+        self.name = name
+        self.start: Optional[Nonterminal] = start
+        self.terminals: Dict[str, Terminal] = {}
+        self.nonterminals: Dict[str, Nonterminal] = {}
+        self.productions: List[Production] = []
+        self.precedence: List[Tuple[str, Tuple[str, ...]]] = [
+            (assoc, tuple(tokens)) for assoc, tokens in (precedence or [])
+        ]
+        self._productions_by_lhs: Dict[str, List[Production]] = {}
+
+    # ------------------------------------------------------------------ symbols
+
+    def add_terminal(self, terminal: Terminal) -> Terminal:
+        existing = self.terminals.get(terminal.name)
+        if existing is not None:
+            return existing
+        if terminal.name in self.nonterminals:
+            raise GrammarError(f"symbol {terminal.name!r} already declared as nonterminal")
+        self.terminals[terminal.name] = terminal
+        return terminal
+
+    def add_nonterminal(self, nonterminal: Nonterminal) -> Nonterminal:
+        existing = self.nonterminals.get(nonterminal.name)
+        if existing is not None:
+            return existing
+        if nonterminal.name in self.terminals:
+            raise GrammarError(f"symbol {nonterminal.name!r} already declared as terminal")
+        self.nonterminals[nonterminal.name] = nonterminal
+        return nonterminal
+
+    def symbol(self, name: str) -> Symbol:
+        if name in self.nonterminals:
+            return self.nonterminals[name]
+        if name in self.terminals:
+            return self.terminals[name]
+        raise KeyError(f"grammar {self.name!r} has no symbol named {name!r}")
+
+    # -------------------------------------------------------------- productions
+
+    def add_production(self, production: Production) -> Production:
+        self.add_nonterminal(production.lhs)
+        for symbol in production.rhs:
+            if symbol.is_terminal:
+                self.add_terminal(symbol)  # type: ignore[arg-type]
+            else:
+                self.add_nonterminal(symbol)  # type: ignore[arg-type]
+        production.index = len(self.productions)
+        self.productions.append(production)
+        self._productions_by_lhs.setdefault(production.lhs.name, []).append(production)
+        return production
+
+    def productions_for(self, nonterminal: Nonterminal) -> Tuple[Production, ...]:
+        return tuple(self._productions_by_lhs.get(nonterminal.name, ()))
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def split_nonterminals(self) -> Tuple[Nonterminal, ...]:
+        """Nonterminals at which the parse tree may be split for remote evaluation."""
+        return tuple(nt for nt in self.nonterminals.values() if nt.splittable)
+
+    def attribute_count(self) -> int:
+        return sum(len(nt.attributes) for nt in self.nonterminals.values())
+
+    def rule_count(self) -> int:
+        return sum(len(p.rules) for p in self.productions)
+
+    # --------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        * a start symbol is set and derives every nonterminal (no unreachable
+          nonterminals with productions is a warning-level condition we treat as error);
+        * every nonterminal has at least one production (completeness of the CFG);
+        * every production defines each of its output occurrences exactly once
+          (normal-form completeness and uniqueness);
+        * semantic rules only read occurrences that are legitimately available.
+
+        Raises :class:`GrammarError` with an aggregate message on failure.  Circularity
+        is checked separately by :func:`repro.analysis.cycles.check_noncircular` because
+        it requires the induced-dependency fixpoint.
+        """
+        problems: List[str] = []
+        if self.start is None:
+            problems.append("no start symbol declared")
+        elif self.start.name not in self.nonterminals:
+            problems.append(f"start symbol {self.start.name!r} is not a grammar nonterminal")
+
+        for nonterminal in self.nonterminals.values():
+            if not self._productions_by_lhs.get(nonterminal.name):
+                problems.append(f"nonterminal {nonterminal.name!r} has no productions")
+
+        for production in self.productions:
+            problems.extend(self._validate_production(production))
+
+        if self.start is not None:
+            unreachable = self._unreachable_nonterminals()
+            for name in sorted(unreachable):
+                problems.append(f"nonterminal {name!r} is unreachable from the start symbol")
+
+        if problems:
+            raise GrammarError(
+                f"grammar {self.name!r} is not well-formed:\n  - " + "\n  - ".join(problems)
+            )
+
+    def _validate_production(self, production: Production) -> List[str]:
+        problems: List[str] = []
+        must_define = set(production.defined_occurrences())
+        defined: Set[AttributeRef] = set()
+        usable = set(production.used_occurrences()) | must_define
+
+        for rule in production.rules:
+            if rule.target not in must_define:
+                problems.append(
+                    f"{production.label}: rule defines {rule.target!r}, which is not an "
+                    "output occurrence of this production (normal form violation)"
+                )
+            if rule.target in defined:
+                problems.append(
+                    f"{production.label}: {rule.target!r} is defined more than once"
+                )
+            defined.add(rule.target)
+            for argument in rule.arguments:
+                if argument not in usable:
+                    problems.append(
+                        f"{production.label}: rule for {rule.target!r} reads {argument!r}, "
+                        "which is not an available occurrence"
+                    )
+
+        for missing in sorted(must_define - defined, key=lambda r: (r.position, r.name)):
+            problems.append(
+                f"{production.label}: no semantic rule defines {missing!r}"
+            )
+        return problems
+
+    def _unreachable_nonterminals(self) -> Set[str]:
+        assert self.start is not None
+        reachable: Set[str] = set()
+        frontier = [self.start.name]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            for production in self._productions_by_lhs.get(name, ()):
+                for symbol in production.rhs:
+                    if symbol.is_nonterminal and symbol.name not in reachable:
+                        frontier.append(symbol.name)
+        return set(self.nonterminals) - reachable
+
+    # ------------------------------------------------------------------- misc
+
+    def summary(self) -> str:
+        """One-line inventory, comparable to the paper's grammar-size statement."""
+        return (
+            f"grammar {self.name!r}: {len(self.productions)} productions, "
+            f"{len(self.nonterminals)} nonterminals, {len(self.terminals)} terminals, "
+            f"{self.rule_count()} semantic rules"
+        )
+
+    def __repr__(self) -> str:
+        return f"AttributeGrammar({self.name!r}, productions={len(self.productions)})"

@@ -1,0 +1,228 @@
+"""Productions, attribute occurrences, and semantic rules.
+
+Attribute occurrences are identified by ``AttributeRef(position, name)`` where position
+0 denotes the left-hand-side nonterminal and positions 1..n denote right-hand-side
+symbols, matching the paper's ``$$.x`` / ``$i.x`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.grammar.symbols import Nonterminal, Symbol, Terminal
+from repro.grammar.attributes import AttributeKind
+
+
+class AttributeRef:
+    """Reference to an attribute occurrence within a production.
+
+    ``position`` is 0 for the left-hand side and 1-based for right-hand-side symbols;
+    ``name`` is the attribute name.  Instances are hashable and used as graph vertices
+    in dependency analysis.
+    """
+
+    __slots__ = ("position", "name")
+
+    def __init__(self, position: int, name: str):
+        if position < 0:
+            raise ValueError("attribute reference position must be >= 0")
+        self.position = position
+        self.name = name
+
+    @classmethod
+    def parse(cls, text: str) -> "AttributeRef":
+        """Parse ``"$$.attr"``, ``"lhs.attr"`` or ``"$3.attr"`` notation."""
+        text = text.strip()
+        if "." not in text:
+            raise ValueError(f"malformed attribute reference {text!r}")
+        head, _, attr = text.partition(".")
+        head = head.strip()
+        attr = attr.strip()
+        if not attr:
+            raise ValueError(f"malformed attribute reference {text!r}")
+        if head in ("$$", "lhs", "$0"):
+            return cls(0, attr)
+        if head.startswith("$"):
+            try:
+                position = int(head[1:])
+            except ValueError:
+                raise ValueError(f"malformed attribute reference {text!r}") from None
+            return cls(position, attr)
+        raise ValueError(f"malformed attribute reference {text!r}")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AttributeRef)
+            and self.position == other.position
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.position, self.name))
+
+    def __repr__(self) -> str:
+        head = "$$" if self.position == 0 else f"${self.position}"
+        return f"{head}.{self.name}"
+
+
+class SemanticRule:
+    """A pure function defining one attribute occurrence of a production.
+
+    :param target: the occurrence being defined (LHS synthesized or RHS inherited in
+        normal-form grammars).
+    :param arguments: occurrences whose values are passed, in order, to ``function``.
+    :param function: pure function of the argument values; must have no visible side
+        effects, as required by the attribute-grammar formalism.
+    :param name: optional human-readable name used in traces and cost accounting.
+    :param cost: abstract CPU cost charged by the simulator's cost model each time the
+        rule is evaluated, on top of the model's per-rule base cost.
+    """
+
+    __slots__ = ("target", "arguments", "function", "name", "cost", "production")
+
+    def __init__(
+        self,
+        target: AttributeRef,
+        arguments: Sequence[AttributeRef],
+        function: Callable[..., Any],
+        name: Optional[str] = None,
+        cost: float = 0.0,
+    ):
+        self.target = target
+        self.arguments = tuple(arguments)
+        self.function = function
+        self.name = name or getattr(function, "__name__", "<rule>")
+        self.cost = float(cost)
+        self.production: Optional["Production"] = None
+
+    def evaluate(self, argument_values: Sequence[Any]) -> Any:
+        """Apply the semantic function to already-fetched argument values."""
+        return self.function(*argument_values)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"SemanticRule({self.target!r} := {self.name}({args}))"
+
+
+class Production:
+    """A context-free production together with its semantic rules.
+
+    :param lhs: left-hand-side nonterminal.
+    :param rhs: right-hand-side symbols (terminals and nonterminals).
+    :param rules: semantic rules; each must define an LHS synthesized attribute or an
+        RHS inherited attribute (Bochmann normal form), which
+        :meth:`repro.grammar.grammar.AttributeGrammar.validate` checks.
+    :param label: optional name used in traces; defaults to ``lhs -> rhs``.
+    :param precedence: optional terminal name whose precedence this production assumes
+        for LALR conflict resolution (YACC's ``%prec``).
+    """
+
+    __slots__ = ("index", "lhs", "rhs", "rules", "label", "precedence")
+
+    def __init__(
+        self,
+        lhs: Nonterminal,
+        rhs: Sequence[Symbol],
+        rules: Iterable[SemanticRule] = (),
+        label: Optional[str] = None,
+        precedence: Optional[str] = None,
+    ):
+        self.index: int = -1  # assigned by AttributeGrammar.add_production
+        self.lhs = lhs
+        self.rhs: Tuple[Symbol, ...] = tuple(rhs)
+        self.rules: List[SemanticRule] = []
+        self.label = label or f"{lhs.name} -> {' '.join(s.name for s in self.rhs) or 'ε'}"
+        self.precedence = precedence
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: SemanticRule) -> SemanticRule:
+        self._check_ref(rule.target)
+        for arg in rule.arguments:
+            self._check_ref(arg)
+        rule.production = self
+        self.rules.append(rule)
+        return rule
+
+    def _check_ref(self, ref: AttributeRef) -> None:
+        symbol = self.symbol_at(ref.position)
+        if isinstance(symbol, Terminal):
+            if not symbol.has_attribute(ref.name):
+                raise ValueError(
+                    f"{self.label}: terminal {symbol.name!r} has no attribute {ref.name!r}"
+                )
+        else:
+            if not symbol.has_attribute(ref.name):
+                raise ValueError(
+                    f"{self.label}: nonterminal {symbol.name!r} has no attribute {ref.name!r}"
+                )
+
+    def symbol_at(self, position: int) -> Symbol:
+        """Return the symbol at an occurrence position (0 = LHS, 1-based RHS)."""
+        if position == 0:
+            return self.lhs
+        if 1 <= position <= len(self.rhs):
+            return self.rhs[position - 1]
+        raise IndexError(
+            f"{self.label}: position {position} out of range (rhs has {len(self.rhs)} symbols)"
+        )
+
+    def nonterminal_positions(self) -> Tuple[int, ...]:
+        """1-based positions of the nonterminal occurrences on the right-hand side."""
+        return tuple(
+            i for i, symbol in enumerate(self.rhs, start=1) if symbol.is_nonterminal
+        )
+
+    def rule_defining(self, ref: AttributeRef) -> Optional[SemanticRule]:
+        """Return the rule whose target is ``ref``, or ``None``."""
+        for rule in self.rules:
+            if rule.target == ref:
+                return rule
+        return None
+
+    def defined_occurrences(self) -> Tuple[AttributeRef, ...]:
+        """Occurrences this production is responsible for defining (normal form).
+
+        These are the synthesized attributes of the LHS and the inherited attributes of
+        every RHS nonterminal occurrence.
+        """
+        refs: List[AttributeRef] = []
+        for decl in self.lhs.attributes.values():
+            if decl.kind is AttributeKind.SYNTHESIZED:
+                refs.append(AttributeRef(0, decl.name))
+        for position in self.nonterminal_positions():
+            symbol = self.symbol_at(position)
+            assert isinstance(symbol, Nonterminal)
+            for decl in symbol.attributes.values():
+                if decl.kind is AttributeKind.INHERITED:
+                    refs.append(AttributeRef(position, decl.name))
+        return tuple(refs)
+
+    def used_occurrences(self) -> Tuple[AttributeRef, ...]:
+        """Occurrences usable as rule arguments in this production.
+
+        These are the inherited attributes of the LHS, the synthesized attributes of RHS
+        nonterminal occurrences, the scanner attributes of RHS terminals, and occurrences
+        already defined by this production.
+        """
+        refs: List[AttributeRef] = []
+        for decl in self.lhs.attributes.values():
+            if decl.kind is AttributeKind.INHERITED:
+                refs.append(AttributeRef(0, decl.name))
+        for position, symbol in enumerate(self.rhs, start=1):
+            if symbol.is_nonterminal:
+                assert isinstance(symbol, Nonterminal)
+                for decl in symbol.attributes.values():
+                    if decl.kind is AttributeKind.SYNTHESIZED:
+                        refs.append(AttributeRef(position, decl.name))
+            else:
+                assert isinstance(symbol, Terminal)
+                for name in symbol.attribute_names:
+                    refs.append(AttributeRef(position, name))
+        return tuple(refs)
+
+    def __repr__(self) -> str:
+        return f"Production({self.label!r}, rules={len(self.rules)})"
+
+    def __str__(self) -> str:
+        return self.label

@@ -1,0 +1,245 @@
+"""Parser for a textual attribute-grammar specification format.
+
+The paper's evaluator generator accepts a YACC-flavoured textual specification (shown in
+its appendix).  This module implements a close textual equivalent so grammars can be
+kept in ``.ag`` files rather than Python code.  Semantic functions are looked up by name
+in a caller-supplied environment, mirroring the paper's convention that functions such
+as ``st_add`` are "supplied by a standard library ... and trusted not to produce any
+visible side effects".
+
+Format
+------
+
+Declarations come first, one per line::
+
+    %name IDENTIFIER NUMBER            # terminals with a scanner-computed attribute
+    %keyword LET IN NI + * = ( )       # terminals with no value
+    %nosplit expr syn(value) inh(stab) # nonterminal that may not head a remote subtree
+    %split 100 block syn(value) inh(stab) # splittable, minimum subtree size 100
+    %priority stab                     # attribute names treated as priority attributes
+    %left +                            # precedence/associativity, lowest first
+    %left *
+    %start main_expr
+
+A ``%%`` line separates declarations from productions.  Each production is::
+
+    expr : expr + expr
+        $$.value = add($1.value, $3.value)
+        $1.stab  = $$.stab
+        $3.stab  = $$.stab
+    ;
+
+A rule right-hand side is either a single attribute reference (a copy rule) or a call
+``function(ref, ref, ...)`` where ``function`` names an entry in the environment.
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.grammar import AttributeGrammar, GrammarError
+
+
+class SpecSyntaxError(GrammarError):
+    """Raised for malformed textual grammar specifications."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+_ATTR_GROUP = re.compile(r"(syn|inh)\(([^)]*)\)")
+_CALL = re.compile(r"^(\w+)\((.*)\)$", re.S)
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.rstrip()
+
+
+def parse_grammar_spec(
+    text: str,
+    environment: Optional[Mapping[str, Callable[..., Any]]] = None,
+    name: str = "spec",
+) -> AttributeGrammar:
+    """Parse a textual specification and return a validated grammar.
+
+    :param text: specification source.
+    :param environment: mapping from function names used in semantic rules to Python
+        callables.  Copy rules need no environment entry.
+    :param name: grammar name for diagnostics.
+    """
+    environment = dict(environment or {})
+    builder = GrammarBuilder(name=name)
+    lines = text.splitlines()
+    priority_attributes: List[str] = []
+    pending_nonterminals: List[Tuple[int, str]] = []  # lines needing priority re-check
+    start_symbol: Optional[str] = None
+
+    # Split into declaration and production sections.
+    separator_index = None
+    for index, raw in enumerate(lines):
+        if _strip_comment(raw).strip() == "%%":
+            separator_index = index
+            break
+    if separator_index is None:
+        raise SpecSyntaxError("specification is missing the '%%' separator")
+
+    declaration_lines = lines[:separator_index]
+    production_lines = lines[separator_index + 1 :]
+
+    # First pass over declarations to collect %priority so nonterminal declarations can
+    # use it regardless of ordering.
+    for line_number, raw in enumerate(declaration_lines, start=1):
+        line = _strip_comment(raw).strip()
+        if line.startswith("%priority"):
+            priority_attributes.extend(line.split()[1:])
+
+    for line_number, raw in enumerate(declaration_lines, start=1):
+        line = _strip_comment(raw).strip()
+        if not line or line.startswith("%priority"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "%name":
+            builder.name_terminals(*tokens[1:])
+        elif keyword == "%keyword":
+            builder.keywords(*tokens[1:])
+        elif keyword in ("%nosplit", "%split"):
+            _parse_nonterminal_decl(
+                builder, keyword, tokens[1:], priority_attributes, line_number
+            )
+        elif keyword == "%start":
+            if len(tokens) < 2:
+                raise SpecSyntaxError("%start needs a nonterminal name", line_number)
+            start_symbol = tokens[1]
+        elif keyword == "%left":
+            builder.left(*tokens[1:])
+        elif keyword == "%right":
+            builder.right(*tokens[1:])
+        elif keyword == "%nonassoc":
+            builder.nonassoc(*tokens[1:])
+        else:
+            raise SpecSyntaxError(f"unknown declaration {keyword!r}", line_number)
+
+    if start_symbol is None:
+        raise SpecSyntaxError("specification has no %start declaration")
+
+    _parse_productions(builder, production_lines, environment, separator_index + 1)
+    return builder.build(start=start_symbol)
+
+
+def _parse_nonterminal_decl(
+    builder: GrammarBuilder,
+    keyword: str,
+    tokens: Sequence[str],
+    priority_attributes: Sequence[str],
+    line_number: int,
+) -> None:
+    tokens = list(tokens)
+    min_split_size = 0
+    split = keyword == "%split"
+    if split:
+        if tokens and tokens[0].isdigit():
+            min_split_size = int(tokens.pop(0))
+    if not tokens:
+        raise SpecSyntaxError(f"{keyword} needs a nonterminal name", line_number)
+    nt_name = tokens.pop(0)
+    rest = " ".join(tokens)
+    synthesized: List[str] = []
+    inherited: List[str] = []
+    for kind, attrs in _ATTR_GROUP.findall(rest):
+        names = [a.strip() for a in attrs.split(",") if a.strip()]
+        if kind == "syn":
+            synthesized.extend(names)
+        else:
+            inherited.extend(names)
+    leftover = _ATTR_GROUP.sub("", rest).strip()
+    if leftover:
+        raise SpecSyntaxError(
+            f"unexpected text {leftover!r} in nonterminal declaration", line_number
+        )
+    declared = set(synthesized) | set(inherited)
+    builder.nonterminal(
+        nt_name,
+        synthesized=synthesized,
+        inherited=inherited,
+        split=split,
+        min_split_size=min_split_size,
+        priority=[a for a in priority_attributes if a in declared],
+    )
+
+
+def _parse_productions(
+    builder: GrammarBuilder,
+    lines: Sequence[str],
+    environment: Mapping[str, Callable[..., Any]],
+    line_offset: int,
+) -> None:
+    current_header: Optional[str] = None
+    current_rules: List[Rule] = []
+    header_line = 0
+
+    def flush() -> None:
+        nonlocal current_header, current_rules
+        if current_header is None:
+            return
+        lhs, _, rhs = current_header.partition(":")
+        signature = f"{lhs.strip()} -> {rhs.strip()}"
+        builder.production(signature, *current_rules)
+        current_header = None
+        current_rules = []
+
+    for offset, raw in enumerate(lines, start=line_offset + 1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line == ";":
+            flush()
+            continue
+        if current_header is None:
+            # Between productions every non-empty line must be a production header.
+            if ":" not in line:
+                raise SpecSyntaxError(
+                    f"expected a production header ('lhs : rhs'), got {line!r}", offset
+                )
+            current_header = line
+            header_line = offset
+            continue
+        current_rules.append(_parse_rule(line, environment, offset))
+    if current_header is not None:
+        raise SpecSyntaxError(
+            "production starting here is not terminated by ';'", header_line
+        )
+
+
+def _parse_rule(
+    line: str, environment: Mapping[str, Callable[..., Any]], line_number: int
+) -> Rule:
+    if "=" not in line:
+        raise SpecSyntaxError(f"semantic rule {line!r} is missing '='", line_number)
+    target, _, body = line.partition("=")
+    target = target.strip()
+    body = body.strip()
+    call = _CALL.match(body)
+    if call:
+        function_name, argument_text = call.group(1), call.group(2)
+        if function_name not in environment:
+            raise SpecSyntaxError(
+                f"semantic function {function_name!r} is not in the environment", line_number
+            )
+        arguments = [a.strip() for a in argument_text.split(",") if a.strip()]
+        return Rule(
+            target,
+            arguments,
+            environment[function_name],
+            name=function_name,
+        )
+    # A bare reference is a copy rule.
+    return Rule(target, [body], name="copy")

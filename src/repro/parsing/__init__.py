@@ -1,0 +1,25 @@
+"""Parsing substrate: lexer generator and LALR(1) parser generator.
+
+The paper uses YACC to produce the (sequential) parser that builds the syntax tree the
+attribute evaluators work on.  This package plays the same role: a grammar's
+context-free backbone is compiled into an LALR(1) parse table (with YACC-style
+precedence/associativity conflict resolution), and the resulting
+:class:`~repro.parsing.parser.Parser` builds :class:`repro.tree.node.ParseTreeNode`
+trees directly usable by the evaluators.
+"""
+
+from repro.parsing.lexer import Token, TokenSpec, Lexer, LexerError
+from repro.parsing.lalr import LALRTable, LALRConflict, build_lalr_table
+from repro.parsing.parser import Parser, ParseError
+
+__all__ = [
+    "Token",
+    "TokenSpec",
+    "Lexer",
+    "LexerError",
+    "LALRTable",
+    "LALRConflict",
+    "build_lalr_table",
+    "Parser",
+    "ParseError",
+]

@@ -1,0 +1,102 @@
+"""A small table-driven lexer generator.
+
+A lexer is described by an ordered list of :class:`TokenSpec` regular-expression rules
+plus an optional keyword table (identifiers whose text matches a keyword are re-tagged
+with the keyword's token kind, the usual trick for Pascal-like languages).  The
+generated :class:`Lexer` produces :class:`Token` objects with line/column positions and
+raises :class:`LexerError` on unrecognisable input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+class LexerError(Exception):
+    """Raised when the input contains a character no rule matches."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One scanned token."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+@dataclass(frozen=True)
+class TokenSpec:
+    """One lexical rule.
+
+    :param name: token kind produced (ignored when ``skip`` is true).
+    :param pattern: regular expression (anchored at the current position).
+    :param skip: when true, matching text is discarded (whitespace, comments).
+    """
+
+    name: str
+    pattern: str
+    skip: bool = False
+
+
+class Lexer:
+    """Compiled scanner for a list of :class:`TokenSpec` rules.
+
+    Rules are tried in order at each position; the first match wins (so keywords given
+    as literal rules must precede a generic identifier rule, or use ``keywords``).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TokenSpec],
+        keywords: Optional[Dict[str, str]] = None,
+        keyword_source: str = "IDENTIFIER",
+    ):
+        if not specs:
+            raise ValueError("a lexer needs at least one token rule")
+        self._specs = list(specs)
+        self._compiled = [(spec, re.compile(spec.pattern)) for spec in self._specs]
+        self._keywords = dict(keywords or {})
+        self._keyword_source = keyword_source
+
+    def tokenize(self, text: str) -> List[Token]:
+        """Scan the whole input and return the token list (no EOF token appended)."""
+        return list(self.iter_tokens(text))
+
+    def iter_tokens(self, text: str) -> Iterator[Token]:
+        position = 0
+        line = 1
+        line_start = 0
+        length = len(text)
+        while position < length:
+            for spec, pattern in self._compiled:
+                match = pattern.match(text, position)
+                if match is None or match.end() == position:
+                    continue
+                lexeme = match.group(0)
+                column = position - line_start + 1
+                if not spec.skip:
+                    kind = spec.name
+                    if kind == self._keyword_source and lexeme.lower() in self._keywords:
+                        kind = self._keywords[lexeme.lower()]
+                    yield Token(kind, lexeme, line, column)
+                newlines = lexeme.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = position + lexeme.rfind("\n") + 1
+                position = match.end()
+                break
+            else:
+                column = position - line_start + 1
+                raise LexerError(f"unexpected character {text[position]!r}", line, column)

@@ -1,0 +1,23 @@
+"""Parse-tree partitioning for parallel evaluation.
+
+The parser "builds the syntax tree, divides it into subtrees and sends them to the
+attribute evaluators".  Subtrees may only be detached at nonterminals the grammar marks
+as splittable, and only when the subtree's linearized representation is at least the
+declared minimum size (scaled by a runtime argument so decompositions of different
+granularities can be produced for different machine counts).
+"""
+
+from repro.partition.splitter import detach_subtree, splittable_nodes
+from repro.partition.decomposition import (
+    Region,
+    DecompositionPlan,
+    plan_decomposition,
+)
+
+__all__ = [
+    "detach_subtree",
+    "splittable_nodes",
+    "Region",
+    "DecompositionPlan",
+    "plan_decomposition",
+]

@@ -1,0 +1,213 @@
+"""Decomposition planning: choose which subtrees go to which evaluator.
+
+The planner reproduces the behaviour described in the paper: the grammar fixes *where*
+the tree may be split (splittable nonterminals with a minimum subtree size), and a
+runtime argument — here the number of machines — scales the effective minimum size so
+that the tree is cut into roughly equally sized regions, one per evaluator.  Figure 7 of
+the paper ("Source Program Decomposition") is regenerated directly from the resulting
+:class:`DecompositionPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.grammar.symbols import Nonterminal
+from repro.tree.node import ParseTreeNode
+
+
+@dataclass
+class Region:
+    """One region of the decomposed tree, evaluated by one evaluator process.
+
+    Region 0 is always the *root region*, kept by the evaluator co-located with (or
+    closest to) the parser; nested regions hang off it in a region tree that mirrors the
+    evaluator process tree of the paper.
+    """
+
+    region_id: int
+    root: ParseTreeNode
+    parent_region: Optional[int]
+    size: int = 0                       # abstract linearized bytes owned by this region
+    node_count: int = 0
+    child_regions: List[int] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def is_root_region(self) -> bool:
+        return self.parent_region is None
+
+
+@dataclass
+class DecompositionPlan:
+    """The result of :func:`plan_decomposition`."""
+
+    regions: List[Region]
+    total_size: int
+    threshold: int
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    def region_roots(self) -> Dict[int, ParseTreeNode]:
+        return {region.region_id: region.root for region in self.regions}
+
+    def holes_of(self, region_id: int) -> Dict[int, int]:
+        """Map from detached child-root node ids to their region ids (for linearize)."""
+        region = self.regions[region_id]
+        return {
+            self.regions[child].root.node_id: child for child in region.child_regions
+        }
+
+    def balance(self) -> float:
+        """Largest region size divided by the ideal (total / region count); 1.0 = perfect."""
+        if not self.regions:
+            return 1.0
+        ideal = self.total_size / len(self.regions)
+        if ideal == 0:
+            return 1.0
+        return max(region.size for region in self.regions) / ideal
+
+    def describe(self) -> str:
+        """Readable table, in the spirit of the paper's Figure 7."""
+        lines = [
+            f"decomposition into {len(self.regions)} regions "
+            f"(threshold {self.threshold} bytes, balance {self.balance():.2f}):"
+        ]
+        for region in self.regions:
+            parent = (
+                "-" if region.parent_region is None else str(region.parent_region)
+            )
+            lines.append(
+                f"  region {region.label or region.region_id}: root={region.root.symbol.name} "
+                f"size={region.size} nodes={region.node_count} parent={parent} "
+                f"children={[self.regions[c].label or c for c in region.child_regions]}"
+            )
+        return "\n".join(lines)
+
+
+def _region_labels(count: int) -> List[str]:
+    """a, b, c, ... like Figure 7 of the paper."""
+    labels = []
+    for index in range(count):
+        label = ""
+        value = index
+        while True:
+            label = chr(ord("a") + value % 26) + label
+            value = value // 26 - 1
+            if value < 0:
+                break
+        labels.append(label)
+    return labels
+
+
+def plan_decomposition(
+    root: ParseTreeNode,
+    machines: int,
+    min_size: Optional[int] = None,
+    scale: float = 1.0,
+) -> DecompositionPlan:
+    """Decompose the tree rooted at ``root`` into at most ``machines`` regions.
+
+    :param machines: number of evaluator machines available (>= 1).
+    :param min_size: explicit minimum region size (abstract bytes).  When omitted, the
+        threshold is ``total_size / machines`` scaled by ``scale`` — the runtime
+        granularity knob the paper describes — but never below a splittable symbol's own
+        declared minimum.
+    :param scale: multiplier applied to the automatically chosen threshold.
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    total_size = root.linearized_size()
+    if min_size is not None:
+        threshold = int(min_size)
+    else:
+        threshold = max(1, int(total_size / machines * scale))
+
+    split_nodes: List[ParseTreeNode] = []
+    remaining_splits = machines - 1
+
+    # Effective size of a node = linearized size minus the sizes of detached descendants.
+    # We traverse bottom-up (post-order) so nested splittable subtrees are considered
+    # before their ancestors, mirroring the parser's behaviour of shipping the deepest
+    # oversized subtrees first.
+    detached_size: Dict[int, int] = {}
+
+    def effective_size(node: ParseTreeNode) -> int:
+        return node.linearized_size() - detached_size.get(node.node_id, 0)
+
+    post_order: List[ParseTreeNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        post_order.append(node)
+        stack.extend(node.children)
+    post_order.reverse()
+
+    chosen: Set[int] = set()
+    for node in post_order:
+        if remaining_splits <= 0:
+            break
+        if node is root or node.is_terminal:
+            continue
+        symbol = node.symbol
+        assert isinstance(symbol, Nonterminal)
+        if not symbol.splittable:
+            continue
+        size = effective_size(node)
+        if size < max(threshold, symbol.min_split_size):
+            continue
+        chosen.add(node.node_id)
+        split_nodes.append(node)
+        remaining_splits -= 1
+        # Propagate the detached size up to every ancestor.
+        ancestor = node.parent
+        while ancestor is not None:
+            detached_size[ancestor.node_id] = detached_size.get(ancestor.node_id, 0) + size
+            ancestor = ancestor.parent
+
+    # Build regions: region 0 is the root region; others in the order their roots appear
+    # in a pre-order walk (stable, readable labelling).
+    ordered_split_nodes = [
+        node for node in root.walk() if node.node_id in chosen
+    ]
+    regions: List[Region] = [Region(0, root, None)]
+    region_of_root_node: Dict[int, int] = {root.node_id: 0}
+    for node in ordered_split_nodes:
+        region_id = len(regions)
+        regions.append(Region(region_id, node, None))
+        region_of_root_node[node.node_id] = region_id
+
+    # Assign parent regions and sizes.
+    for region in regions[1:]:
+        ancestor = region.root.parent
+        while ancestor is not None and ancestor.node_id not in region_of_root_node:
+            ancestor = ancestor.parent
+        parent_id = region_of_root_node[ancestor.node_id] if ancestor is not None else 0
+        region.parent_region = parent_id
+        regions[parent_id].child_regions.append(region.region_id)
+
+    for region in regions:
+        size = 0
+        nodes = 0
+        stack = [region.root]
+        while stack:
+            node = stack.pop()
+            if node is not region.root and node.node_id in region_of_root_node:
+                continue
+            nodes += 1
+            if node.is_terminal:
+                value = node.token_value
+                size += 4 + (len(value) if isinstance(value, str) else 4)
+            else:
+                size += 8
+            stack.extend(node.children)
+        region.size = size
+        region.node_count = nodes
+
+    for region, label in zip(regions, _region_labels(len(regions))):
+        region.label = label
+
+    return DecompositionPlan(regions, total_size, threshold)

@@ -1,0 +1,59 @@
+"""Low-level tree-splitting utilities."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.grammar.symbols import Nonterminal
+from repro.tree.node import ParseTreeNode
+
+
+def splittable_nodes(
+    root: ParseTreeNode,
+    min_size: Optional[int] = None,
+    scale: float = 1.0,
+) -> List[ParseTreeNode]:
+    """Nodes (excluding the root) at which the grammar allows the tree to be split.
+
+    A node qualifies when its symbol is declared splittable and its linearized size is
+    at least ``min_size`` (when given) or at least ``scale`` times the symbol's declared
+    minimum split size.
+    """
+    candidates: List[ParseTreeNode] = []
+    for node in root.walk():
+        if node is root or node.is_terminal:
+            continue
+        symbol = node.symbol
+        assert isinstance(symbol, Nonterminal)
+        if not symbol.splittable:
+            continue
+        threshold = min_size if min_size is not None else symbol.min_split_size * scale
+        if node.linearized_size() >= threshold:
+            candidates.append(node)
+    return candidates
+
+
+def detach_subtree(node: ParseTreeNode) -> ParseTreeNode:
+    """Detach ``node`` from its parent, leaving a *hole* placeholder in its place.
+
+    Returns the hole node: a childless, production-less node carrying the same
+    nonterminal symbol.  The detached subtree becomes a standalone tree (its parent
+    pointer is cleared) and can be evaluated independently; the hole's synthesized
+    attributes must later be supplied from that remote evaluation, while its inherited
+    attributes are computed by the remaining (local) part of the tree and must be
+    exported to whoever evaluates the detached subtree.
+    """
+    if node.parent is None:
+        raise ValueError("cannot detach the root of a tree")
+    if node.is_terminal:
+        raise ValueError("cannot detach a terminal leaf")
+    parent = node.parent
+    index = node.child_index
+    assert index is not None
+    hole = ParseTreeNode(node.symbol)
+    hole.parent = parent
+    hole.child_index = index
+    parent.children[index - 1] = hole
+    node.parent = None
+    node.child_index = None
+    return hole

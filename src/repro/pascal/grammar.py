@@ -1,0 +1,803 @@
+"""The Pascal-subset attribute grammar.
+
+The grammar mirrors the compiler described in the paper: roughly eighty context-free
+productions, several hundred semantic rules, splits allowed at statements, statement
+lists, procedure declarations and lists of procedure declarations, and the environment
+(the global symbol table analogue) marked as a *priority* attribute so it is computed
+and propagated to remote evaluators as early as possible.
+
+Attribute conventions:
+
+=================  =======================================================================
+``env``            inherited applicative symbol table (includes the nesting level and the
+                   enclosing function under reserved keys)
+``code``           synthesized code value (rope / string descriptor) pushing a value
+``addr``           synthesized l-value code (``None`` for non-variable expressions)
+``type``           synthesized :class:`repro.pascal.types.PascalType`
+``errs``           synthesized tuple of error messages
+``defs``/``def``   synthesized declaration lists / single declarations
+``routines``       synthesized code of nested procedure bodies
+``body``           synthesized code of a block's compound statement
+``globals``        synthesized ``.lcomm`` directives for program-level variables
+``size``           synthesized local frame size
+=================  =======================================================================
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.attributes import AttributeConverter
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.grammar import AttributeGrammar
+from repro.pascal import meanings
+from repro.pascal.semantics import declarations as d
+from repro.pascal.semantics import expressions as e
+from repro.pascal.semantics import helpers as h
+from repro.pascal.semantics import statements as s
+from repro.strings.code import code_concat, code_size
+from repro.symtab.symbol_table import SymbolTable
+
+
+def _environment_converter() -> AttributeConverter:
+    return AttributeConverter(
+        size_of=lambda table: table.transmission_size()
+        if isinstance(table, SymbolTable)
+        else 16,
+    )
+
+
+def _code_converter() -> AttributeConverter:
+    return AttributeConverter(size_of=code_size)
+
+
+def cp(target: str, source: str) -> Rule:
+    """A copy rule (the single most common rule kind in any attribute grammar)."""
+    return Rule(target, [source], name="copy")
+
+
+@lru_cache(maxsize=None)
+def pascal_grammar() -> AttributeGrammar:
+    """Build (once) and return the Pascal-subset attribute grammar."""
+    b = GrammarBuilder("pascal")
+
+    # ----------------------------------------------------------------- terminals
+    b.name_terminals("IDENTIFIER", "NUMBER", "STRINGLIT", value_attribute="string")
+    b.keywords(
+        "PROGRAM", "CONST", "TYPE", "VAR", "PROCEDURE", "FUNCTION",
+        "BEGIN", "END", "IF", "THEN", "ELSE", "WHILE", "DO", "REPEAT", "UNTIL",
+        "FOR", "TO", "DOWNTO", "OF", "ARRAY", "RECORD",
+        "DIV", "MOD", "AND", "OR", "NOT",
+        "WRITE", "WRITELN", "READ", "READLN",
+        ";", ":", ",", ".", "..", "(", ")", "[", "]",
+        ":=", "=", "<>", "<", "<=", ">", ">=", "+", "-", "*",
+    )
+
+    env_conv = _environment_converter()
+    code_conv = _code_converter()
+
+    # -------------------------------------------------------------- nonterminals
+    b.nonterminal("program", synthesized=["code", "errs"],
+                  converters={"code": code_conv})
+    b.nonterminal(
+        "block",
+        synthesized=["routines", "body", "globals", "size", "errs"],
+        inherited=["env"],
+        converters={"routines": code_conv, "body": code_conv, "env": env_conv},
+    )
+
+    b.nonterminal("const_part", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("const_decls", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("const_decl", synthesized=["def", "errs"], inherited=["env"])
+    b.nonterminal("constant", synthesized=["value", "errs"], inherited=["env"])
+
+    b.nonterminal("type_part", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("type_decls", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("type_decl", synthesized=["def", "errs"], inherited=["env"])
+    b.nonterminal("type_denoter", synthesized=["type", "errs"], inherited=["env"])
+    b.nonterminal("field_list", synthesized=["fields", "errs"], inherited=["env"])
+    b.nonterminal("field_decl", synthesized=["fields", "errs"], inherited=["env"])
+    b.nonterminal("id_list", synthesized=["names"])
+
+    b.nonterminal("var_part", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("var_decls", synthesized=["defs", "errs"], inherited=["env"])
+    b.nonterminal("var_decl", synthesized=["defs", "errs"], inherited=["env"])
+
+    # Procedure declarations and their lists are split points (the paper's
+    # "procedure declaration nodes and lists of procedure declarations").
+    #
+    # They carry two inherited environments: ``decl_env`` (constants, types and
+    # variables of the enclosing block — enough to build the procedure's interface
+    # definition) and ``env`` (the full environment including every procedure of the
+    # block — needed to generate code for the body).  Splitting these keeps the
+    # symbol-table phase short and sequential while code generation for different
+    # procedures proceeds in parallel; it is the grammar-tuning step the paper alludes
+    # to when discussing the sequential symbol-table propagation of Figure 6.  A side
+    # effect is that all procedures of a block are mutually visible (no ``forward``
+    # declarations needed).
+    b.nonterminal("proc_part", synthesized=["defs", "code", "errs"],
+                  inherited=["decl_env", "env"],
+                  converters={"code": code_conv, "env": env_conv, "decl_env": env_conv})
+    b.nonterminal(
+        "proc_decls", synthesized=["defs", "code", "errs"], inherited=["decl_env", "env"],
+        split=True, min_split_size=900, priority=["decl_env", "env"],
+        converters={"code": code_conv, "env": env_conv, "decl_env": env_conv},
+    )
+    b.nonterminal(
+        "proc_decl", synthesized=["def", "code", "errs"], inherited=["decl_env", "env"],
+        split=True, min_split_size=500, priority=["decl_env", "env"],
+        converters={"code": code_conv, "env": env_conv, "decl_env": env_conv},
+    )
+    b.nonterminal("params", synthesized=["params", "errs"], inherited=["env"])
+    b.nonterminal("param_sections", synthesized=["params", "errs"], inherited=["env"])
+    b.nonterminal("param_section", synthesized=["params", "errs"], inherited=["env"])
+
+    b.nonterminal("compound_statement", synthesized=["code", "errs"], inherited=["env"],
+                  converters={"code": code_conv, "env": env_conv})
+    # Statements and statement lists are split points ("statement nodes, statement list
+    # nodes"); their inherited environment is the priority attribute.
+    b.nonterminal(
+        "statement_list", synthesized=["code", "errs"], inherited=["env"],
+        split=True, min_split_size=600, priority=["env"],
+        converters={"code": code_conv, "env": env_conv},
+    )
+    b.nonterminal(
+        "statement", synthesized=["code", "errs"], inherited=["env"],
+        split=True, min_split_size=350, priority=["env"],
+        converters={"code": code_conv, "env": env_conv},
+    )
+
+    b.nonterminal("variable", synthesized=["addr", "type", "errs"], inherited=["env"],
+                  converters={"addr": code_conv, "env": env_conv})
+    b.nonterminal("variable_list", synthesized=["addrs", "types", "errs"], inherited=["env"])
+    b.nonterminal("expr_list", synthesized=["codes", "types", "addrs", "errs"], inherited=["env"])
+    for name in ("expression", "simple_expression", "term", "factor"):
+        b.nonterminal(
+            name,
+            synthesized=["code", "type", "addr", "errs"],
+            inherited=["env"],
+            converters={"code": code_conv, "env": env_conv},
+        )
+
+    # ---------------------------------------------------------------- program
+
+    b.production(
+        "program -> PROGRAM IDENTIFIER ; block .",
+        Rule("$4.env", [], meanings.initial_environment, name="initial_environment"),
+        Rule("$$.code", ["$2.string", "$4.routines", "$4.body", "$4.globals"],
+             d.program_code, name="program_code"),
+        Rule("$$.errs", ["$2.string", "$4.errs"], d.program_errors, name="program_errors"),
+    )
+
+    # ------------------------------------------------------------------ blocks
+
+    b.production(
+        "block -> const_part type_part var_part proc_part compound_statement",
+        cp("$1.env", "$$.env"),
+        Rule("$2.env", ["$$.env", "$1.defs"], d.environment_with_constants,
+             name="env_with_constants"),
+        Rule("$3.env", ["$$.env", "$1.defs", "$2.defs"], d.environment_with_types,
+             name="env_with_types"),
+        Rule("$4.decl_env", ["$$.env", "$1.defs", "$2.defs", "$3.defs"],
+             d.environment_with_variables, name="env_with_variables"),
+        Rule("$4.env", ["$$.env", "$1.defs", "$2.defs", "$3.defs", "$4.defs"],
+             d.environment_with_procedures, name="env_with_procedures"),
+        Rule("$5.env", ["$$.env", "$1.defs", "$2.defs", "$3.defs", "$4.defs"],
+             d.environment_with_procedures, name="env_with_procedures"),
+        cp("$$.routines", "$4.code"),
+        cp("$$.body", "$5.code"),
+        Rule("$$.size", ["$3.defs"], d.frame_size, name="frame_size"),
+        Rule("$$.globals", ["$$.env", "$3.defs"], d.global_directives, name="global_directives"),
+        Rule("$$.errs",
+             ["$1.defs", "$2.defs", "$3.defs", "$4.defs",
+              "$1.errs", "$2.errs", "$3.errs", "$4.errs", "$5.errs"],
+             d.block_errors, name="block_errors"),
+    )
+
+    # --------------------------------------------------------------- constants
+
+    b.production(
+        "const_part -> CONST const_decls",
+        cp("$2.env", "$$.env"),
+        cp("$$.defs", "$2.defs"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "const_part ->",
+        Rule("$$.defs", [], h.empty_list, name="empty_list"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "const_decls -> const_decls const_decl",
+        cp("$1.env", "$$.env"),
+        Rule("$2.env", ["$$.env", "$1.defs"], d.environment_with_definitions,
+             name="env_with_defs"),
+        Rule("$$.defs", ["$1.defs", "$2.def"], h.append_item, name="append"),
+        Rule("$$.errs", ["$1.errs", "$2.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "const_decls -> const_decl",
+        cp("$1.env", "$$.env"),
+        Rule("$$.defs", ["$1.def"], h.singleton, name="singleton"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "const_decl -> IDENTIFIER = constant ;",
+        cp("$3.env", "$$.env"),
+        Rule("$$.def", ["$1.string", "$3.value"], d.const_definition, name="const_definition"),
+        cp("$$.errs", "$3.errs"),
+    )
+    b.production(
+        "constant -> NUMBER",
+        Rule("$$.value", ["$1.string"], d.constant_from_number, name="constant_from_number"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "constant -> - NUMBER",
+        Rule("$$.value", ["$2.string"], d.constant_from_negative_number,
+             name="constant_from_negative_number"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "constant -> STRINGLIT",
+        Rule("$$.value", ["$1.string"], d.constant_from_char, name="constant_from_char"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "constant -> IDENTIFIER",
+        Rule("$$.value", ["$$.env", "$1.string"], d.constant_from_identifier,
+             name="constant_from_identifier"),
+        Rule("$$.errs", ["$$.env", "$1.string"], d.constant_identifier_errors,
+             name="constant_identifier_errors"),
+    )
+
+    # ------------------------------------------------------------------- types
+
+    b.production(
+        "type_part -> TYPE type_decls",
+        cp("$2.env", "$$.env"),
+        cp("$$.defs", "$2.defs"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "type_part ->",
+        Rule("$$.defs", [], h.empty_list, name="empty_list"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "type_decls -> type_decls type_decl",
+        cp("$1.env", "$$.env"),
+        Rule("$2.env", ["$$.env", "$1.defs"], d.environment_with_definitions,
+             name="env_with_defs"),
+        Rule("$$.defs", ["$1.defs", "$2.def"], h.append_item, name="append"),
+        Rule("$$.errs", ["$1.errs", "$2.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "type_decls -> type_decl",
+        cp("$1.env", "$$.env"),
+        Rule("$$.defs", ["$1.def"], h.singleton, name="singleton"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "type_decl -> IDENTIFIER = type_denoter ;",
+        cp("$3.env", "$$.env"),
+        Rule("$$.def", ["$1.string", "$3.type"], d.type_definition, name="type_definition"),
+        cp("$$.errs", "$3.errs"),
+    )
+    b.production(
+        "type_denoter -> IDENTIFIER",
+        Rule("$$.type", ["$$.env", "$1.string"], h.resolve_named_type, name="resolve_named_type"),
+        Rule("$$.errs", ["$$.env", "$1.string"], h.check_named_type, name="check_named_type"),
+    )
+    b.production(
+        "type_denoter -> ARRAY [ NUMBER .. NUMBER ] OF type_denoter",
+        cp("$8.env", "$$.env"),
+        Rule("$$.type", ["$3.string", "$5.string", "$8.type"], d.array_type, name="array_type"),
+        Rule("$$.errs", ["$3.string", "$5.string", "$8.errs"], d.array_type_errors,
+             name="array_type_errors"),
+    )
+    b.production(
+        "type_denoter -> RECORD field_list END",
+        cp("$2.env", "$$.env"),
+        Rule("$$.type", ["$2.fields"], d.record_type, name="record_type"),
+        Rule("$$.errs", ["$2.fields", "$2.errs"], d.record_type_errors, name="record_type_errors"),
+    )
+    b.production(
+        "field_list -> field_list ; field_decl",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.fields", ["$1.fields", "$3.fields"], h.concat_lists, name="concat"),
+        Rule("$$.errs", ["$1.errs", "$3.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "field_list -> field_decl",
+        cp("$1.env", "$$.env"),
+        cp("$$.fields", "$1.fields"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "field_decl -> id_list : type_denoter",
+        cp("$3.env", "$$.env"),
+        Rule("$$.fields", ["$1.names", "$3.type"], d.fields_from_names, name="fields_from_names"),
+        cp("$$.errs", "$3.errs"),
+    )
+    b.production(
+        "id_list -> id_list , IDENTIFIER",
+        Rule("$$.names", ["$1.names", "$3.string"], h.append_item, name="append"),
+    )
+    b.production(
+        "id_list -> IDENTIFIER",
+        Rule("$$.names", ["$1.string"], h.singleton, name="singleton"),
+    )
+
+    # --------------------------------------------------------------- variables
+
+    b.production(
+        "var_part -> VAR var_decls",
+        cp("$2.env", "$$.env"),
+        cp("$$.defs", "$2.defs"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "var_part ->",
+        Rule("$$.defs", [], h.empty_list, name="empty_list"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "var_decls -> var_decls var_decl",
+        cp("$1.env", "$$.env"),
+        cp("$2.env", "$$.env"),
+        Rule("$$.defs", ["$1.defs", "$2.defs"], h.concat_lists, name="concat"),
+        Rule("$$.errs", ["$1.errs", "$2.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "var_decls -> var_decl",
+        cp("$1.env", "$$.env"),
+        cp("$$.defs", "$1.defs"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "var_decl -> id_list : type_denoter ;",
+        cp("$3.env", "$$.env"),
+        Rule("$$.defs", ["$1.names", "$3.type"], d.variable_definitions,
+             name="variable_definitions"),
+        cp("$$.errs", "$3.errs"),
+    )
+
+    # -------------------------------------------------------------- procedures
+
+    b.production(
+        "proc_part -> proc_decls",
+        cp("$1.decl_env", "$$.decl_env"),
+        cp("$1.env", "$$.env"),
+        cp("$$.defs", "$1.defs"),
+        cp("$$.code", "$1.code"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "proc_part ->",
+        Rule("$$.defs", [], h.empty_list, name="empty_list"),
+        Rule("$$.code", [], s.empty_statement_code, name="empty_code"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "proc_decls -> proc_decls proc_decl",
+        cp("$1.decl_env", "$$.decl_env"),
+        cp("$1.env", "$$.env"),
+        cp("$2.decl_env", "$$.decl_env"),
+        cp("$2.env", "$$.env"),
+        Rule("$$.defs", ["$1.defs", "$2.def"], h.append_item, name="append"),
+        Rule("$$.code", ["$1.code", "$2.code"], code_concat, name="code_concat"),
+        Rule("$$.errs", ["$1.errs", "$2.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "proc_decls -> proc_decl",
+        cp("$1.decl_env", "$$.decl_env"),
+        cp("$1.env", "$$.env"),
+        Rule("$$.defs", ["$1.def"], h.singleton, name="singleton"),
+        cp("$$.code", "$1.code"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "proc_decl -> PROCEDURE IDENTIFIER params ; block ;",
+        cp("$3.env", "$$.decl_env"),
+        Rule("$$.def", ["$$.decl_env", "$2.string", "$3.params"], d.procedure_definition,
+             name="procedure_definition"),
+        Rule("$5.env", ["$$.env", "$$.def", "$3.params"], d.procedure_body_environment,
+             name="procedure_body_environment"),
+        Rule("$$.code", ["$$.def", "$5.routines", "$5.body", "$5.size"], d.procedure_code,
+             name="procedure_code"),
+        Rule("$$.errs", ["$$.def", "$3.errs", "$5.errs"], d.procedure_errors,
+             name="procedure_errors"),
+    )
+    b.production(
+        "proc_decl -> FUNCTION IDENTIFIER params : IDENTIFIER ; block ;",
+        cp("$3.env", "$$.decl_env"),
+        Rule("$$.def", ["$$.decl_env", "$2.string", "$3.params", "$5.string"],
+             d.function_definition, name="function_definition"),
+        Rule("$7.env", ["$$.env", "$$.def", "$3.params"], d.procedure_body_environment,
+             name="procedure_body_environment"),
+        Rule("$$.code", ["$$.def", "$7.routines", "$7.body", "$7.size"], d.procedure_code,
+             name="procedure_code"),
+        Rule("$$.errs", ["$$.decl_env", "$$.def", "$5.string", "$3.errs", "$7.errs"],
+             d.function_declaration_errors, name="function_declaration_errors"),
+    )
+    b.production(
+        "params -> ( param_sections )",
+        cp("$2.env", "$$.env"),
+        cp("$$.params", "$2.params"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "params ->",
+        Rule("$$.params", [], h.empty_list, name="empty_list"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "param_sections -> param_sections ; param_section",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.params", ["$1.params", "$3.params"], h.concat_lists, name="concat"),
+        Rule("$$.errs", ["$1.errs", "$3.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "param_sections -> param_section",
+        cp("$1.env", "$$.env"),
+        cp("$$.params", "$1.params"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "param_section -> id_list : IDENTIFIER",
+        Rule("$$.params", ["$1.names", "$$.env", "$3.string"], d.value_parameters,
+             name="value_parameters"),
+        Rule("$$.errs", ["$$.env", "$3.string"], d.parameter_errors, name="parameter_errors"),
+    )
+    b.production(
+        "param_section -> VAR id_list : IDENTIFIER",
+        Rule("$$.params", ["$2.names", "$$.env", "$4.string"], d.reference_parameters,
+             name="reference_parameters"),
+        Rule("$$.errs", ["$$.env", "$4.string"], d.parameter_errors, name="parameter_errors"),
+    )
+
+    # -------------------------------------------------------------- statements
+
+    b.production(
+        "compound_statement -> BEGIN statement_list END",
+        cp("$2.env", "$$.env"),
+        cp("$$.code", "$2.code"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "statement_list -> statement_list ; statement",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$1.code", "$3.code"], code_concat, name="code_concat"),
+        Rule("$$.errs", ["$1.errs", "$3.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "statement_list -> statement",
+        cp("$1.env", "$$.env"),
+        cp("$$.code", "$1.code"),
+        cp("$$.errs", "$1.errs"),
+    )
+
+    b.production(
+        "statement -> variable := expression",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$1.addr", "$1.type", "$3.code"], s.assignment_code,
+             name="assignment_code"),
+        Rule("$$.errs", ["$$.env", "$1.type", "$3.type", "$1.errs", "$3.errs"],
+             s.assignment_errors, name="assignment_errors"),
+    )
+    b.production(
+        "statement -> IDENTIFIER",
+        Rule("$$.code", ["$$.env", "$1.string"], s.simple_call_code, name="simple_call_code"),
+        Rule("$$.errs", ["$$.env", "$1.string"], s.simple_call_errors, name="simple_call_errors"),
+    )
+    b.production(
+        "statement -> IDENTIFIER ( expr_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$$.env", "$1.string", "$3.codes", "$3.addrs"],
+             s.procedure_call_code, name="procedure_call_code"),
+        Rule("$$.errs", ["$$.env", "$1.string", "$3.types", "$3.addrs", "$3.errs"],
+             s.procedure_call_errors, name="procedure_call_errors"),
+    )
+    b.production(
+        "statement -> compound_statement",
+        cp("$1.env", "$$.env"),
+        cp("$$.code", "$1.code"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "statement -> IF expression THEN statement",
+        cp("$2.env", "$$.env"),
+        cp("$4.env", "$$.env"),
+        Rule("$$.code", ["$2.code", "$4.code"], s.if_code, name="if_code"),
+        Rule("$$.errs", ["$2.type", "$2.errs", "$4.errs"], s.if_errors, name="if_errors"),
+    )
+    b.production(
+        "statement -> IF expression THEN statement ELSE statement",
+        cp("$2.env", "$$.env"),
+        cp("$4.env", "$$.env"),
+        cp("$6.env", "$$.env"),
+        Rule("$$.code", ["$2.code", "$4.code", "$6.code"], s.if_else_code, name="if_else_code"),
+        Rule("$$.errs", ["$2.type", "$2.errs", "$4.errs", "$6.errs"], s.if_else_errors,
+             name="if_else_errors"),
+    )
+    b.production(
+        "statement -> WHILE expression DO statement",
+        cp("$2.env", "$$.env"),
+        cp("$4.env", "$$.env"),
+        Rule("$$.code", ["$2.code", "$4.code"], s.while_code, name="while_code"),
+        Rule("$$.errs", ["$2.type", "$2.errs", "$4.errs"], s.while_errors, name="while_errors"),
+    )
+    b.production(
+        "statement -> REPEAT statement_list UNTIL expression",
+        cp("$2.env", "$$.env"),
+        cp("$4.env", "$$.env"),
+        Rule("$$.code", ["$2.code", "$4.code"], s.repeat_code, name="repeat_code"),
+        Rule("$$.errs", ["$4.type", "$4.errs", "$2.errs"], s.repeat_errors, name="repeat_errors"),
+    )
+    b.production(
+        "statement -> FOR IDENTIFIER := expression TO expression DO statement",
+        cp("$4.env", "$$.env"),
+        cp("$6.env", "$$.env"),
+        cp("$8.env", "$$.env"),
+        Rule("$$.code", ["$$.env", "$2.string", "$4.code", "$6.code", "$8.code"],
+             s.for_to_code, name="for_to_code"),
+        Rule("$$.errs",
+             ["$$.env", "$2.string", "$4.type", "$6.type", "$4.errs", "$6.errs", "$8.errs"],
+             s.for_errors, name="for_errors"),
+    )
+    b.production(
+        "statement -> FOR IDENTIFIER := expression DOWNTO expression DO statement",
+        cp("$4.env", "$$.env"),
+        cp("$6.env", "$$.env"),
+        cp("$8.env", "$$.env"),
+        Rule("$$.code", ["$$.env", "$2.string", "$4.code", "$6.code", "$8.code"],
+             s.for_downto_code, name="for_downto_code"),
+        Rule("$$.errs",
+             ["$$.env", "$2.string", "$4.type", "$6.type", "$4.errs", "$6.errs", "$8.errs"],
+             s.for_errors, name="for_errors"),
+    )
+    b.production(
+        "statement -> WRITE ( expr_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$3.codes", "$3.types"], s.write_args_code, name="write_args_code"),
+        Rule("$$.errs", ["$3.types", "$3.errs"], s.write_errors, name="write_errors"),
+    )
+    b.production(
+        "statement -> WRITELN ( expr_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$3.codes", "$3.types"], s.writeln_args_code, name="writeln_args_code"),
+        Rule("$$.errs", ["$3.types", "$3.errs"], s.write_errors, name="write_errors"),
+    )
+    b.production(
+        "statement -> WRITELN",
+        Rule("$$.code", [], s.writeln_empty_code, name="writeln_empty_code"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "statement -> READ ( variable_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$3.addrs", "$3.types"], s.read_args_code, name="read_args_code"),
+        Rule("$$.errs", ["$3.types", "$3.errs"], s.read_errors, name="read_errors"),
+    )
+    b.production(
+        "statement -> READLN ( variable_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$3.addrs", "$3.types"], s.readln_args_code, name="readln_args_code"),
+        Rule("$$.errs", ["$3.types", "$3.errs"], s.read_errors, name="read_errors"),
+    )
+    b.production(
+        "statement ->",
+        Rule("$$.code", [], s.empty_statement_code, name="empty_statement_code"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+
+    # ----------------------------------------------------- variables (l-values)
+
+    b.production(
+        "variable -> IDENTIFIER",
+        Rule("$$.addr", ["$$.env", "$1.string"], e.variable_address, name="variable_address"),
+        Rule("$$.type", ["$$.env", "$1.string"], e.variable_type, name="variable_type"),
+        Rule("$$.errs", ["$$.env", "$1.string"], e.variable_errors, name="variable_errors"),
+    )
+    b.production(
+        "variable -> variable [ expression ]",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.addr", ["$1.addr", "$1.type", "$3.code"], e.indexed_address,
+             name="indexed_address"),
+        Rule("$$.type", ["$1.type"], e.indexed_type, name="indexed_type"),
+        Rule("$$.errs", ["$1.type", "$3.type", "$1.errs", "$3.errs"], e.indexed_errors,
+             name="indexed_errors"),
+    )
+    b.production(
+        "variable -> variable . IDENTIFIER",
+        cp("$1.env", "$$.env"),
+        Rule("$$.addr", ["$1.addr", "$1.type", "$3.string"], e.field_address_code,
+             name="field_address_code"),
+        Rule("$$.type", ["$1.type", "$3.string"], e.field_type_of, name="field_type_of"),
+        Rule("$$.errs", ["$1.type", "$3.string", "$1.errs"], e.field_errors, name="field_errors"),
+    )
+    b.production(
+        "variable_list -> variable_list , variable",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.addrs", ["$1.addrs", "$3.addr"], h.append_item, name="append"),
+        Rule("$$.types", ["$1.types", "$3.type"], h.append_item, name="append"),
+        Rule("$$.errs", ["$1.errs", "$3.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "variable_list -> variable",
+        cp("$1.env", "$$.env"),
+        Rule("$$.addrs", ["$1.addr"], h.singleton, name="singleton"),
+        Rule("$$.types", ["$1.type"], h.singleton, name="singleton"),
+        cp("$$.errs", "$1.errs"),
+    )
+
+    # -------------------------------------------------------------- expressions
+
+    b.production(
+        "expr_list -> expr_list , expression",
+        cp("$1.env", "$$.env"),
+        cp("$3.env", "$$.env"),
+        Rule("$$.codes", ["$1.codes", "$3.code"], h.append_item, name="append"),
+        Rule("$$.types", ["$1.types", "$3.type"], h.append_item, name="append"),
+        Rule("$$.addrs", ["$1.addrs", "$3.addr"], h.append_item, name="append"),
+        Rule("$$.errs", ["$1.errs", "$3.errs"], h.merge_errors, name="merge_errors"),
+    )
+    b.production(
+        "expr_list -> expression",
+        cp("$1.env", "$$.env"),
+        Rule("$$.codes", ["$1.code"], h.singleton, name="singleton"),
+        Rule("$$.types", ["$1.type"], h.singleton, name="singleton"),
+        Rule("$$.addrs", ["$1.addr"], h.singleton, name="singleton"),
+        cp("$$.errs", "$1.errs"),
+    )
+
+    b.production(
+        "expression -> simple_expression",
+        cp("$1.env", "$$.env"),
+        cp("$$.code", "$1.code"),
+        cp("$$.type", "$1.type"),
+        cp("$$.addr", "$1.addr"),
+        cp("$$.errs", "$1.errs"),
+    )
+    for operator, code_function in (
+        ("=", e.equal_code),
+        ("<>", e.not_equal_code),
+        ("<", e.less_code),
+        ("<=", e.less_equal_code),
+        (">", e.greater_code),
+        (">=", e.greater_equal_code),
+    ):
+        b.production(
+            f"expression -> simple_expression {operator} simple_expression",
+            cp("$1.env", "$$.env"),
+            cp("$3.env", "$$.env"),
+            Rule("$$.code", ["$1.code", "$3.code"], code_function, name=code_function.__name__),
+            Rule("$$.type", ["$1.type", "$3.type"], e.comparison_type, name="comparison_type"),
+            Rule("$$.addr", [], e.no_address, name="no_address"),
+            Rule("$$.errs", ["$1.type", "$3.type", "$1.errs", "$3.errs"],
+                 e.comparison_errors, name="comparison_errors"),
+        )
+
+    b.production(
+        "simple_expression -> term",
+        cp("$1.env", "$$.env"),
+        cp("$$.code", "$1.code"),
+        cp("$$.type", "$1.type"),
+        cp("$$.addr", "$1.addr"),
+        cp("$$.errs", "$1.errs"),
+    )
+    for operator, code_function, type_function, errs_function in (
+        ("+", e.add_code, e.arithmetic_type, e.arithmetic_errors),
+        ("-", e.subtract_code, e.arithmetic_type, e.arithmetic_errors),
+        ("OR", e.or_code, e.boolean_result, e.boolean_errors),
+    ):
+        b.production(
+            f"simple_expression -> simple_expression {operator} term",
+            cp("$1.env", "$$.env"),
+            cp("$3.env", "$$.env"),
+            Rule("$$.code", ["$1.code", "$3.code"], code_function, name=code_function.__name__),
+            Rule("$$.type", ["$1.type", "$3.type"], type_function, name=type_function.__name__),
+            Rule("$$.addr", [], e.no_address, name="no_address"),
+            Rule("$$.errs", ["$1.type", "$3.type", "$1.errs", "$3.errs"], errs_function,
+                 name=errs_function.__name__),
+        )
+    b.production(
+        "simple_expression -> - term",
+        cp("$2.env", "$$.env"),
+        Rule("$$.code", ["$2.code"], e.negate_code, name="negate_code"),
+        Rule("$$.type", ["$2.type", "$2.type"], e.arithmetic_type, name="arithmetic_type"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        Rule("$$.errs", ["$2.type", "$2.errs"], e.negate_errors, name="negate_errors"),
+    )
+    b.production(
+        "simple_expression -> + term",
+        cp("$2.env", "$$.env"),
+        cp("$$.code", "$2.code"),
+        cp("$$.type", "$2.type"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        cp("$$.errs", "$2.errs"),
+    )
+
+    b.production(
+        "term -> factor",
+        cp("$1.env", "$$.env"),
+        cp("$$.code", "$1.code"),
+        cp("$$.type", "$1.type"),
+        cp("$$.addr", "$1.addr"),
+        cp("$$.errs", "$1.errs"),
+    )
+    for operator, code_function, type_function, errs_function in (
+        ("*", e.multiply_code, e.arithmetic_type, e.arithmetic_errors),
+        ("DIV", e.divide_code, e.arithmetic_type, e.arithmetic_errors),
+        ("MOD", e.modulo_code, e.arithmetic_type, e.arithmetic_errors),
+        ("AND", e.and_code, e.boolean_result, e.boolean_errors),
+    ):
+        b.production(
+            f"term -> term {operator} factor",
+            cp("$1.env", "$$.env"),
+            cp("$3.env", "$$.env"),
+            Rule("$$.code", ["$1.code", "$3.code"], code_function, name=code_function.__name__),
+            Rule("$$.type", ["$1.type", "$3.type"], type_function, name=type_function.__name__),
+            Rule("$$.addr", [], e.no_address, name="no_address"),
+            Rule("$$.errs", ["$1.type", "$3.type", "$1.errs", "$3.errs"], errs_function,
+                 name=errs_function.__name__),
+        )
+
+    b.production(
+        "factor -> NUMBER",
+        Rule("$$.code", ["$1.string"], e.number_code, name="number_code"),
+        Rule("$$.type", [], h.integer_type, name="integer_type"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "factor -> STRINGLIT",
+        Rule("$$.code", ["$1.string"], e.literal_code, name="literal_code"),
+        Rule("$$.type", ["$1.string"], e.literal_type, name="literal_type"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        Rule("$$.errs", [], h.no_errors, name="no_errors"),
+    )
+    b.production(
+        "factor -> variable",
+        cp("$1.env", "$$.env"),
+        Rule("$$.code", ["$$.env", "$1.addr", "$1.type"], e.value_of_variable,
+             name="value_of_variable"),
+        cp("$$.type", "$1.type"),
+        cp("$$.addr", "$1.addr"),
+        cp("$$.errs", "$1.errs"),
+    )
+    b.production(
+        "factor -> IDENTIFIER ( expr_list )",
+        cp("$3.env", "$$.env"),
+        Rule("$$.code", ["$$.env", "$1.string", "$3.codes", "$3.addrs"],
+             e.function_call_code, name="function_call_code"),
+        Rule("$$.type", ["$$.env", "$1.string"], e.function_call_type, name="function_call_type"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        Rule("$$.errs", ["$$.env", "$1.string", "$3.types", "$3.addrs", "$3.errs"],
+             e.function_call_errors, name="function_call_errors"),
+    )
+    b.production(
+        "factor -> ( expression )",
+        cp("$2.env", "$$.env"),
+        cp("$$.code", "$2.code"),
+        cp("$$.type", "$2.type"),
+        cp("$$.addr", "$2.addr"),
+        cp("$$.errs", "$2.errs"),
+    )
+    b.production(
+        "factor -> NOT factor",
+        cp("$2.env", "$$.env"),
+        Rule("$$.code", ["$2.code"], e.not_code, name="not_code"),
+        Rule("$$.type", ["$2.type", "$2.type"], e.boolean_result, name="boolean_result"),
+        Rule("$$.addr", [], e.no_address, name="no_address"),
+        Rule("$$.errs", ["$2.type", "$2.errs"], e.not_errors, name="not_errors"),
+    )
+
+    return b.build(start="program")

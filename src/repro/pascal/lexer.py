@@ -1,0 +1,55 @@
+"""Lexical analysis for the Pascal subset."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.parsing.lexer import Lexer, Token, TokenSpec
+
+#: Reserved words; ``write``/``writeln``/``read``/``readln`` are treated as keywords
+#: "as in the paper" rather than as predeclared procedures.
+KEYWORDS: Dict[str, str] = {
+    name: name.upper()
+    for name in (
+        "program", "const", "type", "var", "procedure", "function",
+        "begin", "end", "if", "then", "else", "while", "do", "repeat", "until",
+        "for", "to", "downto", "of", "array", "record",
+        "div", "mod", "and", "or", "not",
+        "write", "writeln", "read", "readln",
+    )
+}
+
+TOKEN_SPECS = [
+    TokenSpec("whitespace", r"[ \t\r\n]+", skip=True),
+    TokenSpec("comment", r"\{[^}]*\}", skip=True),
+    TokenSpec("comment", r"\(\*[\s\S]*?\*\)", skip=True),
+    TokenSpec("NUMBER", r"[0-9]+"),
+    TokenSpec("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*"),
+    TokenSpec("STRINGLIT", r"'(?:[^']|'')*'"),
+    TokenSpec(":=", r":="),
+    TokenSpec("..", r"\.\."),
+    TokenSpec("<=", r"<="),
+    TokenSpec(">=", r">="),
+    TokenSpec("<>", r"<>"),
+    TokenSpec("<", r"<"),
+    TokenSpec(">", r">"),
+    TokenSpec("=", r"="),
+    TokenSpec("+", r"\+"),
+    TokenSpec("-", r"-"),
+    TokenSpec("*", r"\*"),
+    TokenSpec("(", r"\("),
+    TokenSpec(")", r"\)"),
+    TokenSpec("[", r"\["),
+    TokenSpec("]", r"\]"),
+    TokenSpec(".", r"\."),
+    TokenSpec(",", r","),
+    TokenSpec(";", r";"),
+    TokenSpec(":", r":"),
+]
+
+_LEXER = Lexer(TOKEN_SPECS, keywords=KEYWORDS)
+
+
+def tokenize_pascal(source: str) -> List[Token]:
+    """Scan Pascal source text into tokens (keywords are case-insensitive)."""
+    return _LEXER.tokenize(source)

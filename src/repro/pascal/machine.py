@@ -1,0 +1,294 @@
+"""VAX-style code emission helpers.
+
+The compiler produces assembly in the flavour of VAX Unix assemblers: three-operand
+integer instructions (``addl3``, ``subl3``, ``mull3``, ``divl3``), ``pushl``/``movl``,
+conditional branches after ``cmpl``/``tstl``, and ``calls`` for procedure linkage.  Code
+values are ropes (or string descriptors when the librarian optimisation is active), so
+every helper goes through :func:`repro.strings.code.code_join` and concatenation stays
+O(1) regardless of program size.
+
+Run-time model (documented here because both the code generator and the examples rely
+on it):
+
+* expression evaluation is stack based: operands are pushed with ``pushl`` and binary
+  operators pop two values and push the result;
+* each procedure frame is established by ``procedure_prologue``; locals live at negative
+  frame-pointer offsets, parameters at positive offsets above the saved state;
+* the static link (frame pointer of the lexically enclosing procedure) is pushed as a
+  hidden last argument so nested procedures can reach intermediate scopes;
+* a function stores its result in a dedicated slot and moves it to ``r0`` on return;
+* ``read``/``write`` translate to calls on a tiny runtime library (``rt_read_int``,
+  ``rt_write_int``, ``rt_write_str``, ``rt_write_char``, ``rt_writeln``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.strings.code import CodeValue, code_join
+from repro.strings.rope import Rope
+
+WORD = 4
+
+#: Frame-pointer offset of the first parameter (above return address, saved FP, ...).
+FIRST_PARAMETER_OFFSET = 8
+#: Frame-pointer offset of the hidden static-link argument (pushed last by callers).
+STATIC_LINK_OFFSET = 4
+
+
+def instruction(opcode: str, *operands: str) -> Rope:
+    """One formatted assembly line."""
+    if operands:
+        return Rope.leaf(f"\t{opcode}\t{', '.join(operands)}\n")
+    return Rope.leaf(f"\t{opcode}\n")
+
+
+def label_definition(label: str) -> Rope:
+    return Rope.leaf(f"{label}:\n")
+
+
+def comment(text: str) -> Rope:
+    return Rope.leaf(f"# {text}\n")
+
+
+def join(parts: Iterable[CodeValue]) -> CodeValue:
+    return code_join(parts)
+
+
+def empty_code() -> Rope:
+    return Rope.empty()
+
+
+# ------------------------------------------------------------------ stack operations
+
+
+def push_immediate(value: int) -> Rope:
+    return instruction("pushl", f"${value}")
+
+
+def push_register(register: str) -> Rope:
+    return instruction("pushl", register)
+
+
+def pop_to(register: str) -> Rope:
+    return instruction("movl", "(sp)+", register)
+
+
+def binary_operation(opcode: str) -> CodeValue:
+    """Pop two operands, apply ``opcode`` (three-operand form), push the result."""
+    return join(
+        [
+            pop_to("r1"),                      # right operand
+            pop_to("r0"),                      # left operand
+            instruction(opcode, "r0", "r1", "r0"),
+            push_register("r0"),
+        ]
+    )
+
+
+def comparison(branch_opcode: str, true_label: str, end_label: str) -> CodeValue:
+    """Pop two operands, push 1 if the comparison holds, 0 otherwise."""
+    return join(
+        [
+            pop_to("r1"),
+            pop_to("r0"),
+            instruction("cmpl", "r0", "r1"),
+            instruction(branch_opcode, true_label),
+            push_immediate(0),
+            instruction("brb", end_label),
+            label_definition(true_label),
+            push_immediate(1),
+            label_definition(end_label),
+        ]
+    )
+
+
+def negate_top() -> CodeValue:
+    return join(
+        [pop_to("r0"), instruction("mnegl", "r0", "r0"), push_register("r0")]
+    )
+
+
+def logical_not_top() -> CodeValue:
+    return join(
+        [pop_to("r0"), instruction("xorl2", "$1", "r0"), push_register("r0")]
+    )
+
+
+# ------------------------------------------------------------------ addressing
+
+
+def static_link_chase(levels_up: int) -> List[Rope]:
+    """Load into r2 the frame pointer of the scope ``levels_up`` static levels out."""
+    lines: List[Rope] = [instruction("movl", "fp", "r2")]
+    for _ in range(levels_up):
+        lines.append(instruction("movl", f"{STATIC_LINK_OFFSET}(r2)", "r2"))
+    return lines
+
+
+def push_variable_address(offset: int, levels_up: int, is_global: bool, name: str) -> CodeValue:
+    """Push the address of a scalar variable slot."""
+    if is_global:
+        return instruction("pushab", f"G_{name}")
+    if levels_up == 0:
+        return join([instruction("moval", f"{offset}(fp)", "r0"), push_register("r0")])
+    return join(
+        static_link_chase(levels_up)
+        + [instruction("moval", f"{offset}(r2)", "r0"), push_register("r0")]
+    )
+
+
+def push_parameter_reference(offset: int, levels_up: int) -> CodeValue:
+    """Push the address stored in a ``var`` parameter slot (the callee sees an address)."""
+    if levels_up == 0:
+        return join([instruction("movl", f"{offset}(fp)", "r0"), push_register("r0")])
+    return join(
+        static_link_chase(levels_up)
+        + [instruction("movl", f"{offset}(r2)", "r0"), push_register("r0")]
+    )
+
+
+def dereference_top() -> CodeValue:
+    """Replace the address on top of the stack by the word it points to."""
+    return join(
+        [pop_to("r0"), instruction("movl", "(r0)", "r0"), push_register("r0")]
+    )
+
+
+def store_through_address() -> CodeValue:
+    """Stack holds [... address value]; store value through address, pop both."""
+    return join(
+        [
+            pop_to("r0"),                      # value
+            pop_to("r1"),                      # address
+            instruction("movl", "r0", "(r1)"),
+        ]
+    )
+
+
+def index_address(element_size: int, low_bound: int) -> CodeValue:
+    """Stack holds [... base_address index]; replace by element address."""
+    return join(
+        [
+            pop_to("r0"),                                  # index
+            pop_to("r1"),                                  # base address
+            instruction("subl2", f"${low_bound}", "r0"),
+            instruction("mull2", f"${element_size}", "r0"),
+            instruction("addl3", "r0", "r1", "r0"),
+            push_register("r0"),
+        ]
+    )
+
+
+def field_address(offset: int) -> CodeValue:
+    """Stack holds [... record_address]; replace by field address."""
+    if offset == 0:
+        return empty_code()
+    return join(
+        [pop_to("r0"), instruction("addl2", f"${offset}", "r0"), push_register("r0")]
+    )
+
+
+# ------------------------------------------------------------------ procedures
+
+
+def procedure_prologue(label: str, frame_size: int, name: str = "") -> CodeValue:
+    parts: List[CodeValue] = []
+    if name:
+        parts.append(comment(f"procedure {name}"))
+    parts.append(label_definition(label))
+    parts.append(instruction(".word", "0x0"))
+    if frame_size > 0:
+        parts.append(instruction("subl2", f"${frame_size}", "sp"))
+    return join(parts)
+
+
+def procedure_epilogue(is_function: bool, result_offset: int = 0) -> CodeValue:
+    parts: List[CodeValue] = []
+    if is_function:
+        parts.append(instruction("movl", f"{result_offset}(fp)", "r0"))
+    parts.append(instruction("ret"))
+    return join(parts)
+
+
+def call_procedure(label: str, argument_count: int) -> CodeValue:
+    """Arguments (and the static link) are already pushed right-to-left."""
+    return instruction("calls", f"${argument_count}", label)
+
+
+def push_function_result() -> CodeValue:
+    return push_register("r0")
+
+
+def push_static_link(levels_up: int) -> CodeValue:
+    """Push the static link for a callee declared ``levels_up`` levels out (0 = child)."""
+    if levels_up == 0:
+        return push_register("fp")
+    return join(static_link_chase(levels_up) + [push_register("r2")])
+
+
+# ------------------------------------------------------------------ program skeleton
+
+
+def program_header(name: str) -> CodeValue:
+    return join(
+        [
+            comment(f"program {name} (generated by repro.pascal)"),
+            instruction(".text"),
+            instruction(".globl", "_main"),
+        ]
+    )
+
+
+def main_entry(frame_size: int) -> CodeValue:
+    parts: List[CodeValue] = [
+        label_definition("_main"),
+        instruction(".word", "0x0"),
+    ]
+    if frame_size > 0:
+        parts.append(instruction("subl2", f"${frame_size}", "sp"))
+    return join(parts)
+
+
+def main_exit() -> CodeValue:
+    return join([instruction("pushl", "$0"), instruction("calls", "$1", "_exit")])
+
+
+def global_variable(name: str, size: int) -> CodeValue:
+    return Rope.leaf(f"\t.lcomm\tG_{name}, {size}\n")
+
+
+def data_section(parts: Sequence[CodeValue]) -> CodeValue:
+    if not parts:
+        return empty_code()
+    return join([instruction(".data"), *parts, instruction(".text")])
+
+
+def string_literal(label: str, text: str) -> CodeValue:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return join(
+        [
+            instruction(".data"),
+            label_definition(label),
+            Rope.leaf(f'\t.asciz\t"{escaped}"\n'),
+            instruction(".text"),
+        ]
+    )
+
+
+# ------------------------------------------------------------------ runtime library
+
+
+def runtime_call(routine: str, argument_count: int) -> CodeValue:
+    return instruction("calls", f"${argument_count}", routine)
+
+
+RUNTIME_ROUTINES = (
+    "rt_write_int",
+    "rt_write_char",
+    "rt_write_str",
+    "rt_write_bool",
+    "rt_writeln",
+    "rt_read_int",
+    "rt_read_char",
+)

@@ -1,0 +1,131 @@
+"""Symbol-table meanings (what an identifier denotes) and environment helpers.
+
+The environment is the applicative :class:`repro.symtab.SymbolTable`; the values bound
+to identifiers are the *meaning* objects below.  Two reserved bindings carry scope-wide
+context so that it does not have to be threaded as separate inherited attributes:
+``$level`` (static nesting depth of the current scope) and ``$function`` (the meaning of
+the enclosing function, used to type-check assignments to the function result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pascal.types import BOOLEAN, CHAR, INTEGER, PascalType
+from repro.symtab.symbol_table import SymbolTable
+
+LEVEL_KEY = "$level"
+FUNCTION_KEY = "$function"
+
+
+@dataclass(frozen=True)
+class ConstMeaning:
+    """A named constant."""
+
+    name: str
+    value: object
+    type: PascalType
+
+
+@dataclass(frozen=True)
+class TypeMeaning:
+    """A named type."""
+
+    name: str
+    type: PascalType
+
+
+@dataclass(frozen=True)
+class VarMeaning:
+    """A variable, parameter or function-result slot.
+
+    :param level: static nesting level of the declaring scope (0 = program globals).
+    :param offset: frame-pointer-relative offset (negative for locals, positive for
+        parameters) or absolute data-segment offset for globals.
+    :param by_ref: true for ``var`` parameters — the slot holds the address of the
+        actual variable rather than its value.
+    :param is_global: globals are addressed symbolically rather than via the frame.
+    """
+
+    name: str
+    type: PascalType
+    level: int
+    offset: int
+    by_ref: bool = False
+    is_global: bool = False
+    is_result: bool = False
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One formal parameter."""
+
+    name: str
+    type: PascalType
+    by_ref: bool = False
+
+    def size(self) -> int:
+        return 4 if self.by_ref else self.type.size()
+
+
+@dataclass(frozen=True)
+class ProcMeaning:
+    """A procedure or function."""
+
+    name: str
+    label: str
+    level: int
+    parameters: Tuple[Parameter, ...]
+    result_type: Optional[PascalType] = None   # None for procedures
+
+    @property
+    def is_function(self) -> bool:
+        return self.result_type is not None
+
+
+# ------------------------------------------------------------------- environments
+
+
+def initial_environment() -> SymbolTable:
+    """The standard environment: predefined types plus level 0."""
+    table = SymbolTable()
+    table = table.add("integer", TypeMeaning("integer", INTEGER))
+    table = table.add("boolean", TypeMeaning("boolean", BOOLEAN))
+    table = table.add("char", TypeMeaning("char", CHAR))
+    table = table.add("true", ConstMeaning("true", 1, BOOLEAN))
+    table = table.add("false", ConstMeaning("false", 0, BOOLEAN))
+    table = table.add("maxint", ConstMeaning("maxint", 2 ** 31 - 1, INTEGER))
+    table = table.add(LEVEL_KEY, 0)
+    return table
+
+
+def current_level(environment: SymbolTable) -> int:
+    return int(environment.lookup(LEVEL_KEY, 0))
+
+
+def with_level(environment: SymbolTable, level: int) -> SymbolTable:
+    return environment.add(LEVEL_KEY, level)
+
+
+def current_function(environment: SymbolTable) -> Optional[ProcMeaning]:
+    value = environment.lookup(FUNCTION_KEY, None)
+    return value if isinstance(value, ProcMeaning) else None
+
+
+def with_function(environment: SymbolTable, meaning: Optional[ProcMeaning]) -> SymbolTable:
+    return environment.add(FUNCTION_KEY, meaning)
+
+
+def lookup_meaning(environment: SymbolTable, name: str):
+    """Look an identifier up, returning ``None`` when undeclared."""
+    return environment.lookup(name.lower(), None)
+
+
+def bind(environment: SymbolTable, name: str, meaning) -> SymbolTable:
+    return environment.add(name.lower(), meaning)
+
+
+def environment_size(environment: SymbolTable) -> int:
+    """Abstract transmission size of an environment value."""
+    return environment.transmission_size()

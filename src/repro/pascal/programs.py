@@ -1,0 +1,316 @@
+"""Sample Pascal programs and a synthetic program generator.
+
+The paper's measurements compile "a compiler and interpreter for a simple language used
+in our compiler course": about 1100 lines, 46 procedures, 6 of which are nested deeper
+than one level, producing roughly 70 kilobytes of assembly.  That exact program is not
+available, so :func:`generate_program` synthesises structurally similar programs: a
+parameterisable number of procedures and functions (some nested), each with parameters,
+local variables, loops, conditionals and calls to previously declared routines, plus a
+main program that exercises them.  The generator is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+
+HELLO = """
+program hello;
+begin
+  writeln('hello, world')
+end.
+"""
+
+FACTORIAL = """
+program factorial;
+var
+  n, result: integer;
+
+function fact(n: integer): integer;
+begin
+  if n <= 1 then
+    fact := 1
+  else
+    fact := n * fact(n - 1)
+end;
+
+begin
+  n := 10;
+  result := fact(n);
+  writeln(result)
+end.
+"""
+
+SUMMATION = """
+program summation;
+const
+  limit = 100;
+var
+  i, total: integer;
+begin
+  total := 0;
+  for i := 1 to limit do
+    total := total + i * i;
+  writeln(total)
+end.
+"""
+
+SORTING = """
+program sorting;
+const
+  size = 32;
+type
+  table = array [1..32] of integer;
+var
+  data: table;
+  i: integer;
+
+procedure swap(var a: integer; var b: integer);
+var t: integer;
+begin
+  t := a;
+  a := b;
+  b := t
+end;
+
+procedure sort(var items: table; count: integer);
+var i, j: integer;
+begin
+  for i := 1 to count - 1 do
+    for j := 1 to count - i do
+      if items[j] > items[j + 1] then
+        swap(items[j], items[j + 1])
+end;
+
+begin
+  for i := 1 to size do
+    data[i] := (size - i) * 7 mod 13;
+  sort(data, size);
+  for i := 1 to size do
+    writeln(data[i])
+end.
+"""
+
+RECORDS = """
+program accounts;
+type
+  account = record
+    balance: integer;
+    owner: integer;
+    active: boolean
+  end;
+  ledger = array [1..16] of integer;
+var
+  acct: account;
+  totals: ledger;
+  i: integer;
+
+procedure deposit(var bal: integer; amount: integer);
+begin
+  bal := bal + amount
+end;
+
+begin
+  acct.balance := 0;
+  acct.owner := 42;
+  acct.active := true;
+  for i := 1 to 16 do
+  begin
+    totals[i] := i;
+    deposit(acct.balance, totals[i])
+  end;
+  if acct.active then
+    writeln(acct.balance)
+end.
+"""
+
+NESTED = """
+program nested;
+var g: integer;
+
+procedure outer(x: integer);
+var middle_total: integer;
+
+  procedure inner(y: integer);
+  var z: integer;
+  begin
+    z := y + x;
+    middle_total := middle_total + z;
+    g := g + z
+  end;
+
+begin
+  middle_total := 0;
+  inner(x);
+  inner(x * 2);
+  writeln(middle_total)
+end;
+
+begin
+  g := 0;
+  outer(3);
+  outer(5);
+  writeln(g)
+end.
+"""
+
+SAMPLE_PROGRAMS: Dict[str, str] = {
+    "hello": HELLO,
+    "factorial": FACTORIAL,
+    "summation": SUMMATION,
+    "sorting": SORTING,
+    "records": RECORDS,
+    "nested": NESTED,
+}
+
+
+# --------------------------------------------------------------------- generator
+
+
+def _body_statements(rng: random.Random, variables: List[str], callables: List[tuple],
+                     depth: int, statements: int, indent: str) -> List[str]:
+    """Generate a list of type-correct statements over integer variables."""
+    lines: List[str] = []
+    for _ in range(statements):
+        choice = rng.random()
+        target = rng.choice(variables)
+        left = rng.choice(variables)
+        right = rng.choice(variables)
+        constant = rng.randint(1, 97)
+        if choice < 0.30:
+            operator = rng.choice(["+", "-", "*"])
+            lines.append(f"{indent}{target} := {left} {operator} ({right} + {constant});")
+        elif choice < 0.45:
+            lines.append(
+                f"{indent}if {left} > {right} then\n"
+                f"{indent}  {target} := {target} + {constant}\n"
+                f"{indent}else\n"
+                f"{indent}  {target} := {target} - {constant};"
+            )
+        elif choice < 0.60 and depth < 2:
+            inner = _body_statements(rng, variables, callables, depth + 1, 2, indent + "  ")
+            lines.append(
+                f"{indent}for {target} := 1 to {rng.randint(3, 12)} do\n"
+                f"{indent}begin\n" + "\n".join(inner) + f"\n{indent}end;"
+            )
+        elif choice < 0.72 and depth < 2:
+            inner = _body_statements(rng, variables, callables, depth + 1, 2, indent + "  ")
+            lines.append(
+                f"{indent}while {left} > {constant} do\n"
+                f"{indent}begin\n"
+                + "\n".join(inner)
+                + f"\n{indent}  {left} := {left} div 2;\n{indent}end;"
+            )
+        elif choice < 0.88 and callables:
+            name, kind, arity = rng.choice(callables)
+            arguments = ", ".join(rng.choice(variables + [str(constant)]) for _ in range(arity))
+            if kind == "function":
+                lines.append(f"{indent}{target} := {name}({arguments});")
+            else:
+                lines.append(f"{indent}{name}({arguments});")
+        else:
+            lines.append(f"{indent}writeln({target});")
+    return lines
+
+
+def _routine(rng: random.Random, index: int, callables: List[tuple], nested: bool,
+             body_statements: int) -> tuple:
+    """Generate one procedure or function; returns (text, descriptor)."""
+    is_function = rng.random() < 0.4
+    name = f"{'func' if is_function else 'proc'}{index}"
+    arity = rng.randint(1, 3)
+    parameters = "; ".join(f"p{i}: integer" for i in range(1, arity + 1))
+    local_names = [f"v{i}" for i in range(1, rng.randint(2, 5) + 1)]
+    variables = local_names + [f"p{i}" for i in range(1, arity + 1)]
+    header = (
+        f"function {name}({parameters}): integer;"
+        if is_function
+        else f"procedure {name}({parameters});"
+    )
+    lines = [header, "var " + ", ".join(local_names) + ": integer;"]
+
+    if nested:
+        inner_name = f"inner{index}"
+        inner_body = _body_statements(rng, ["w1", "w2"] + variables[:2], callables, 1, 3, "    ")
+        lines.append(f"  procedure {inner_name}(q: integer);")
+        lines.append("  var w1, w2: integer;")
+        lines.append("  begin")
+        lines.append("    w1 := q;")
+        lines.append("    w2 := q * 2;")
+        lines.extend(inner_body)
+        lines.append("  end;")
+        callables_for_body = callables + [(inner_name, "procedure", 1)]
+    else:
+        callables_for_body = callables
+
+    lines.append("begin")
+    for local in local_names:
+        lines.append(f"  {local} := {rng.randint(0, 50)};")
+    lines.extend(_body_statements(rng, variables, callables_for_body, 0, body_statements, "  "))
+    if is_function:
+        lines.append(f"  {name} := {rng.choice(variables)}")
+    else:
+        lines.append(f"  {rng.choice(local_names)} := {rng.choice(variables)}")
+    lines.append("end;")
+    text = "\n".join(lines)
+    return text, (name, "function" if is_function else "procedure", arity)
+
+
+def generate_program(
+    procedures: int = 46,
+    nested_procedures: int = 6,
+    statements_per_procedure: int = 8,
+    main_statements: int = 30,
+    seed: int = 1987,
+    name: str = "workload",
+) -> str:
+    """Generate a synthetic Pascal program of roughly the paper's size and shape.
+
+    The defaults produce ≈1100 lines with 46 procedures/functions, 6 of which contain a
+    nested procedure (i.e. routines at nesting level deeper than 1), mirroring the
+    program measured in the paper.
+    """
+    rng = random.Random(seed)
+    globals_names = [f"g{i}" for i in range(1, 9)]
+    pieces: List[str] = [
+        f"program {name};",
+        "const",
+        "  scale = 3;",
+        "  bias = 17;",
+        "type",
+        "  vector = array [1..64] of integer;",
+        "  pair = record first: integer; second: integer end;",
+        "var",
+        "  " + ", ".join(globals_names) + ": integer;",
+        "  buffer: vector;",
+        "  point: pair;",
+        "",
+    ]
+    callables: List[tuple] = []
+    nested_indices = set(
+        rng.sample(range(1, procedures + 1), min(nested_procedures, procedures))
+    )
+    for index in range(1, procedures + 1):
+        text, descriptor = _routine(
+            rng, index, list(callables), index in nested_indices, statements_per_procedure
+        )
+        pieces.append(text)
+        pieces.append("")
+        callables.append(descriptor)
+
+    pieces.append("begin")
+    main_variables = globals_names
+    for variable in main_variables:
+        pieces.append(f"  {variable} := {rng.randint(0, 9)};")
+    pieces.extend(
+        _body_statements(rng, main_variables, callables, 0, main_statements, "  ")
+    )
+    pieces.append("  writeln(g1)")
+    pieces.append("end.")
+    return "\n".join(pieces)
+
+
+def paper_sized_program(seed: int = 1987) -> str:
+    """The default workload used by the benchmark harness (≈1100 lines, 46 routines)."""
+    return generate_program(seed=seed)

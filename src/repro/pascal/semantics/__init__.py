@@ -1,0 +1,12 @@
+"""Semantic functions used by the Pascal attribute grammar.
+
+Every function in this package is a *pure* function of its attribute arguments (the one
+sanctioned exception, exactly as in the paper, is unique label generation, which draws
+from the evaluator-local :mod:`repro.distributed.unique_ids` base value).  The grammar
+in :mod:`repro.pascal.grammar` wires these functions to productions; nothing in here
+inspects parse trees or global state.
+"""
+
+from repro.pascal.semantics import declarations, expressions, helpers, statements
+
+__all__ = ["declarations", "expressions", "helpers", "statements"]

@@ -1,0 +1,402 @@
+"""Semantic functions for declarations, blocks, procedures and the whole program.
+
+The block structure follows the classic two-pass attribute pattern: declaration parts
+synthesize *definition lists* bottom-up, environments built from those definitions flow
+back down into procedure bodies and statements, and code flows up again.  This is
+exactly the structure that makes the symbol-table phase of the parallel compiler largely
+sequential and the code-generation phase parallel (paper, Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.distributed.unique_ids import next_label
+from repro.pascal import machine
+from repro.pascal import types as ptypes
+from repro.pascal.meanings import (
+    ConstMeaning,
+    Parameter,
+    ProcMeaning,
+    TypeMeaning,
+    VarMeaning,
+    bind,
+    current_level,
+    lookup_meaning,
+    with_function,
+    with_level,
+)
+from repro.pascal.semantics.helpers import (
+    Errors,
+    error,
+    merge_errors,
+    no_errors,
+    resolve_named_type,
+)
+from repro.strings.code import CodeValue
+from repro.symtab.symbol_table import SymbolTable
+
+#: Locals start below the (always reserved) function-result slot.
+FIRST_LOCAL_OFFSET = -8
+RESULT_SLOT_SIZE = 4
+
+
+# ------------------------------------------------------------------- constants
+
+
+def constant_from_number(text: str) -> ConstMeaning:
+    return ConstMeaning("<anonymous>", int(text), ptypes.INTEGER)
+
+
+def constant_from_negative_number(text: str) -> ConstMeaning:
+    return ConstMeaning("<anonymous>", -int(text), ptypes.INTEGER)
+
+
+def constant_from_char(text: str) -> ConstMeaning:
+    inner = text[1:-1].replace("''", "'")
+    if len(inner) == 1:
+        return ConstMeaning("<anonymous>", ord(inner), ptypes.CHAR)
+    return ConstMeaning("<anonymous>", 0, ptypes.STRING)
+
+
+def constant_from_identifier(environment: SymbolTable, name: str) -> ConstMeaning:
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, ConstMeaning):
+        return ConstMeaning("<anonymous>", meaning.value, meaning.type)
+    return ConstMeaning("<anonymous>", 0, ptypes.ERROR_TYPE)
+
+
+def constant_identifier_errors(environment: SymbolTable, name: str) -> Errors:
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, ConstMeaning):
+        return no_errors()
+    return error(f"'{name}' is not a constant")
+
+
+def const_definition(name: str, constant: ConstMeaning) -> ConstMeaning:
+    return ConstMeaning(name.lower(), constant.value, constant.type)
+
+
+# ----------------------------------------------------------------------- types
+
+
+def array_type(low_text: str, high_text: str, element: ptypes.PascalType) -> ptypes.PascalType:
+    low, high = int(low_text), int(high_text)
+    if high < low:
+        return ptypes.ERROR_TYPE
+    return ptypes.ArrayType(low, high, element)
+
+
+def array_type_errors(low_text: str, high_text: str, element_errs: Errors) -> Errors:
+    errors = tuple(element_errs)
+    if int(high_text) < int(low_text):
+        errors = merge_errors(errors, error("array upper bound is below its lower bound"))
+    return errors
+
+
+def record_type(fields: Sequence[Tuple[str, ptypes.PascalType]]) -> ptypes.PascalType:
+    seen = set()
+    unique = []
+    for name, field_type in fields:
+        if name in seen:
+            continue
+        seen.add(name)
+        unique.append((name, field_type))
+    return ptypes.RecordType(unique)
+
+
+def record_type_errors(fields: Sequence[Tuple[str, ptypes.PascalType]], field_errs: Errors) -> Errors:
+    errors = tuple(field_errs)
+    seen = set()
+    for name, _ in fields:
+        if name in seen:
+            errors = merge_errors(errors, error(f"duplicate record field '{name}'"))
+        seen.add(name)
+    return errors
+
+
+def fields_from_names(names: Sequence[str], field_type: ptypes.PascalType) -> tuple:
+    return tuple((name.lower(), field_type) for name in names)
+
+
+def type_definition(name: str, denoted: ptypes.PascalType) -> TypeMeaning:
+    return TypeMeaning(name.lower(), denoted)
+
+
+# ------------------------------------------------------------------- variables
+
+
+def variable_definitions(names: Sequence[str], declared_type: ptypes.PascalType) -> tuple:
+    """A variable declaration contributes (name, type) pairs; offsets are assigned later
+    at the block level so the layout is a pure function of the whole declaration list."""
+    return tuple((name.lower(), declared_type) for name in names)
+
+
+def _layout_variables(
+    definitions: Sequence[Tuple[str, ptypes.PascalType]],
+    level: int,
+) -> Tuple[Tuple[VarMeaning, ...], int]:
+    """Assign offsets (or global labels) to variable definitions; returns frame size."""
+    meanings = []
+    cumulative = 0
+    for name, declared_type in definitions:
+        size = declared_type.size()
+        if level == 0:
+            meanings.append(
+                VarMeaning(name, declared_type, level, 0, by_ref=False, is_global=True)
+            )
+            continue
+        cumulative += size
+        # The variable's lowest address: locals grow downward below the result slot.
+        offset = FIRST_LOCAL_OFFSET + 4 - cumulative
+        meanings.append(
+            VarMeaning(name, declared_type, level, offset, by_ref=False, is_global=False)
+        )
+    return tuple(meanings), RESULT_SLOT_SIZE + cumulative
+
+
+def frame_size(definitions: Sequence[Tuple[str, ptypes.PascalType]]) -> int:
+    """Frame size of a block's locals (plus the reserved result slot)."""
+    return RESULT_SLOT_SIZE + sum(t.size() for _, t in definitions)
+
+
+def global_directives(environment: SymbolTable,
+                      definitions: Sequence[Tuple[str, ptypes.PascalType]]) -> CodeValue:
+    """``.lcomm`` directives for program-level (global) variables."""
+    if current_level(environment) != 0:
+        return machine.empty_code()
+    return machine.join(
+        [machine.global_variable(name, declared_type.size()) for name, declared_type in definitions]
+    )
+
+
+def duplicate_name_errors(definitions: Sequence[Tuple[str, object]], what: str) -> Errors:
+    errors: Errors = ()
+    seen = set()
+    for item in definitions:
+        name = item[0] if isinstance(item, tuple) else getattr(item, "name", "")
+        if name in seen:
+            errors = merge_errors(errors, error(f"duplicate {what} '{name}'"))
+        seen.add(name)
+    return errors
+
+
+# ----------------------------------------------------------------- environments
+
+
+def _extend(environment: SymbolTable, definitions) -> SymbolTable:
+    for definition in definitions:
+        if isinstance(definition, tuple):
+            # (name, type) variable definitions are laid out by the caller.
+            raise TypeError("variable definitions must be laid out before binding")
+        environment = bind(environment, definition.name, definition)
+    return environment
+
+
+def environment_with_constants(environment: SymbolTable, constants) -> SymbolTable:
+    return _extend(environment, constants)
+
+
+def environment_with_types(environment: SymbolTable, constants, type_definitions) -> SymbolTable:
+    return _extend(_extend(environment, constants), type_definitions)
+
+
+def environment_with_variables(
+    environment: SymbolTable, constants, type_definitions, variable_definitions_
+) -> SymbolTable:
+    extended = environment_with_types(environment, constants, type_definitions)
+    laid_out, _ = _layout_variables(variable_definitions_, current_level(environment))
+    return _extend(extended, laid_out)
+
+
+def environment_with_procedures(
+    environment: SymbolTable, constants, type_definitions, variable_definitions_, procedures
+) -> SymbolTable:
+    extended = environment_with_variables(
+        environment, constants, type_definitions, variable_definitions_
+    )
+    return _extend(extended, procedures)
+
+
+# ------------------------------------------------------------------- procedures
+
+
+def make_parameters(names: Sequence[str], environment: SymbolTable, type_name: str,
+                    by_ref: bool) -> tuple:
+    declared = resolve_named_type(environment, type_name)
+    return tuple(Parameter(name.lower(), declared, by_ref) for name in names)
+
+
+def parameter_errors(environment: SymbolTable, type_name: str) -> Errors:
+    if isinstance(resolve_named_type(environment, type_name), ptypes.ErrorType):
+        return error(f"unknown parameter type '{type_name}'")
+    return no_errors()
+
+
+def procedure_definition(
+    environment: SymbolTable, name: str, parameters: Sequence[Parameter]
+) -> ProcMeaning:
+    label = next_label(f"P_{name.lower()}_")
+    return ProcMeaning(name.lower(), label, current_level(environment), tuple(parameters), None)
+
+
+def function_definition(
+    environment: SymbolTable,
+    name: str,
+    parameters: Sequence[Parameter],
+    result_type_name: str,
+) -> ProcMeaning:
+    label = next_label(f"F_{name.lower()}_")
+    result_type = resolve_named_type(environment, result_type_name)
+    return ProcMeaning(
+        name.lower(), label, current_level(environment), tuple(parameters), result_type
+    )
+
+
+def function_result_errors(environment: SymbolTable, result_type_name: str) -> Errors:
+    resolved = resolve_named_type(environment, result_type_name)
+    if isinstance(resolved, ptypes.ErrorType):
+        return error(f"unknown function result type '{result_type_name}'")
+    if isinstance(resolved, (ptypes.ArrayType, ptypes.RecordType)):
+        return error("function results must be simple types")
+    return no_errors()
+
+
+def procedure_body_environment(
+    environment: SymbolTable, definition: ProcMeaning, parameters: Sequence[Parameter]
+) -> SymbolTable:
+    """The environment a procedure's block is evaluated in: the outer environment plus
+    the procedure itself (recursion), its parameters (at positive frame offsets), the
+    new nesting level and the enclosing-function marker."""
+    inner_level = definition.level + 1
+    extended = bind(environment, definition.name, definition)
+    extended = with_level(extended, inner_level)
+    extended = with_function(extended, definition if definition.is_function else None)
+    offset = machine.FIRST_PARAMETER_OFFSET
+    for parameter in parameters:
+        extended = bind(
+            extended,
+            parameter.name,
+            VarMeaning(
+                parameter.name,
+                parameter.type,
+                inner_level,
+                offset,
+                by_ref=parameter.by_ref,
+                is_global=False,
+            ),
+        )
+        offset += 4 if parameter.by_ref else parameter.type.size()
+    return extended
+
+
+def procedure_code(
+    definition: ProcMeaning,
+    routines: CodeValue,
+    body: CodeValue,
+    local_frame_size: int,
+) -> CodeValue:
+    """The complete routine: nested routines first, then label/prologue/body/epilogue."""
+    return machine.join(
+        [
+            routines,
+            machine.procedure_prologue(definition.label, local_frame_size, definition.name),
+            body,
+            machine.procedure_epilogue(
+                definition.is_function, result_offset=-RESULT_SLOT_SIZE
+            ),
+        ]
+    )
+
+
+def procedure_errors(definition: ProcMeaning, parameter_errs: Errors, block_errs: Errors) -> Errors:
+    errors = merge_errors(parameter_errs, block_errs)
+    seen = set()
+    for parameter in definition.parameters:
+        if parameter.name in seen:
+            errors = merge_errors(
+                errors, error(f"duplicate parameter '{parameter.name}' in '{definition.name}'")
+            )
+        seen.add(parameter.name)
+    return errors
+
+
+# ---------------------------------------------------------------------- program
+
+
+def program_code(
+    name: str,
+    routines: CodeValue,
+    body: CodeValue,
+    globals_code: CodeValue,
+) -> CodeValue:
+    """Assemble the whole program: header, nested routines, main entry, body, globals."""
+    return machine.join(
+        [
+            machine.program_header(name),
+            routines,
+            machine.main_entry(0),
+            body,
+            machine.main_exit(),
+            globals_code,
+        ]
+    )
+
+
+def program_errors(name: str, block_errs: Errors) -> Errors:
+    return tuple(block_errs)
+
+
+# ------------------------------------------------------- grammar-facing wrappers
+
+
+def environment_with_definitions(environment: SymbolTable, definitions) -> SymbolTable:
+    """Extend an environment with already-constructed meaning objects (constants, types
+    or procedures); used to make earlier declarations visible to later ones."""
+    return _extend(environment, definitions)
+
+
+def value_parameters(names: Sequence[str], environment: SymbolTable, type_name: str) -> tuple:
+    return make_parameters(names, environment, type_name, by_ref=False)
+
+
+def reference_parameters(names: Sequence[str], environment: SymbolTable, type_name: str) -> tuple:
+    return make_parameters(names, environment, type_name, by_ref=True)
+
+
+def block_errors(
+    const_definitions,
+    type_definitions,
+    variable_definitions_,
+    procedure_definitions,
+    const_errs: Errors,
+    type_errs: Errors,
+    var_errs: Errors,
+    proc_errs: Errors,
+    body_errs: Errors,
+) -> Errors:
+    """All errors of a block: child errors plus duplicate-declaration checks."""
+    return merge_errors(
+        const_errs,
+        type_errs,
+        var_errs,
+        proc_errs,
+        body_errs,
+        duplicate_name_errors(const_definitions, "constant"),
+        duplicate_name_errors(type_definitions, "type"),
+        duplicate_name_errors(variable_definitions_, "variable"),
+        duplicate_name_errors(procedure_definitions, "procedure"),
+    )
+
+
+def function_declaration_errors(
+    environment: SymbolTable,
+    definition: ProcMeaning,
+    result_type_name: str,
+    parameter_errs: Errors,
+    block_errs: Errors,
+) -> Errors:
+    return merge_errors(
+        procedure_errors(definition, parameter_errs, block_errs),
+        function_result_errors(environment, result_type_name),
+    )

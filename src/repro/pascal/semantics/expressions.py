@@ -1,0 +1,484 @@
+"""Semantic functions for expressions, variables (l-values) and literals.
+
+Conventions (see :mod:`repro.pascal.machine`): an expression's ``code`` attribute pushes
+its value on the stack; a variable's ``addr`` attribute pushes its address.  Each
+production defines three synthesized attributes — ``code``, ``type`` and ``errs`` — via
+the functions below, plus an ``addr`` attribute on expressions that records the l-value
+code when the expression is just a variable (needed to pass actuals to ``var``
+parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.distributed.unique_ids import next_label
+from repro.pascal import machine
+from repro.pascal import types as ptypes
+from repro.pascal.meanings import (
+    ConstMeaning,
+    ProcMeaning,
+    VarMeaning,
+    current_level,
+    lookup_meaning,
+)
+from repro.pascal.semantics.helpers import Errors, error, merge_errors, no_errors
+from repro.strings.code import CodeValue
+from repro.symtab.symbol_table import SymbolTable
+
+# --------------------------------------------------------------------- literals
+
+
+def number_code(text: str) -> CodeValue:
+    return machine.push_immediate(int(text))
+
+
+def number_value(text: str) -> int:
+    return int(text)
+
+
+def char_code(text: str) -> CodeValue:
+    """``text`` is the quoted literal, e.g. ``'a'``."""
+    inner = text[1:-1].replace("''", "'")
+    return machine.push_immediate(ord(inner) if inner else 0)
+
+
+def string_code(text: str) -> CodeValue:
+    """Emit the literal into the data segment and push its address."""
+    inner = text[1:-1].replace("''", "'")
+    label = next_label("S")
+    return machine.join(
+        [machine.string_literal(label, inner), machine.instruction("pushab", label)]
+    )
+
+
+# --------------------------------------------------------------------- variables
+
+
+#: Frame offset of a function's result slot (see :mod:`repro.pascal.machine`).
+RESULT_SLOT_OFFSET = -4
+
+
+def variable_address(environment: SymbolTable, name: str) -> CodeValue:
+    """Code pushing the address denoted by a bare identifier.
+
+    A function name used as an l-value denotes the function's result slot (Pascal's
+    result-assignment convention), addressed relative to the frame of the function's own
+    activation.
+    """
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, VarMeaning):
+        levels_up = max(0, current_level(environment) - meaning.level)
+        if meaning.by_ref:
+            return machine.push_parameter_reference(meaning.offset, levels_up)
+        return machine.push_variable_address(
+            meaning.offset, levels_up, meaning.is_global, meaning.name
+        )
+    if isinstance(meaning, ProcMeaning) and meaning.is_function:
+        levels_up = max(0, current_level(environment) - (meaning.level + 1))
+        return machine.push_variable_address(RESULT_SLOT_OFFSET, levels_up, False, name)
+    if isinstance(meaning, ConstMeaning):
+        # Constants have no address; the error is reported by variable_errors.
+        return machine.push_immediate(0)
+    return machine.push_immediate(0)
+
+
+def variable_type(environment: SymbolTable, name: str) -> ptypes.PascalType:
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, VarMeaning):
+        return meaning.type
+    if isinstance(meaning, ConstMeaning):
+        return meaning.type
+    if isinstance(meaning, ProcMeaning) and meaning.is_function:
+        return meaning.result_type
+    return ptypes.ERROR_TYPE
+
+
+def variable_errors(environment: SymbolTable, name: str) -> Errors:
+    meaning = lookup_meaning(environment, name)
+    if meaning is None:
+        return error(f"undeclared identifier '{name}'")
+    if isinstance(meaning, (VarMeaning,)):
+        return no_errors()
+    if isinstance(meaning, ConstMeaning):
+        return no_errors()
+    if isinstance(meaning, ProcMeaning) and meaning.is_function:
+        # The function name as an l-value: assignment to the result slot.
+        return no_errors()
+    return error(f"'{name}' does not denote a variable")
+
+
+def indexed_address(
+    base_addr: CodeValue,
+    base_type: ptypes.PascalType,
+    index_code: CodeValue,
+) -> CodeValue:
+    if isinstance(base_type, ptypes.ArrayType):
+        return machine.join(
+            [base_addr, index_code,
+             machine.index_address(base_type.element.size(), base_type.low)]
+        )
+    return machine.join([base_addr, index_code, machine.index_address(4, 0)])
+
+
+def indexed_type(base_type: ptypes.PascalType) -> ptypes.PascalType:
+    if isinstance(base_type, ptypes.ArrayType):
+        return base_type.element
+    return ptypes.ERROR_TYPE
+
+
+def indexed_errors(
+    base_type: ptypes.PascalType,
+    index_type: ptypes.PascalType,
+    base_errs: Errors,
+    index_errs: Errors,
+) -> Errors:
+    errors = merge_errors(base_errs, index_errs)
+    if not isinstance(base_type, (ptypes.ArrayType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error(f"cannot index a {base_type.describe()}"))
+    if not isinstance(index_type, (ptypes.IntegerType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error("array index must be an integer"))
+    return errors
+
+
+def field_address_code(
+    base_addr: CodeValue, base_type: ptypes.PascalType, field_name: str
+) -> CodeValue:
+    if isinstance(base_type, ptypes.RecordType):
+        field_type = base_type.field_type(field_name)
+        if field_type is not None:
+            return machine.join(
+                [base_addr, machine.field_address(base_type.field_offset(field_name))]
+            )
+    return base_addr
+
+
+def field_type_of(base_type: ptypes.PascalType, field_name: str) -> ptypes.PascalType:
+    if isinstance(base_type, ptypes.RecordType):
+        field_type = base_type.field_type(field_name)
+        if field_type is not None:
+            return field_type
+    return ptypes.ERROR_TYPE
+
+
+def field_errors(
+    base_type: ptypes.PascalType, field_name: str, base_errs: Errors
+) -> Errors:
+    errors = tuple(base_errs)
+    if isinstance(base_type, ptypes.ErrorType):
+        return errors
+    if not isinstance(base_type, ptypes.RecordType):
+        return merge_errors(errors, error(f"cannot select field of {base_type.describe()}"))
+    if base_type.field_type(field_name) is None:
+        return merge_errors(errors, error(f"record has no field '{field_name}'"))
+    return errors
+
+
+# ------------------------------------------------------------------ value-of / r-values
+
+
+def value_of_variable(
+    environment: SymbolTable, addr_code: CodeValue, variable_type_: ptypes.PascalType,
+    name_if_simple: Optional[str] = None,
+) -> CodeValue:
+    """An expression that is just a variable: push its value (or its address for
+    aggregates, which are passed by reference in this code model)."""
+    if isinstance(variable_type_, (ptypes.ArrayType, ptypes.RecordType)):
+        return addr_code
+    return machine.join([addr_code, machine.dereference_top()])
+
+
+def constant_reference_code(environment: SymbolTable, name: str, addr_code: CodeValue,
+                            variable_type_: ptypes.PascalType) -> CodeValue:
+    """Used by the ``factor -> variable`` rule: constants fold to immediates."""
+    meaning = lookup_meaning(environment, name) if name else None
+    if isinstance(meaning, ConstMeaning) and isinstance(meaning.value, int):
+        return machine.push_immediate(meaning.value)
+    return value_of_variable(environment, addr_code, variable_type_)
+
+
+# ------------------------------------------------------------- binary operators
+
+
+def make_arithmetic_code(opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
+    def build(left: CodeValue, right: CodeValue) -> CodeValue:
+        return machine.join([left, right, machine.binary_operation(opcode)])
+
+    build.__name__ = f"arith_{opcode}"
+    return build
+
+
+def arithmetic_type(
+    left: ptypes.PascalType, right: ptypes.PascalType
+) -> ptypes.PascalType:
+    if isinstance(left, ptypes.ErrorType) or isinstance(right, ptypes.ErrorType):
+        return ptypes.ERROR_TYPE
+    return ptypes.INTEGER
+
+
+def arithmetic_errors(
+    left: ptypes.PascalType,
+    right: ptypes.PascalType,
+    left_errs: Errors,
+    right_errs: Errors,
+) -> Errors:
+    errors = merge_errors(left_errs, right_errs)
+    for side, operand in (("left", left), ("right", right)):
+        if not isinstance(operand, (ptypes.IntegerType, ptypes.ErrorType)):
+            errors = merge_errors(
+                errors, error(f"{side} operand of arithmetic operator must be integer")
+            )
+    return errors
+
+
+def make_comparison_code(branch_opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
+    def build(left: CodeValue, right: CodeValue) -> CodeValue:
+        true_label = next_label("T")
+        end_label = next_label("E")
+        return machine.join(
+            [left, right, machine.comparison(branch_opcode, true_label, end_label)]
+        )
+
+    build.__name__ = f"compare_{branch_opcode}"
+    return build
+
+
+def comparison_type(
+    left: ptypes.PascalType, right: ptypes.PascalType
+) -> ptypes.PascalType:
+    return ptypes.BOOLEAN
+
+
+def comparison_errors(
+    left: ptypes.PascalType,
+    right: ptypes.PascalType,
+    left_errs: Errors,
+    right_errs: Errors,
+) -> Errors:
+    errors = merge_errors(left_errs, right_errs)
+    if isinstance(left, ptypes.ErrorType) or isinstance(right, ptypes.ErrorType):
+        return errors
+    if left != right:
+        errors = merge_errors(
+            errors,
+            error(
+                f"cannot compare {left.describe()} with {right.describe()}"
+            ),
+        )
+    elif not ptypes.is_ordinal(left):
+        errors = merge_errors(errors, error(f"cannot compare values of {left.describe()}"))
+    return errors
+
+
+def make_boolean_code(opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
+    def build(left: CodeValue, right: CodeValue) -> CodeValue:
+        return machine.join([left, right, machine.binary_operation(opcode)])
+
+    build.__name__ = f"bool_{opcode}"
+    return build
+
+
+def boolean_result(left: ptypes.PascalType, right: ptypes.PascalType) -> ptypes.PascalType:
+    return ptypes.BOOLEAN
+
+
+def boolean_errors(
+    left: ptypes.PascalType,
+    right: ptypes.PascalType,
+    left_errs: Errors,
+    right_errs: Errors,
+) -> Errors:
+    errors = merge_errors(left_errs, right_errs)
+    for side, operand in (("left", left), ("right", right)):
+        if not isinstance(operand, (ptypes.BooleanType, ptypes.ErrorType)):
+            errors = merge_errors(
+                errors, error(f"{side} operand of boolean operator must be boolean")
+            )
+    return errors
+
+
+# ------------------------------------------------------------------ unary operators
+
+
+def negate_code(operand: CodeValue) -> CodeValue:
+    return machine.join([operand, machine.negate_top()])
+
+
+def negate_errors(operand_type: ptypes.PascalType, operand_errs: Errors) -> Errors:
+    errors = tuple(operand_errs)
+    if not isinstance(operand_type, (ptypes.IntegerType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error("unary minus needs an integer operand"))
+    return errors
+
+
+def not_code(operand: CodeValue) -> CodeValue:
+    return machine.join([operand, machine.logical_not_top()])
+
+
+def not_errors(operand_type: ptypes.PascalType, operand_errs: Errors) -> Errors:
+    errors = tuple(operand_errs)
+    if not isinstance(operand_type, (ptypes.BooleanType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error("'not' needs a boolean operand"))
+    return errors
+
+
+# -------------------------------------------------------------------- function calls
+
+
+def _call_sequence(
+    environment: SymbolTable,
+    meaning: ProcMeaning,
+    argument_codes: Sequence[CodeValue],
+    argument_addrs: Sequence[Optional[CodeValue]],
+) -> CodeValue:
+    """Push actuals right-to-left, push the static link, and call."""
+    parts = []
+    for parameter, value_code, addr_code in reversed(
+        list(zip(meaning.parameters, argument_codes, argument_addrs))
+    ):
+        if parameter.by_ref:
+            parts.append(addr_code if addr_code is not None else value_code)
+        else:
+            parts.append(value_code)
+    levels_up = max(0, current_level(environment) - meaning.level)
+    parts.append(machine.push_static_link(levels_up))
+    parts.append(machine.call_procedure(meaning.label, len(meaning.parameters) + 1))
+    return machine.join(parts)
+
+
+def function_call_code(
+    environment: SymbolTable,
+    name: str,
+    argument_codes: Sequence[CodeValue],
+    argument_addrs: Sequence[Optional[CodeValue]],
+) -> CodeValue:
+    meaning = lookup_meaning(environment, name)
+    if not isinstance(meaning, ProcMeaning) or not meaning.is_function:
+        return machine.push_immediate(0)
+    if len(argument_codes) != len(meaning.parameters):
+        return machine.push_immediate(0)
+    return machine.join(
+        [
+            _call_sequence(environment, meaning, argument_codes, argument_addrs),
+            machine.push_function_result(),
+        ]
+    )
+
+
+def function_call_type(environment: SymbolTable, name: str) -> ptypes.PascalType:
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, ProcMeaning) and meaning.result_type is not None:
+        return meaning.result_type
+    return ptypes.ERROR_TYPE
+
+
+def call_errors(
+    environment: SymbolTable,
+    name: str,
+    argument_types: Sequence[ptypes.PascalType],
+    argument_addrs: Sequence[Optional[CodeValue]],
+    argument_errs: Errors,
+    expect_function: bool,
+) -> Errors:
+    """Shared argument checking for function calls and procedure-call statements."""
+    errors = tuple(argument_errs)
+    meaning = lookup_meaning(environment, name)
+    if meaning is None:
+        return merge_errors(errors, error(f"undeclared identifier '{name}'"))
+    if not isinstance(meaning, ProcMeaning):
+        kind = "function" if expect_function else "procedure"
+        return merge_errors(errors, error(f"'{name}' is not a {kind}"))
+    if expect_function and not meaning.is_function:
+        return merge_errors(errors, error(f"procedure '{name}' used as a function"))
+    if not expect_function and meaning.is_function:
+        # Calling a function as a statement merely discards the result; allow it.
+        pass
+    if len(argument_types) != len(meaning.parameters):
+        return merge_errors(
+            errors,
+            error(
+                f"'{name}' expects {len(meaning.parameters)} argument(s), "
+                f"got {len(argument_types)}"
+            ),
+        )
+    for index, (parameter, actual_type) in enumerate(
+        zip(meaning.parameters, argument_types), start=1
+    ):
+        if not ptypes.types_compatible(parameter.type, actual_type):
+            errors = merge_errors(
+                errors,
+                error(
+                    f"argument {index} of '{name}': expected {parameter.type.describe()}, "
+                    f"got {actual_type.describe()}"
+                ),
+            )
+        if parameter.by_ref and argument_addrs[index - 1] is None:
+            errors = merge_errors(
+                errors,
+                error(f"argument {index} of '{name}' must be a variable (var parameter)"),
+            )
+    return errors
+
+
+def function_call_errors(
+    environment: SymbolTable,
+    name: str,
+    argument_types: Sequence[ptypes.PascalType],
+    argument_addrs: Sequence[Optional[CodeValue]],
+    argument_errs: Errors,
+) -> Errors:
+    return call_errors(
+        environment, name, argument_types, argument_addrs, argument_errs, expect_function=True
+    )
+
+
+# ------------------------------------------------------------------ literal helpers
+
+
+def literal_code(text: str) -> CodeValue:
+    """Code for a quoted literal: single characters are chars, longer texts strings."""
+    inner = text[1:-1].replace("''", "'")
+    if len(inner) == 1:
+        return char_code(text)
+    return string_code(text)
+
+
+def literal_type(text: str) -> ptypes.PascalType:
+    inner = text[1:-1].replace("''", "'")
+    return ptypes.CHAR if len(inner) == 1 else ptypes.STRING
+
+
+def no_address():
+    """Expressions that are not plain variables have no usable address."""
+    return None
+
+
+def modulo_code(left: CodeValue, right: CodeValue) -> CodeValue:
+    """``left mod right`` via divide/multiply/subtract (the VAX has no modulo)."""
+    return machine.join(
+        [
+            left,
+            right,
+            machine.pop_to("r1"),
+            machine.pop_to("r0"),
+            machine.instruction("divl3", "r1", "r0", "r2"),
+            machine.instruction("mull2", "r1", "r2"),
+            machine.instruction("subl3", "r2", "r0", "r0"),
+            machine.push_register("r0"),
+        ]
+    )
+
+
+# Operator-specific code builders (created once; reused by the grammar definition).
+add_code = make_arithmetic_code("addl3")
+subtract_code = make_arithmetic_code("subl3")
+multiply_code = make_arithmetic_code("mull3")
+divide_code = make_arithmetic_code("divl3")
+or_code = make_boolean_code("bisl3")
+and_code = make_boolean_code("mull3")
+equal_code = make_comparison_code("beql")
+not_equal_code = make_comparison_code("bneq")
+less_code = make_comparison_code("blss")
+less_equal_code = make_comparison_code("bleq")
+greater_code = make_comparison_code("bgtr")
+greater_equal_code = make_comparison_code("bgeq")

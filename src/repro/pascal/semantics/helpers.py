@@ -1,0 +1,84 @@
+"""Small shared helpers: error lists, attribute tuples, type shortcuts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.pascal import types as ptypes
+from repro.pascal.meanings import lookup_meaning, TypeMeaning
+from repro.symtab.symbol_table import SymbolTable
+
+Errors = Tuple[str, ...]
+
+
+def no_errors() -> Errors:
+    return ()
+
+
+def error(message: str) -> Errors:
+    return (message,)
+
+
+def merge_errors(*error_lists: Errors) -> Errors:
+    combined: Tuple[str, ...] = ()
+    for errors in error_lists:
+        combined += tuple(errors)
+    return combined
+
+
+def empty_list() -> tuple:
+    return ()
+
+
+def singleton(item) -> tuple:
+    return (item,)
+
+
+def append_item(items: tuple, item) -> tuple:
+    return tuple(items) + (item,)
+
+
+def concat_lists(left: tuple, right: tuple) -> tuple:
+    return tuple(left) + tuple(right)
+
+
+def none_value():
+    return None
+
+
+# ------------------------------------------------------------------ type shortcuts
+
+
+def integer_type() -> ptypes.PascalType:
+    return ptypes.INTEGER
+
+
+def boolean_type() -> ptypes.PascalType:
+    return ptypes.BOOLEAN
+
+
+def char_type() -> ptypes.PascalType:
+    return ptypes.CHAR
+
+
+def string_type() -> ptypes.PascalType:
+    return ptypes.STRING
+
+
+def error_type() -> ptypes.PascalType:
+    return ptypes.ERROR_TYPE
+
+
+def resolve_named_type(environment: SymbolTable, name: str) -> ptypes.PascalType:
+    """Resolve a type name to a type, yielding the error type when unknown."""
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, TypeMeaning):
+        return meaning.type
+    return ptypes.ERROR_TYPE
+
+
+def check_named_type(environment: SymbolTable, name: str) -> Errors:
+    meaning = lookup_meaning(environment, name)
+    if isinstance(meaning, TypeMeaning):
+        return no_errors()
+    return error(f"unknown type name '{name}'")

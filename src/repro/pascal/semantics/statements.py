@@ -1,0 +1,363 @@
+"""Semantic functions for statements."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.distributed.unique_ids import next_label
+from repro.pascal import machine
+from repro.pascal import types as ptypes
+from repro.pascal.meanings import (
+    FUNCTION_KEY,
+    ProcMeaning,
+    VarMeaning,
+    current_function,
+    current_level,
+    lookup_meaning,
+)
+from repro.pascal.semantics.expressions import _call_sequence
+from repro.pascal.semantics.helpers import Errors, error, merge_errors, no_errors
+from repro.strings.code import CodeValue
+from repro.symtab.symbol_table import SymbolTable
+
+
+# ------------------------------------------------------------------- assignment
+
+
+def assignment_code(
+    target_addr: CodeValue,
+    target_type: ptypes.PascalType,
+    value_code: CodeValue,
+) -> CodeValue:
+    return machine.join([target_addr, value_code, machine.store_through_address()])
+
+
+def assignment_errors(
+    environment: SymbolTable,
+    target_type: ptypes.PascalType,
+    value_type: ptypes.PascalType,
+    target_errs: Errors,
+    value_errs: Errors,
+) -> Errors:
+    errors = merge_errors(target_errs, value_errs)
+    if isinstance(target_type, (ptypes.ArrayType, ptypes.RecordType)):
+        errors = merge_errors(errors, error("cannot assign to an aggregate as a whole"))
+    elif not ptypes.types_compatible(target_type, value_type):
+        errors = merge_errors(
+            errors,
+            error(
+                f"cannot assign {value_type.describe()} to {target_type.describe()}"
+            ),
+        )
+    return errors
+
+
+# ------------------------------------------------------------------ control flow
+
+
+def if_code(condition: CodeValue, then_code: CodeValue) -> CodeValue:
+    else_label = next_label("L")
+    return machine.join(
+        [
+            condition,
+            machine.pop_to("r0"),
+            machine.instruction("tstl", "r0"),
+            machine.instruction("beql", else_label),
+            then_code,
+            machine.label_definition(else_label),
+        ]
+    )
+
+
+def if_else_code(
+    condition: CodeValue, then_code: CodeValue, else_code: CodeValue
+) -> CodeValue:
+    else_label = next_label("L")
+    end_label = next_label("L")
+    return machine.join(
+        [
+            condition,
+            machine.pop_to("r0"),
+            machine.instruction("tstl", "r0"),
+            machine.instruction("beql", else_label),
+            then_code,
+            machine.instruction("brw", end_label),
+            machine.label_definition(else_label),
+            else_code,
+            machine.label_definition(end_label),
+        ]
+    )
+
+
+def condition_errors(condition_type: ptypes.PascalType, condition_errs: Errors,
+                     construct: str) -> Errors:
+    errors = tuple(condition_errs)
+    if not isinstance(condition_type, (ptypes.BooleanType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error(f"{construct} condition must be boolean"))
+    return errors
+
+
+def while_code(condition: CodeValue, body: CodeValue) -> CodeValue:
+    loop_label = next_label("L")
+    end_label = next_label("L")
+    return machine.join(
+        [
+            machine.label_definition(loop_label),
+            condition,
+            machine.pop_to("r0"),
+            machine.instruction("tstl", "r0"),
+            machine.instruction("beql", end_label),
+            body,
+            machine.instruction("brw", loop_label),
+            machine.label_definition(end_label),
+        ]
+    )
+
+
+def repeat_code(body: CodeValue, condition: CodeValue) -> CodeValue:
+    loop_label = next_label("L")
+    return machine.join(
+        [
+            machine.label_definition(loop_label),
+            body,
+            condition,
+            machine.pop_to("r0"),
+            machine.instruction("tstl", "r0"),
+            machine.instruction("beql", loop_label),
+        ]
+    )
+
+
+def for_code(
+    environment: SymbolTable,
+    variable_name: str,
+    start_code: CodeValue,
+    limit_code: CodeValue,
+    body: CodeValue,
+    downto: bool,
+) -> CodeValue:
+    """``for v := start to|downto limit do body`` with the limit re-evaluated once."""
+    from repro.pascal.semantics.expressions import variable_address
+
+    loop_label = next_label("L")
+    end_label = next_label("L")
+    address = variable_address(environment, variable_name)
+    load_variable = machine.join([address, machine.dereference_top()])
+    branch = "blss" if not downto else "bgtr"      # exit when v > limit (or v < limit)
+    step = (
+        machine.instruction("addl2", "$1", "r0")
+        if not downto
+        else machine.instruction("subl2", "$1", "r0")
+    )
+    return machine.join(
+        [
+            # v := start
+            address,
+            start_code,
+            machine.store_through_address(),
+            machine.label_definition(loop_label),
+            # test v against the limit
+            limit_code,
+            load_variable,
+            machine.pop_to("r0"),                  # current value
+            machine.pop_to("r1"),                  # limit
+            machine.instruction("cmpl", "r1", "r0"),
+            machine.instruction(branch, end_label),
+            body,
+            # v := v +/- 1
+            load_variable,
+            machine.pop_to("r0"),
+            step,
+            machine.push_register("r0"),
+            address,
+            machine.pop_to("r1"),
+            machine.pop_to("r0"),
+            machine.instruction("movl", "r0", "(r1)"),
+            machine.instruction("brw", loop_label),
+            machine.label_definition(end_label),
+        ]
+    )
+
+
+def for_errors(
+    environment: SymbolTable,
+    variable_name: str,
+    start_type: ptypes.PascalType,
+    limit_type: ptypes.PascalType,
+    start_errs: Errors,
+    limit_errs: Errors,
+    body_errs: Errors,
+) -> Errors:
+    errors = merge_errors(start_errs, limit_errs, body_errs)
+    meaning = lookup_meaning(environment, variable_name)
+    if not isinstance(meaning, VarMeaning):
+        errors = merge_errors(errors, error(f"for-loop variable '{variable_name}' is not a variable"))
+    elif not isinstance(meaning.type, (ptypes.IntegerType, ptypes.ErrorType)):
+        errors = merge_errors(errors, error("for-loop variable must be an integer"))
+    for side, side_type in (("initial", start_type), ("final", limit_type)):
+        if not isinstance(side_type, (ptypes.IntegerType, ptypes.ErrorType)):
+            errors = merge_errors(errors, error(f"for-loop {side} value must be an integer"))
+    return errors
+
+
+# --------------------------------------------------------------- procedure calls
+
+
+def procedure_call_code(
+    environment: SymbolTable,
+    name: str,
+    argument_codes: Sequence[CodeValue],
+    argument_addrs: Sequence[Optional[CodeValue]],
+) -> CodeValue:
+    meaning = lookup_meaning(environment, name)
+    if not isinstance(meaning, ProcMeaning):
+        return machine.empty_code()
+    if len(argument_codes) != len(meaning.parameters):
+        return machine.empty_code()
+    return _call_sequence(environment, meaning, argument_codes, argument_addrs)
+
+
+def procedure_call_errors(
+    environment: SymbolTable,
+    name: str,
+    argument_types: Sequence[ptypes.PascalType],
+    argument_addrs: Sequence[Optional[CodeValue]],
+    argument_errs: Errors,
+) -> Errors:
+    from repro.pascal.semantics.expressions import call_errors
+
+    return call_errors(
+        environment, name, argument_types, argument_addrs, argument_errs,
+        expect_function=False,
+    )
+
+
+# ------------------------------------------------------------------------- I/O
+
+
+def write_code(argument_codes: Sequence[CodeValue],
+               argument_types: Sequence[ptypes.PascalType],
+               newline: bool) -> CodeValue:
+    parts = []
+    for value_code, value_type in zip(argument_codes, argument_types):
+        if isinstance(value_type, ptypes.StringType):
+            routine = "rt_write_str"
+        elif isinstance(value_type, ptypes.CharType):
+            routine = "rt_write_char"
+        elif isinstance(value_type, ptypes.BooleanType):
+            routine = "rt_write_bool"
+        else:
+            routine = "rt_write_int"
+        parts.append(value_code)
+        parts.append(machine.runtime_call(routine, 1))
+    if newline:
+        parts.append(machine.runtime_call("rt_writeln", 0))
+    return machine.join(parts)
+
+
+def write_errors(argument_types: Sequence[ptypes.PascalType], argument_errs: Errors) -> Errors:
+    errors = tuple(argument_errs)
+    for index, value_type in enumerate(argument_types, start=1):
+        if isinstance(value_type, (ptypes.ArrayType, ptypes.RecordType)):
+            errors = merge_errors(
+                errors, error(f"write argument {index} cannot be an aggregate")
+            )
+    return errors
+
+
+def read_code(addresses: Sequence[CodeValue],
+              variable_types: Sequence[ptypes.PascalType],
+              newline: bool) -> CodeValue:
+    parts = []
+    for address, variable_type in zip(addresses, variable_types):
+        routine = "rt_read_char" if isinstance(variable_type, ptypes.CharType) else "rt_read_int"
+        parts.append(address)
+        parts.append(machine.runtime_call(routine, 1))
+    return machine.join(parts)
+
+
+def read_errors(variable_types: Sequence[ptypes.PascalType], variable_errs: Errors) -> Errors:
+    errors = tuple(variable_errs)
+    for index, variable_type in enumerate(variable_types, start=1):
+        if not isinstance(
+            variable_type, (ptypes.IntegerType, ptypes.CharType, ptypes.ErrorType)
+        ):
+            errors = merge_errors(
+                errors, error(f"read argument {index} must be an integer or char variable")
+            )
+    return errors
+
+
+# ------------------------------------------------------- grammar-facing wrappers
+#
+# Semantic rules can only pass attribute values, never literal flags, so each literal
+# parameterisation of the generic builders above gets its own named function.
+
+
+def simple_call_code(environment: SymbolTable, name: str) -> CodeValue:
+    """A parameterless procedure call statement."""
+    return procedure_call_code(environment, name, (), ())
+
+
+def simple_call_errors(environment: SymbolTable, name: str) -> Errors:
+    return procedure_call_errors(environment, name, (), (), ())
+
+
+def if_errors(condition_type: ptypes.PascalType, condition_errs: Errors,
+              body_errs: Errors) -> Errors:
+    return condition_errors(condition_type, merge_errors(condition_errs, body_errs), "if")
+
+
+def if_else_errors(condition_type: ptypes.PascalType, condition_errs: Errors,
+                   then_errs: Errors, else_errs: Errors) -> Errors:
+    return condition_errors(
+        condition_type, merge_errors(condition_errs, then_errs, else_errs), "if"
+    )
+
+
+def while_errors(condition_type: ptypes.PascalType, condition_errs: Errors,
+                 body_errs: Errors) -> Errors:
+    return condition_errors(condition_type, merge_errors(condition_errs, body_errs), "while")
+
+
+def repeat_errors(condition_type: ptypes.PascalType, condition_errs: Errors,
+                  body_errs: Errors) -> Errors:
+    return condition_errors(condition_type, merge_errors(body_errs, condition_errs), "repeat")
+
+
+def for_to_code(environment: SymbolTable, variable_name: str, start_code: CodeValue,
+                limit_code: CodeValue, body: CodeValue) -> CodeValue:
+    return for_code(environment, variable_name, start_code, limit_code, body, downto=False)
+
+
+def for_downto_code(environment: SymbolTable, variable_name: str, start_code: CodeValue,
+                    limit_code: CodeValue, body: CodeValue) -> CodeValue:
+    return for_code(environment, variable_name, start_code, limit_code, body, downto=True)
+
+
+def write_args_code(argument_codes: Sequence[CodeValue],
+                    argument_types: Sequence[ptypes.PascalType]) -> CodeValue:
+    return write_code(argument_codes, argument_types, newline=False)
+
+
+def writeln_args_code(argument_codes: Sequence[CodeValue],
+                      argument_types: Sequence[ptypes.PascalType]) -> CodeValue:
+    return write_code(argument_codes, argument_types, newline=True)
+
+
+def writeln_empty_code() -> CodeValue:
+    return write_code((), (), newline=True)
+
+
+def read_args_code(addresses: Sequence[CodeValue],
+                   variable_types: Sequence[ptypes.PascalType]) -> CodeValue:
+    return read_code(addresses, variable_types, newline=False)
+
+
+def readln_args_code(addresses: Sequence[CodeValue],
+                     variable_types: Sequence[ptypes.PascalType]) -> CodeValue:
+    return read_code(addresses, variable_types, newline=True)
+
+
+def empty_statement_code() -> CodeValue:
+    return machine.empty_code()

@@ -1,0 +1,202 @@
+"""The Pascal-subset type system.
+
+Types are immutable value objects.  The subset supports the standard simple types
+(integer, boolean, char), string literals (for ``write`` only), one-dimensional arrays
+with integer index ranges, and records.  Variant records, enumerations, sets, reals,
+files and procedural types are omitted, matching the restrictions listed in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+WORD_SIZE = 4
+
+
+class PascalType:
+    """Base class of all types."""
+
+    name = "type"
+
+    def size(self) -> int:
+        """Storage size in bytes."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+class IntegerType(PascalType):
+    name = "integer"
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntegerType)
+
+    def __hash__(self) -> int:
+        return hash("integer")
+
+
+class BooleanType(PascalType):
+    name = "boolean"
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BooleanType)
+
+    def __hash__(self) -> int:
+        return hash("boolean")
+
+
+class CharType(PascalType):
+    name = "char"
+
+    def size(self) -> int:
+        return WORD_SIZE  # chars are stored in full words, as simple compilers do
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CharType)
+
+    def __hash__(self) -> int:
+        return hash("char")
+
+
+class StringType(PascalType):
+    """The type of string literals (only usable with ``write``/``writeln``)."""
+
+    name = "string"
+
+    def size(self) -> int:
+        return WORD_SIZE  # a pointer to the literal
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StringType)
+
+    def __hash__(self) -> int:
+        return hash("string")
+
+
+class ErrorType(PascalType):
+    """Propagated when a subexpression had a type error; suppresses cascade errors."""
+
+    name = "<error>"
+
+    def size(self) -> int:
+        return WORD_SIZE
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ErrorType)
+
+    def __hash__(self) -> int:
+        return hash("error-type")
+
+
+class ArrayType(PascalType):
+    """``array [low .. high] of element``."""
+
+    def __init__(self, low: int, high: int, element: PascalType):
+        if high < low:
+            raise ValueError("array upper bound below lower bound")
+        self.low = low
+        self.high = high
+        self.element = element
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.describe()
+
+    @property
+    def length(self) -> int:
+        return self.high - self.low + 1
+
+    def size(self) -> int:
+        return self.length * self.element.size()
+
+    def describe(self) -> str:
+        return f"array [{self.low}..{self.high}] of {self.element.describe()}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and self.low == other.low
+            and self.high == other.high
+            and self.element == other.element
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.low, self.high, self.element))
+
+
+class RecordType(PascalType):
+    """``record field: type; ... end`` with word-aligned field offsets."""
+
+    def __init__(self, fields: Sequence[Tuple[str, PascalType]]):
+        self.fields: Tuple[Tuple[str, PascalType], ...] = tuple(fields)
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for field_name, field_type in self.fields:
+            if field_name in self._offsets:
+                raise ValueError(f"duplicate record field {field_name!r}")
+            self._offsets[field_name] = offset
+            offset += field_type.size()
+        self._size = offset
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.describe()
+
+    def size(self) -> int:
+        return self._size
+
+    def field_type(self, name: str) -> Optional[PascalType]:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        return None
+
+    def field_offset(self, name: str) -> int:
+        return self._offsets[name]
+
+    def describe(self) -> str:
+        inner = "; ".join(f"{n}: {t.describe()}" for n, t in self.fields)
+        return f"record {inner} end"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RecordType) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(("record", self.fields))
+
+
+INTEGER = IntegerType()
+BOOLEAN = BooleanType()
+CHAR = CharType()
+STRING = StringType()
+ERROR_TYPE = ErrorType()
+
+#: Types usable in expressions and assignments.
+SIMPLE_TYPES: Dict[str, PascalType] = {
+    "integer": INTEGER,
+    "boolean": BOOLEAN,
+    "char": CHAR,
+}
+
+
+def types_compatible(expected: PascalType, actual: PascalType) -> bool:
+    """Assignment/parameter compatibility; errors are compatible with everything to
+    avoid cascading diagnostics."""
+    if isinstance(expected, ErrorType) or isinstance(actual, ErrorType):
+        return True
+    return expected == actual
+
+
+def is_ordinal(pascal_type: PascalType) -> bool:
+    """Ordinal types can index arrays and drive ``for`` loops."""
+    return isinstance(pascal_type, (IntegerType, BooleanType, CharType, ErrorType))

@@ -1,0 +1,34 @@
+"""Simulated network multiprocessor.
+
+The paper's experiments ran on up to six SUN-2 workstations connected by a 10 Mbit
+Ethernet under the V distributed kernel.  Re-measuring real parallel speedup inside a
+single CPython process is not meaningful (the GIL serialises compute), so this package
+substitutes a *deterministic discrete-event simulation* of that hardware: machines with
+a CPU cost model, a shared Ethernet-like link with latency and bandwidth, and
+message-passing processes.  All timings reported by the benchmarks are simulated
+seconds; the cost model's default constants are calibrated so the sequential compile
+times land in the same few-second range the paper reports, and all *relative* results
+(speedups, crossovers, phase structure) derive from the same mechanisms as on the real
+hardware: per-attribute CPU work, message sizes, link contention, and idle time waiting
+for remote attributes.
+"""
+
+from repro.runtime.simulator import Environment, Process, Store, Timeout, Get
+from repro.runtime.network import Network, NetworkParameters
+from repro.runtime.machine import Machine, ActivityKind
+from repro.runtime.cost import CostModel
+from repro.runtime.cluster import Cluster
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Store",
+    "Timeout",
+    "Get",
+    "Network",
+    "NetworkParameters",
+    "Machine",
+    "ActivityKind",
+    "CostModel",
+    "Cluster",
+]

@@ -1,0 +1,96 @@
+"""A cluster: machines + network + event loop, with helpers for timelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.runtime.cost import CostModel
+from repro.runtime.machine import ActivityInterval, Machine
+from repro.runtime.network import Network, NetworkParameters
+from repro.runtime.simulator import Environment, Process, Store
+
+
+class Cluster:
+    """A simulated network multiprocessor.
+
+    :param machine_count: number of workstations.
+    :param network: link parameters (defaults approximate the paper's 10 Mbit Ethernet).
+    :param cost_model: CPU cost constants shared by all processes on the cluster.
+    :param machine_speeds: optional per-machine relative speeds (all 1.0 by default —
+        the paper's machines were identical SUN-2 workstations).
+    """
+
+    def __init__(
+        self,
+        machine_count: int,
+        network: Optional[NetworkParameters] = None,
+        cost_model: Optional[CostModel] = None,
+        machine_speeds: Optional[List[float]] = None,
+    ):
+        if machine_count < 1:
+            raise ValueError("a cluster needs at least one machine")
+        self.environment = Environment()
+        self.cost_model = cost_model or CostModel()
+        self.network = Network(self.environment, network)
+        speeds = machine_speeds or [1.0] * machine_count
+        if len(speeds) != machine_count:
+            raise ValueError("machine_speeds must have one entry per machine")
+        self.machines: List[Machine] = [
+            Machine(self.environment, f"machine-{index}", speed)
+            for index, speed in enumerate(speeds)
+        ]
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def machine_count(self) -> int:
+        return len(self.machines)
+
+    def machine(self, index: int) -> Machine:
+        return self.machines[index]
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        return self.environment.process(generator, name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.environment.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.environment.now
+
+    # -------------------------------------------------------------- messaging
+
+    def send(
+        self,
+        source: Machine,
+        destination: Machine,
+        message: Any,
+        size_bytes: int,
+        mailbox: Optional[Store] = None,
+    ) -> None:
+        """Send a message between machines (free and immediate when co-located).
+
+        ``mailbox`` selects the destination process's private mailbox; it defaults to the
+        destination machine's default mailbox.
+        """
+        source.note_sent()
+        target = mailbox if mailbox is not None else destination.mailbox
+        if source is destination:
+            self.network.local_delivery(target, message)
+        else:
+            self.network.send(source.name, destination.name, target, message, size_bytes)
+
+    # --------------------------------------------------------------- reporting
+
+    def timeline(self) -> Dict[str, List[ActivityInterval]]:
+        """Per-machine activity intervals (the raw material of Figure 6)."""
+        return {machine.name: list(machine.activity) for machine in self.machines}
+
+    def utilization(self) -> Dict[str, float]:
+        horizon = self.environment.now
+        return {machine.name: machine.utilization(horizon) for machine in self.machines}
+
+    def network_stats(self):
+        return self.network.stats

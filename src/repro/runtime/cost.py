@@ -1,0 +1,138 @@
+"""CPU and memory cost model.
+
+All simulated CPU times are derived from counters produced by the evaluators (rules
+evaluated, dependency edges created, nodes delinearized, bytes converted) multiplied by
+the constants below.  The defaults are calibrated to the paper's setting — a SUN-2
+class workstation where compiling an ~1100-line Pascal program takes a handful of
+seconds and where dynamic dependency analysis adds substantial per-attribute overhead —
+but every constant can be overridden, and the ablation benchmarks sweep the important
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.evaluation.base import EvaluationStatistics, TaskResult
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Abstract cost constants (times in simulated seconds, sizes in abstract bytes)."""
+
+    # Semantic rule evaluation (common to every evaluator).
+    rule_base_cost: float = 120e-6
+    rule_unit_cost: float = 60e-6          # multiplied by a rule's declared extra cost
+
+    # Dynamic scheduling overhead: building and maintaining the instance dependency
+    # graph, and dispatching individual attribute tasks.
+    dynamic_vertex_cost: float = 90e-6
+    dynamic_edge_cost: float = 25e-6
+    dynamic_dispatch_cost: float = 25e-6
+
+    # Static evaluation overhead: visit dispatch is a procedure call.
+    visit_dispatch_cost: float = 4e-6
+
+    # Tree (de)serialization and parsing.
+    parse_cost_per_node: float = 110e-6
+    linearize_cost_per_byte: float = 0.35e-6
+    delinearize_cost_per_byte: float = 0.45e-6
+
+    # Attribute conversion for transmission (put/get), per byte.
+    convert_cost_per_byte: float = 0.25e-6
+
+    # Per-message fixed send/receive CPU cost (kernel + marshalling).
+    message_cpu_cost: float = 800e-6
+
+    # Memory model (abstract bytes) for the arena accounting.
+    bytes_per_tree_node: int = 48
+    bytes_per_attribute_instance: int = 24
+    bytes_per_dependency_vertex: int = 40
+    bytes_per_dependency_edge: int = 16
+
+    # ------------------------------------------------------------------ times
+
+    def rule_cost(self, count: int, extra: float = 0.0) -> float:
+        """CPU time to evaluate ``count`` semantic rules with ``extra`` declared units."""
+        return count * self.rule_base_cost + extra * self.rule_unit_cost
+
+    def task_cost(self, result: TaskResult, dynamic: bool) -> float:
+        """CPU time of one scheduler task given its :class:`TaskResult`."""
+        time = self.rule_cost(result.rules_evaluated, result.rule_extra_cost)
+        if dynamic:
+            time += self.dynamic_dispatch_cost
+            time += result.dependency_work * self.dynamic_edge_cost
+        else:
+            time += self.visit_dispatch_cost
+        return time
+
+    def graph_build_cost(self, statistics: EvaluationStatistics) -> float:
+        """CPU time to build a dynamic dependency graph of the given size."""
+        return (
+            statistics.dependency_vertices * self.dynamic_vertex_cost
+            + statistics.dependency_edges * self.dynamic_edge_cost
+        )
+
+    def parse_cost(self, node_count: int) -> float:
+        return node_count * self.parse_cost_per_node
+
+    def linearize_cost(self, size_bytes: int) -> float:
+        return size_bytes * self.linearize_cost_per_byte
+
+    def delinearize_cost(self, size_bytes: int) -> float:
+        return size_bytes * self.delinearize_cost_per_byte
+
+    def convert_cost(self, size_bytes: int) -> float:
+        return size_bytes * self.convert_cost_per_byte
+
+    # ----------------------------------------------------------------- memory
+
+    def tree_memory(self, node_count: int) -> int:
+        return node_count * self.bytes_per_tree_node
+
+    def dynamic_graph_memory(self, statistics: EvaluationStatistics) -> int:
+        return (
+            statistics.dependency_vertices * self.bytes_per_dependency_vertex
+            + statistics.dependency_edges * self.bytes_per_dependency_edge
+        )
+
+    def attribute_memory(self, instance_count: int) -> int:
+        return instance_count * self.bytes_per_attribute_instance
+
+    # ------------------------------------------------------------------ misc
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A cost model with all CPU times multiplied by ``factor`` (faster/slower CPU)."""
+        return replace(
+            self,
+            rule_base_cost=self.rule_base_cost * factor,
+            rule_unit_cost=self.rule_unit_cost * factor,
+            dynamic_vertex_cost=self.dynamic_vertex_cost * factor,
+            dynamic_edge_cost=self.dynamic_edge_cost * factor,
+            dynamic_dispatch_cost=self.dynamic_dispatch_cost * factor,
+            visit_dispatch_cost=self.visit_dispatch_cost * factor,
+            parse_cost_per_node=self.parse_cost_per_node * factor,
+            linearize_cost_per_byte=self.linearize_cost_per_byte * factor,
+            delinearize_cost_per_byte=self.delinearize_cost_per_byte * factor,
+            convert_cost_per_byte=self.convert_cost_per_byte * factor,
+            message_cpu_cost=self.message_cpu_cost * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "rule_base_cost",
+                "rule_unit_cost",
+                "dynamic_vertex_cost",
+                "dynamic_edge_cost",
+                "dynamic_dispatch_cost",
+                "visit_dispatch_cost",
+                "parse_cost_per_node",
+                "linearize_cost_per_byte",
+                "delinearize_cost_per_byte",
+                "convert_cost_per_byte",
+                "message_cpu_cost",
+            )
+        }

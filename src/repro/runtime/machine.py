@@ -1,0 +1,134 @@
+"""Simulated machines: a mailbox, a CPU with a relative speed, and an activity trace.
+
+The per-machine activity trace (busy/idle intervals labelled by phase) is what the
+Figure 6 reproduction renders: "horizontal lines represent the activity of the
+individual evaluators and the string librarian ... with thin lines indicating idle
+periods and thick lines indicating active periods".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.runtime.simulator import Environment, Get, Store, Timeout
+
+
+class ActivityKind(enum.Enum):
+    """Coarse activity labels used by the timeline (Figure 6) reproduction."""
+
+    PARSE = "parse"
+    UNPACK = "unpack"
+    GRAPH = "graph"
+    SYMBOL_TABLE = "symbol-table"
+    CODE_GENERATION = "code-generation"
+    RESULT_PROPAGATION = "result-propagation"
+    LIBRARIAN = "librarian"
+    MESSAGE = "message"
+    OTHER = "other"
+
+
+@dataclass
+class ActivityInterval:
+    """One busy interval on a machine."""
+
+    start: float
+    end: float
+    kind: ActivityKind
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Machine:
+    """One workstation in the simulated cluster."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        name: str,
+        speed: float = 1.0,
+    ):
+        if speed <= 0:
+            raise ValueError("machine speed must be positive")
+        self.environment = environment
+        self.name = name
+        self.speed = speed
+        self.mailbox: Store = environment.store(f"{name}.mailbox")
+        self.busy_time = 0.0
+        self.activity: List[ActivityInterval] = []
+        self._message_counts: Dict[str, int] = {"received": 0, "sent": 0}
+        # Single CPU: co-located processes (parser, root evaluator, librarian) contend
+        # for it rather than overlapping their work.
+        self._cpu: Store = environment.store(f"{name}.cpu")
+        self._cpu.put("cpu")
+
+    # --------------------------------------------------------------- execution
+
+    def compute(
+        self, cost: float, kind: ActivityKind = ActivityKind.OTHER, label: str = ""
+    ) -> Generator:
+        """Occupy the CPU for ``cost`` seconds of work (scaled by machine speed).
+
+        The machine has a single CPU: if another process on the same machine is
+        computing, this call queues behind it.
+        """
+        duration = cost / self.speed
+        token = yield Get(self._cpu)
+        start = self.environment.now
+        yield Timeout(duration)
+        self._cpu.put(token)
+        self.busy_time += duration
+        self._record(start, self.environment.now, kind, label)
+
+    def receive(self, mailbox: Optional[Store] = None) -> Generator:
+        """Block until a message arrives (in ``mailbox``, or the machine's default one).
+
+        Several processes (parser, root evaluator, librarian) can share one machine, so
+        each process normally owns a private mailbox and passes it here explicitly.
+        """
+        message = yield Get(mailbox if mailbox is not None else self.mailbox)
+        self._message_counts["received"] += 1
+        return message
+
+    def note_sent(self) -> None:
+        self._message_counts["sent"] += 1
+
+    # -------------------------------------------------------------- accounting
+
+    def _record(self, start: float, end: float, kind: ActivityKind, label: str) -> None:
+        if end <= start:
+            return
+        # Coalesce with the previous interval when contiguous and of the same kind, so
+        # the timeline stays readable.
+        if (
+            self.activity
+            and self.activity[-1].kind is kind
+            and abs(self.activity[-1].end - start) < 1e-12
+        ):
+            self.activity[-1].end = end
+            return
+        self.activity.append(ActivityInterval(start, end, kind, label))
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def messages_received(self) -> int:
+        return self._message_counts["received"]
+
+    def messages_sent(self) -> int:
+        return self._message_counts["sent"]
+
+    def busy_time_by_kind(self) -> Dict[ActivityKind, float]:
+        totals: Dict[ActivityKind, float] = {}
+        for interval in self.activity:
+            totals[interval.kind] = totals.get(interval.kind, 0.0) + interval.duration
+        return totals
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r}, busy={self.busy_time:.3f}s)"

@@ -1,0 +1,42 @@
+"""Rope strings and string descriptors.
+
+The paper implements strings "as binary trees with the actual text residing in the
+leaves", making concatenation a constant-time operation — essential because code
+attributes are built by concatenating the code of subtrees all the way up the parse
+tree.  :class:`~repro.strings.rope.Rope` is that data structure; string *descriptors*
+(:mod:`repro.strings.descriptors`) are the compact stand-ins shipped up the evaluator
+tree when the string librarian optimization is enabled.
+"""
+
+from repro.strings.rope import Rope, rope
+from repro.strings.descriptors import (
+    StringDescriptor,
+    LeafDescriptor,
+    LiteralDescriptor,
+    ConcatDescriptor,
+)
+from repro.strings.code import (
+    CodeValue,
+    as_code,
+    code_concat,
+    code_join,
+    code_length,
+    code_size,
+    flatten_code,
+)
+
+__all__ = [
+    "Rope",
+    "rope",
+    "StringDescriptor",
+    "LeafDescriptor",
+    "LiteralDescriptor",
+    "ConcatDescriptor",
+    "CodeValue",
+    "as_code",
+    "code_concat",
+    "code_join",
+    "code_length",
+    "code_size",
+    "flatten_code",
+]

@@ -1,0 +1,91 @@
+"""The "code" value type used by code-generating attribute grammars.
+
+A code attribute value is either a :class:`~repro.strings.rope.Rope` (plain string tree)
+or a :class:`~repro.strings.descriptors.StringDescriptor` (when a remotely evaluated
+subtree's code lives with the string librarian and only a reference travelled up).  The
+semantic rules of the code-generating grammars are written against the helpers below, so
+exactly as the paper claims, turning the librarian optimisation on or off "can be done
+without changing the grammar or the evaluator generator — all that needs to be changed
+is the implementation of the standard string data type used for code attributes".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Union
+
+from repro.strings.descriptors import ConcatDescriptor, LiteralDescriptor, StringDescriptor
+from repro.strings.rope import Rope, rope
+
+CodeValue = Union[str, Rope, StringDescriptor]
+
+
+def as_code(value: CodeValue) -> Union[Rope, StringDescriptor]:
+    """Coerce a plain string to a rope; pass ropes and descriptors through."""
+    if isinstance(value, str):
+        return rope(value)
+    if isinstance(value, (Rope, StringDescriptor)):
+        return value
+    raise TypeError(f"not a code value: {value!r}")
+
+
+def code_concat(left: CodeValue, right: CodeValue) -> Union[Rope, StringDescriptor]:
+    """Concatenate two code values in O(1).
+
+    Rope + rope stays a rope; as soon as a descriptor is involved the result is a
+    descriptor (ropes are wrapped as literal descriptor leaves).
+    """
+    left = as_code(left)
+    right = as_code(right)
+    if isinstance(left, Rope) and isinstance(right, Rope):
+        return Rope.concat(left, right)
+    if isinstance(left, Rope):
+        if len(left) == 0:
+            return right
+        left = LiteralDescriptor(left)
+    if isinstance(right, Rope):
+        if len(right) == 0:
+            return left
+        right = LiteralDescriptor(right)
+    return ConcatDescriptor(left, right)
+
+
+def code_join(pieces: Iterable[CodeValue]) -> Union[Rope, StringDescriptor]:
+    """Concatenate any number of code values left to right."""
+    result: Union[Rope, StringDescriptor] = Rope.empty()
+    for piece in pieces:
+        result = code_concat(result, piece)
+    return result
+
+
+def code_size(value: CodeValue) -> int:
+    """Abstract transmission size in bytes of a code value."""
+    value = as_code(value)
+    if isinstance(value, Rope):
+        return value.transmission_size()
+    return value.descriptor_size()
+
+
+def code_length(value: CodeValue) -> int:
+    """Length in characters of the text the value denotes (descriptors report only the
+    literal text they carry; referenced fragments are not counted)."""
+    value = as_code(value)
+    if isinstance(value, Rope):
+        return len(value)
+    total = 0
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LiteralDescriptor):
+            total += len(node.text)
+        elif isinstance(node, ConcatDescriptor):
+            stack.append(node.left)
+            stack.append(node.right)
+    return total
+
+
+def flatten_code(value: CodeValue, lookup: Callable[[int, int], Rope]) -> str:
+    """Materialize the full text, resolving fragment references through ``lookup``."""
+    value = as_code(value)
+    if isinstance(value, Rope):
+        return value.flatten()
+    return value.assemble(lookup).flatten()

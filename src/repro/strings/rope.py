@@ -1,0 +1,162 @@
+"""Rope strings: binary trees of text with O(1) concatenation.
+
+Ropes are immutable (as required by the applicative attribute-grammar discipline): all
+operations return new ropes and never modify existing ones.  ``length`` is maintained on
+every node so :meth:`Rope.__len__` and the network cost model are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+
+class Rope:
+    """An immutable string represented as a binary tree of text fragments.
+
+    Use :func:`rope` or :meth:`Rope.leaf` to create ropes and ``+`` to concatenate.
+    Flattening (:meth:`flatten`) is linear in total length and is only needed at the
+    very end (e.g. when the string librarian assembles the final code attribute).
+    """
+
+    __slots__ = ("_text", "_left", "_right", "_length", "_leaf_count")
+
+    def __init__(
+        self,
+        text: Optional[str] = None,
+        left: Optional["Rope"] = None,
+        right: Optional["Rope"] = None,
+    ):
+        if text is not None and (left is not None or right is not None):
+            raise ValueError("a rope node is either a leaf or an internal node, not both")
+        self._text = text
+        self._left = left
+        self._right = right
+        if text is not None:
+            self._length = len(text)
+            self._leaf_count = 1
+        else:
+            left_length = len(left) if left is not None else 0
+            right_length = len(right) if right is not None else 0
+            self._length = left_length + right_length
+            self._leaf_count = (
+                (left.leaf_count if left is not None else 0)
+                + (right.leaf_count if right is not None else 0)
+            )
+
+    # ----------------------------------------------------------------- creation
+
+    @classmethod
+    def leaf(cls, text: str) -> "Rope":
+        return cls(text=text)
+
+    @classmethod
+    def empty(cls) -> "Rope":
+        return _EMPTY
+
+    @classmethod
+    def concat(cls, left: "Rope", right: "Rope") -> "Rope":
+        """O(1) concatenation (empty operands are elided)."""
+        if len(left) == 0:
+            return right
+        if len(right) == 0:
+            return left
+        return cls(left=left, right=right)
+
+    @classmethod
+    def join(cls, pieces: List[Union[str, "Rope"]]) -> "Rope":
+        """Concatenate a list of strings/ropes left to right."""
+        result = _EMPTY
+        for piece in pieces:
+            if isinstance(piece, str):
+                piece = cls.leaf(piece)
+            result = cls.concat(result, piece)
+        return result
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._text is not None
+
+    @property
+    def leaf_count(self) -> int:
+        return self._leaf_count
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __add__(self, other: Union[str, "Rope"]) -> "Rope":
+        if isinstance(other, str):
+            other = Rope.leaf(other)
+        if not isinstance(other, Rope):
+            return NotImplemented
+        return Rope.concat(self, other)
+
+    def __radd__(self, other: Union[str, "Rope"]) -> "Rope":
+        if isinstance(other, str):
+            return Rope.concat(Rope.leaf(other), self)
+        return NotImplemented
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, str):
+            return self.flatten() == other
+        if isinstance(other, Rope):
+            return len(self) == len(other) and self.flatten() == other.flatten()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.flatten())
+
+    def iter_leaves(self) -> Iterator[str]:
+        """Yield the text fragments left to right without building the full string."""
+        stack: List[Rope] = [self]
+        while stack:
+            node = stack.pop()
+            if node._text is not None:
+                if node._text:
+                    yield node._text
+                continue
+            if node._right is not None:
+                stack.append(node._right)
+            if node._left is not None:
+                stack.append(node._left)
+
+    def flatten(self) -> str:
+        """Materialize the full string (linear time)."""
+        return "".join(self.iter_leaves())
+
+    def depth(self) -> int:
+        """Height of the rope tree (iterative; ropes can be very unbalanced)."""
+        best = 0
+        stack = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            best = max(best, level)
+            if node._left is not None:
+                stack.append((node._left, level + 1))
+            if node._right is not None:
+                stack.append((node._right, level + 1))
+        return best
+
+    def transmission_size(self) -> int:
+        """Abstract size in bytes when sent over the network (text plus leaf headers)."""
+        return self._length + 4 * self._leaf_count
+
+    def __str__(self) -> str:
+        return self.flatten()
+
+    def __repr__(self) -> str:
+        preview = self.flatten()
+        if len(preview) > 32:
+            preview = preview[:29] + "..."
+        return f"Rope({preview!r}, length={self._length}, leaves={self._leaf_count})"
+
+
+_EMPTY = Rope(text="")
+
+
+def rope(text: Union[str, Rope] = "") -> Rope:
+    """Coerce a string (or rope) to a :class:`Rope`."""
+    if isinstance(text, Rope):
+        return text
+    return Rope.leaf(text) if text else Rope.empty()

@@ -1,0 +1,33 @@
+"""Applicative (persistent) symbol tables.
+
+The paper implements symbol tables "as binary search trees, making applicative updates
+simple and fast.  Symbol table entries map the hash table index of an identifier to the
+information associated with that identifier", which keeps keys uniformly distributed and
+the unbalanced BST shallow.  :class:`~repro.symtab.persistent_tree.PersistentMap`
+implements the path-copying BST; :class:`~repro.symtab.symbol_table.SymbolTable` is the
+identifier-level wrapper offering the paper's ``st_create`` / ``st_add`` / ``st_lookup``
+operations plus the flattening (``st_put`` / ``st_get``) conversions used for network
+transmission.
+"""
+
+from repro.symtab.persistent_tree import PersistentMap
+from repro.symtab.symbol_table import (
+    SymbolTable,
+    SymbolTableError,
+    st_create,
+    st_add,
+    st_lookup,
+    st_put,
+    st_get,
+)
+
+__all__ = [
+    "PersistentMap",
+    "SymbolTable",
+    "SymbolTableError",
+    "st_create",
+    "st_add",
+    "st_lookup",
+    "st_put",
+    "st_get",
+]

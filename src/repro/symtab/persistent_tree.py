@@ -1,0 +1,123 @@
+"""A persistent (applicative) binary search tree keyed by integers.
+
+Updates copy the path from the root to the affected leaf (path copying), so every
+version remains valid and unchanged — the property the attribute-grammar discipline
+relies on when many attribute instances share symbol-table values.  No rebalancing is
+performed; instead, callers are expected to use (near) uniformly distributed integer
+keys, exactly as the paper does by keying entries on the identifier's hash index
+("this insures that key values are essentially uniformly distributed and thus symbol
+table trees stay balanced").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "size")
+
+    def __init__(self, key: int, value: Any, left: Optional["_Node"], right: Optional["_Node"]):
+        self.key = key
+        self.value = value
+        self.left = left
+        self.right = right
+        self.size = 1 + (left.size if left else 0) + (right.size if right else 0)
+
+
+class PersistentMap:
+    """Immutable integer-keyed map with O(depth) applicative insert and lookup."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self, _root: Optional[_Node] = None):
+        self._root = _root
+
+    # ----------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._root.size if self._root else 0
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order iteration (ascending key order)."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _, value in self.items():
+            yield value
+
+    def depth(self) -> int:
+        """Height of the tree; stays near log2(n) for uniformly distributed keys."""
+        best = 0
+        stack: List[Tuple[Optional[_Node], int]] = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
+            if node is None:
+                continue
+            best = max(best, level + 1)
+            stack.append((node.left, level + 1))
+            stack.append((node.right, level + 1))
+        return best
+
+    # ------------------------------------------------------------------ updates
+
+    def insert(self, key: int, value: Any) -> "PersistentMap":
+        """Return a new map with ``key`` bound to ``value`` (existing binding shadowed)."""
+        return PersistentMap(self._insert(self._root, key, value))
+
+    @classmethod
+    def _insert(cls, node: Optional[_Node], key: int, value: Any) -> _Node:
+        # Iterative path copy: collect the path, then rebuild it bottom-up.
+        path: List[Tuple[_Node, bool]] = []  # (node, went_left)
+        current = node
+        while current is not None and current.key != key:
+            went_left = key < current.key
+            path.append((current, went_left))
+            current = current.left if went_left else current.right
+        if current is not None and current.key == key:
+            rebuilt = _Node(key, value, current.left, current.right)
+        else:
+            rebuilt = _Node(key, value, None, None)
+        for ancestor, went_left in reversed(path):
+            if went_left:
+                rebuilt = _Node(ancestor.key, ancestor.value, rebuilt, ancestor.right)
+            else:
+                rebuilt = _Node(ancestor.key, ancestor.value, ancestor.left, rebuilt)
+        return rebuilt
+
+    def merge(self, other: "PersistentMap") -> "PersistentMap":
+        """Return a map containing both bindings; ``other`` wins on key collisions."""
+        result = self
+        for key, value in other.items():
+            result = result.insert(key, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"PersistentMap(size={len(self)}, depth={self.depth()})"

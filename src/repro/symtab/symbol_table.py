@@ -1,0 +1,161 @@
+"""Identifier-level symbol tables built on the persistent BST.
+
+The public operations mirror the paper's standard library: ``st_create`` returns an
+empty table, ``st_add`` returns a new table with one more binding (the original is
+untouched), ``st_lookup`` returns the binding of an identifier, and ``st_put`` /
+``st_get`` convert to and from a flat representation suitable for transmission over the
+network.  Identifiers are hashed to integer keys so the underlying unbalanced BST stays
+shallow; collisions are handled by chaining small association lists inside each node.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.symtab.persistent_tree import PersistentMap
+
+
+class SymbolTableError(KeyError):
+    """Raised when an identifier is not bound (and no default is supplied)."""
+
+
+def _hash_identifier(name: str, buckets: int = 1 << 16) -> int:
+    """Deterministic identifier hash; crc32 keeps keys uniformly spread and stable
+    across processes (unlike Python's randomized ``hash``)."""
+    return zlib.crc32(name.encode("utf-8")) % buckets
+
+
+class SymbolTable:
+    """An applicative identifier → value map.
+
+    All update operations return a new table; existing tables are never modified, so a
+    table value can safely be shared by any number of attribute instances and shipped to
+    other evaluators.
+    """
+
+    __slots__ = ("_map", "_count")
+
+    def __init__(self, _map: Optional[PersistentMap] = None, _count: int = 0):
+        self._map = _map if _map is not None else PersistentMap()
+        self._count = _count
+
+    # ------------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return self._count
+
+    def lookup(self, name: str, default: Any = _hash_identifier) -> Any:
+        """Return the value bound to ``name``.
+
+        Raises :class:`SymbolTableError` when unbound unless ``default`` is given.
+        """
+        bucket = self._map.get(_hash_identifier(name))
+        if bucket:
+            for bound_name, value in bucket:
+                if bound_name == name:
+                    return value
+        if default is not _hash_identifier:
+            return default
+        raise SymbolTableError(f"identifier {name!r} is not declared")
+
+    def __contains__(self, name: str) -> bool:
+        sentinel = object()
+        return self.lookup(name, sentinel) is not sentinel
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for _, bucket in self._map.items():
+            for name, value in bucket:
+                yield name, value
+
+    def names(self) -> List[str]:
+        return sorted(name for name, _ in self.items())
+
+    def depth(self) -> int:
+        """Depth of the underlying BST (reported by the symbol-table benchmarks)."""
+        return self._map.depth()
+
+    # ------------------------------------------------------------------ updates
+
+    def add(self, name: str, value: Any) -> "SymbolTable":
+        """Return a new table with ``name`` bound to ``value`` (shadowing any old one)."""
+        key = _hash_identifier(name)
+        bucket = self._map.get(key) or ()
+        filtered = tuple(entry for entry in bucket if entry[0] != name)
+        shadowed = len(filtered) != len(bucket)
+        new_bucket = filtered + ((name, value),)
+        new_count = self._count if shadowed else self._count + 1
+        return SymbolTable(self._map.insert(key, new_bucket), new_count)
+
+    def add_all(self, bindings: Dict[str, Any]) -> "SymbolTable":
+        table = self
+        for name, value in bindings.items():
+            table = table.add(name, value)
+        return table
+
+    def merge(self, other: "SymbolTable") -> "SymbolTable":
+        """Bindings of ``other`` shadow bindings of ``self`` on collision."""
+        table = self
+        for name, value in other.items():
+            table = table.add(name, value)
+        return table
+
+    # ------------------------------------------------------- network conversion
+
+    def put(self) -> List[Tuple[str, Any]]:
+        """Flatten to a contiguous representation for network transmission."""
+        return sorted(self.items())
+
+    @classmethod
+    def get(cls, wire: List[Tuple[str, Any]]) -> "SymbolTable":
+        """Rebuild a table from its flat representation."""
+        table = cls()
+        for name, value in wire:
+            table = table.add(name, value)
+        return table
+
+    def transmission_size(self) -> int:
+        """Abstract byte size used by the network model."""
+        total = 8
+        for name, value in self.items():
+            total += len(name) + 8
+        return total
+
+    def __repr__(self) -> str:
+        return f"SymbolTable(bindings={self._count}, depth={self.depth()})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SymbolTable):
+            return NotImplemented
+        return self.put() == other.put()
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.put()))
+
+
+# ----------------------------------------------------------------- paper-style API
+
+
+def st_create() -> SymbolTable:
+    """Return an empty symbol table (the paper's ``st_create``)."""
+    return SymbolTable()
+
+
+def st_add(table: SymbolTable, name: str, value: Any) -> SymbolTable:
+    """Return ``table`` extended with ``name`` bound to ``value`` (``st_add``)."""
+    return table.add(name, value)
+
+
+def st_lookup(table: SymbolTable, name: str, default: Any = _hash_identifier) -> Any:
+    """Look up ``name`` in ``table`` (``st_lookup``)."""
+    return table.lookup(name, default)
+
+
+def st_put(table: SymbolTable) -> List[Tuple[str, Any]]:
+    """Flatten ``table`` for network transmission (``st_put``)."""
+    return table.put()
+
+
+def st_get(wire: List[Tuple[str, Any]]) -> SymbolTable:
+    """Rebuild a symbol table from its flattened form (``st_get``)."""
+    return SymbolTable.get(wire)

@@ -1,0 +1,17 @@
+"""Parse trees and attribute instance storage."""
+
+from repro.tree.node import ParseTreeNode, AttributeInstance, make_terminal, make_node
+from repro.tree.linearize import linearize, delinearize, LinearizedTree
+from repro.tree.stats import TreeStatistics, tree_statistics
+
+__all__ = [
+    "ParseTreeNode",
+    "AttributeInstance",
+    "make_terminal",
+    "make_node",
+    "linearize",
+    "delinearize",
+    "LinearizedTree",
+    "TreeStatistics",
+    "tree_statistics",
+]

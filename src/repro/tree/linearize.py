@@ -1,0 +1,119 @@
+"""Linearization of parse (sub)trees for network transmission.
+
+The paper's parser ships each detached subtree to its evaluator machine in a linearized
+form; the evaluator reconstructs the subtree before evaluation.  We mirror that with a
+compact pre-order list-of-records representation whose abstract size is what the network
+model charges for the transfer.
+
+A linearized subtree may contain *holes*: positions at which a nested subtree was itself
+detached and shipped to a different evaluator.  Holes are recorded with the nonterminal
+name and the identifier of the remote region so that the receiving evaluator can set up
+remote-attribute placeholders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.grammar.grammar import AttributeGrammar
+from repro.tree.node import ParseTreeNode, make_node, make_terminal
+
+
+class LinearizedTree:
+    """Flat representation of a subtree.
+
+    ``records`` is a pre-order list of tuples:
+
+    * ``("T", terminal_name, token_value)`` for terminal leaves,
+    * ``("P", production_index)`` for nonterminal nodes (children follow in order),
+    * ``("H", nonterminal_name, region_id, original_node_id)`` for holes standing in for
+      subtrees evaluated remotely.
+    """
+
+    __slots__ = ("records", "root_symbol")
+
+    def __init__(self, records: List[Tuple], root_symbol: str):
+        self.records = records
+        self.root_symbol = root_symbol
+
+    def size_bytes(self) -> int:
+        """Abstract transmission size of the linearized form."""
+        total = 0
+        for record in self.records:
+            if record[0] == "T":
+                value = record[2]
+                total += 4 + (len(value) if isinstance(value, str) else 4)
+            elif record[0] == "P":
+                total += 8
+            else:
+                total += 16
+        return total
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def linearize(
+    root: ParseTreeNode,
+    holes: Optional[Dict[int, int]] = None,
+) -> LinearizedTree:
+    """Linearize the subtree rooted at ``root``.
+
+    :param holes: maps ``node_id`` of detached child subtrees to the region id they were
+        assigned to.  Those subtrees are replaced by hole records and not descended into.
+    """
+    holes = holes or {}
+    records: List[Tuple] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.node_id in holes and node is not root:
+            records.append(("H", node.symbol.name, holes[node.node_id], node.node_id))
+            continue
+        if node.is_terminal:
+            records.append(("T", node.symbol.name, node.token_value))
+        else:
+            assert node.production is not None
+            records.append(("P", node.production.index))
+            stack.extend(reversed(node.children))
+    return LinearizedTree(records, root.symbol.name)
+
+
+def delinearize(
+    grammar: AttributeGrammar, linearized: LinearizedTree
+) -> Tuple[ParseTreeNode, Dict[int, ParseTreeNode]]:
+    """Rebuild a subtree from its linearized form.
+
+    Returns the new root node and a mapping from region id to the hole placeholder nodes
+    created for remotely evaluated subtrees.  Hole nodes carry the nonterminal symbol but
+    no production or children; their synthesized attributes are later supplied from the
+    network and their inherited attributes must be exported to the owning evaluator.
+    """
+    position = 0
+    holes: Dict[int, ParseTreeNode] = {}
+
+    def build() -> ParseTreeNode:
+        nonlocal position
+        if position >= len(linearized.records):
+            raise ValueError("truncated linearized tree")
+        record = linearized.records[position]
+        position += 1
+        tag = record[0]
+        if tag == "T":
+            terminal = grammar.terminals[record[1]]
+            return make_terminal(terminal, record[2])
+        if tag == "H":
+            nonterminal = grammar.nonterminals[record[1]]
+            node = ParseTreeNode(nonterminal)
+            holes[record[2]] = node
+            return node
+        if tag == "P":
+            production = grammar.productions[record[1]]
+            children = [build() for _ in production.rhs]
+            return make_node(production, children)
+        raise ValueError(f"unknown linearized record tag {tag!r}")
+
+    root = build()
+    if position != len(linearized.records):
+        raise ValueError("trailing records after linearized tree")
+    return root, holes

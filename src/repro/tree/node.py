@@ -1,0 +1,211 @@
+"""Parse-tree nodes.
+
+A :class:`ParseTreeNode` represents either a nonterminal node (with the production that
+derived it and its children) or a terminal leaf (with the token value computed by the
+scanner).  Attribute values are stored directly on the node in ``attributes``; the
+*instance* of attribute ``a`` at node ``n`` is identified by the pair ``(n.node_id, a)``,
+which is what the evaluators and the distributed protocol use as keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.grammar.productions import AttributeRef, Production
+from repro.grammar.symbols import Nonterminal, Symbol, Terminal
+
+_node_counter = itertools.count(1)
+
+
+class AttributeInstance:
+    """Identifier of one attribute instance: attribute ``name`` at node ``node_id``."""
+
+    __slots__ = ("node_id", "name")
+
+    def __init__(self, node_id: int, name: str):
+        self.node_id = node_id
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AttributeInstance)
+            and self.node_id == other.node_id
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.node_id, self.name))
+
+    def __repr__(self) -> str:
+        return f"@{self.node_id}.{self.name}"
+
+
+class ParseTreeNode:
+    """One node of a parse tree.
+
+    :param symbol: the grammar symbol at this node.
+    :param production: the production applied at this node (``None`` for terminals).
+    :param children: child nodes, one per right-hand-side symbol of the production.
+    :param token_value: scanner-supplied value for terminal leaves.
+    """
+
+    __slots__ = (
+        "node_id",
+        "symbol",
+        "production",
+        "children",
+        "parent",
+        "child_index",
+        "token_value",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        symbol: Symbol,
+        production: Optional[Production] = None,
+        children: Optional[List["ParseTreeNode"]] = None,
+        token_value: Any = None,
+    ):
+        self.node_id = next(_node_counter)
+        self.symbol = symbol
+        self.production = production
+        self.children: List[ParseTreeNode] = children or []
+        self.parent: Optional[ParseTreeNode] = None
+        self.child_index: Optional[int] = None  # 1-based position under parent
+        self.token_value = token_value
+        self.attributes: Dict[str, Any] = {}
+        for index, child in enumerate(self.children, start=1):
+            child.parent = self
+            child.child_index = index
+        if production is not None:
+            if len(self.children) != len(production.rhs):
+                raise ValueError(
+                    f"node for {production.label!r} needs {len(production.rhs)} children, "
+                    f"got {len(self.children)}"
+                )
+            for child, expected in zip(self.children, production.rhs):
+                if child.symbol != expected:
+                    raise ValueError(
+                        f"node for {production.label!r}: child {child.symbol.name!r} does "
+                        f"not match expected symbol {expected.name!r}"
+                    )
+        if production is not None and symbol.is_terminal:
+            raise ValueError("terminal nodes cannot carry a production")
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.symbol.is_terminal
+
+    def instance(self, attribute_name: str) -> AttributeInstance:
+        return AttributeInstance(self.node_id, attribute_name)
+
+    def has_attribute_value(self, name: str) -> bool:
+        if self.is_terminal:
+            terminal = self.symbol
+            assert isinstance(terminal, Terminal)
+            return terminal.has_attribute(name)
+        return name in self.attributes
+
+    def get_attribute(self, name: str) -> Any:
+        """Return the value of an attribute, raising ``KeyError`` if unevaluated."""
+        if self.is_terminal:
+            terminal = self.symbol
+            assert isinstance(terminal, Terminal)
+            if terminal.has_attribute(name):
+                return self.token_value
+            raise KeyError(f"terminal {terminal.name!r} has no attribute {name!r}")
+        if name not in self.attributes:
+            raise KeyError(
+                f"attribute {name!r} of node {self.node_id} ({self.symbol.name}) "
+                "has not been evaluated"
+            )
+        return self.attributes[name]
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+    def resolve(self, ref: AttributeRef) -> "ParseTreeNode":
+        """Return the node an occurrence of this node's production refers to."""
+        if self.production is None:
+            raise ValueError("terminal nodes have no production occurrences")
+        if ref.position == 0:
+            return self
+        return self.children[ref.position - 1]
+
+    # --------------------------------------------------------------- traversal
+
+    def walk(self) -> Iterator["ParseTreeNode"]:
+        """Pre-order traversal of the subtree rooted here (iterative, deep-tree safe)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> Iterator["ParseTreeNode"]:
+        for node in self.walk():
+            if not node.children:
+                yield node
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.walk())
+
+    def linearized_size(self) -> int:
+        """Abstract size in bytes of the linearized subtree, used by the split policy.
+
+        Terminals are charged for their token text, nonterminal nodes for a small fixed
+        header, roughly mirroring a compact network representation of the tree.
+        """
+        total = 0
+        for node in self.walk():
+            if node.is_terminal:
+                text = node.token_value
+                total += 4 + (len(text) if isinstance(text, str) else 4)
+            else:
+                total += 8
+        return total
+
+    def path_to_root(self) -> List["ParseTreeNode"]:
+        path = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            path.append(node)
+        return path
+
+    def pretty(self, indent: int = 0, max_depth: Optional[int] = None) -> str:
+        """Readable multi-line rendering used by examples and error messages."""
+        pad = "  " * indent
+        if self.is_terminal:
+            value = f" {self.token_value!r}" if self.token_value is not None else ""
+            return f"{pad}{self.symbol.name}{value}"
+        lines = [f"{pad}{self.symbol.name}"]
+        if max_depth is not None and indent + 1 > max_depth:
+            lines.append(f"{pad}  ...")
+            return "\n".join(lines)
+        for child in self.children:
+            lines.append(child.pretty(indent + 1, max_depth))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return f"ParseTreeNode(terminal {self.symbol.name!r}, id={self.node_id})"
+        return (
+            f"ParseTreeNode({self.symbol.name!r}, id={self.node_id}, "
+            f"children={len(self.children)})"
+        )
+
+
+def make_terminal(terminal: Terminal, value: Any = None) -> ParseTreeNode:
+    """Create a terminal leaf node."""
+    return ParseTreeNode(terminal, token_value=value)
+
+
+def make_node(production: Production, children: List[ParseTreeNode]) -> ParseTreeNode:
+    """Create a nonterminal node for ``production`` with the given children."""
+    return ParseTreeNode(production.lhs, production=production, children=children)

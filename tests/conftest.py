@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.visit_sequences import build_evaluation_plan
+from repro.exprlang.grammar import expression_grammar, expression_grammar_from_spec
+from repro.parsing.parser import Parser
+
+
+@pytest.fixture(scope="session")
+def expr_grammar():
+    """The appendix expression grammar (built programmatically)."""
+    return expression_grammar()
+
+
+@pytest.fixture(scope="session")
+def expr_grammar_spec():
+    """The appendix expression grammar parsed from its textual specification."""
+    return expression_grammar_from_spec()
+
+
+@pytest.fixture(scope="session")
+def expr_plan(expr_grammar):
+    """Ordered-evaluation plan for the expression grammar."""
+    return build_evaluation_plan(expr_grammar)
+
+
+@pytest.fixture(scope="session")
+def expr_parser(expr_grammar):
+    """A shared LALR parser for the expression grammar."""
+    return Parser(expr_grammar)

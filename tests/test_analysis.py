@@ -1,0 +1,258 @@
+"""Tests for dependency analysis, circularity detection, and ordered evaluation plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cycles import CircularGrammarError, check_noncircular
+from repro.analysis.dependencies import (
+    DependencyGraph,
+    induced_dependencies,
+    production_dependency_graph,
+)
+from repro.analysis.ordered import NotOrderedError, compute_partitions
+from repro.analysis.visit_sequences import (
+    EvalInstruction,
+    VisitChildInstruction,
+    build_evaluation_plan,
+)
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.productions import AttributeRef
+
+
+class TestDependencyGraph:
+    def test_add_edge_idempotent(self):
+        graph = DependencyGraph()
+        assert graph.add_edge("a", "b")
+        assert not graph.add_edge("a", "b")
+        assert graph.edge_count() == 1
+
+    def test_successors_and_predecessors(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("c") == {"a"}
+        assert graph.successors("missing") == frozenset()
+
+    def test_transitive_closure(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        closure = graph.transitive_closure()
+        assert closure.has_edge("a", "c")
+        assert not graph.has_edge("a", "c")
+
+    def test_topological_order(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("a", "c")
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_detects_cycle(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_find_cycle(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        cycle = graph.find_cycle()
+        assert len(cycle) >= 3
+        assert set(cycle) <= {"a", "b", "c"}
+
+    def test_find_cycle_on_acyclic_graph(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        assert graph.find_cycle() == []
+
+
+class TestProductionDependencies:
+    def test_local_graph_edges(self, expr_grammar):
+        production = next(
+            p for p in expr_grammar.productions if p.label == "expr -> expr + expr"
+        )
+        graph = production_dependency_graph(production)
+        assert graph.has_edge(AttributeRef(1, "value"), AttributeRef(0, "value"))
+        assert graph.has_edge(AttributeRef(3, "value"), AttributeRef(0, "value"))
+        assert graph.has_edge(AttributeRef(0, "stab"), AttributeRef(1, "stab"))
+
+    def test_induced_dependencies_of_expression_grammar(self, expr_grammar):
+        ids = induced_dependencies(expr_grammar)
+        # The value of an expression can depend on its symbol table (via IDENTIFIER).
+        assert ids["expr"].has_edge("stab", "value")
+        assert ids["block"].has_edge("stab", "value")
+        # Never the other way around.
+        assert not ids["expr"].has_edge("value", "stab")
+
+
+def _two_pass_grammar():
+    """A grammar with the classic two-pass (declarations up, environment down) shape."""
+    builder = GrammarBuilder("twopass")
+    builder.name_terminals("ID")
+    builder.nonterminal("root", synthesized=["out"])
+    builder.nonterminal(
+        "item", synthesized=["decls", "code"], inherited=["env"]
+    )
+    builder.production(
+        "root -> item",
+        Rule("$1.env", ["$1.decls"], lambda d: {"env": d}, name="make_env"),
+        Rule("$$.out", ["$1.code"]),
+    )
+    builder.production(
+        "item -> ID",
+        Rule("$$.decls", ["$1.string"], lambda s: [s], name="decls"),
+        Rule("$$.code", ["$$.env", "$1.string"], lambda env, s: f"{env}:{s}", name="code"),
+    )
+    return builder.build(start="root")
+
+
+class TestPartitions:
+    def test_expression_grammar_single_visit(self, expr_grammar):
+        partitions = compute_partitions(expr_grammar)
+        expr = partitions["expr"]
+        assert expr.visit_count == 1
+        assert expr.inherited_of(1) == {"stab"}
+        assert expr.synthesized_of(1) == {"value"}
+        assert expr.visit_of("stab") == 1
+        assert expr.visit_of("value") == 1
+
+    def test_two_pass_grammar_needs_two_visits(self):
+        grammar = _two_pass_grammar()
+        partitions = compute_partitions(grammar)
+        item = partitions["item"]
+        assert item.visit_count == 2
+        assert item.synthesized_of(1) == {"decls"}
+        assert item.inherited_of(2) == {"env"}
+        assert item.synthesized_of(2) == {"code"}
+
+    def test_static_dependencies(self):
+        grammar = _two_pass_grammar()
+        partitions = compute_partitions(grammar)
+        deps = partitions["item"].static_dependencies()
+        assert deps["decls"] == frozenset()
+        assert deps["code"] == {"env"}
+
+    def test_attribute_less_nonterminal_gets_one_visit(self):
+        builder = GrammarBuilder("plain")
+        builder.name_terminals("ID")
+        builder.nonterminal("root", synthesized=["n"])
+        builder.nonterminal("filler")
+        builder.production("root -> filler ID", Rule("$$.n", ["$2.string"], len))
+        builder.production("filler -> ID")
+        grammar = builder.build(start="root")
+        partitions = compute_partitions(grammar)
+        assert partitions["filler"].visit_count == 1
+
+    def test_unknown_attribute_visit_lookup(self, expr_grammar):
+        partitions = compute_partitions(expr_grammar)
+        with pytest.raises(KeyError):
+            partitions["expr"].visit_of("nonexistent")
+
+
+class TestCircularity:
+    def test_expression_grammar_not_circular(self, expr_grammar):
+        check_noncircular(expr_grammar)  # should not raise
+
+    def test_circular_grammar_rejected(self):
+        builder = GrammarBuilder("circular")
+        builder.name_terminals("ID")
+        builder.nonterminal("root", synthesized=["out"])
+        builder.nonterminal("x", synthesized=["s"], inherited=["i"])
+        builder.production(
+            "root -> x",
+            Rule("$1.i", ["$1.s"]),
+            Rule("$$.out", ["$1.s"]),
+        )
+        builder.production(
+            "x -> ID",
+            Rule("$$.s", ["$$.i"]),
+        )
+        grammar = builder.build(start="root")
+        with pytest.raises(CircularGrammarError):
+            check_noncircular(grammar)
+
+
+class TestVisitSequences:
+    def test_segments_cover_all_rules(self, expr_grammar, expr_plan):
+        for production in expr_grammar.productions:
+            sequence = expr_plan.sequences[production.index]
+            eval_instructions = [
+                instruction
+                for segment in sequence.segments
+                for instruction in segment
+                if isinstance(instruction, EvalInstruction)
+            ]
+            assert len(eval_instructions) == len(production.rules)
+            assert {i.rule_index for i in eval_instructions} == set(
+                range(len(production.rules))
+            )
+
+    def test_child_visits_present(self, expr_grammar, expr_plan):
+        production = next(
+            p for p in expr_grammar.productions if p.label == "expr -> expr + expr"
+        )
+        sequence = expr_plan.sequences[production.index]
+        visits = [
+            instruction
+            for segment in sequence.segments
+            for instruction in segment
+            if isinstance(instruction, VisitChildInstruction)
+        ]
+        assert {v.child_position for v in visits} == {1, 3}
+
+    def test_rule_ordering_respects_dependencies(self, expr_grammar, expr_plan):
+        # In "block -> LET ID = expr IN expr NI" the rule for $6.stab (st_add) needs
+        # $4.value, so the visit of child 4 must precede the evaluation of $6.stab.
+        production = next(
+            p for p in expr_grammar.productions if p.label.startswith("block ->")
+        )
+        sequence = expr_plan.sequences[production.index]
+        flat = [instruction for segment in sequence.segments for instruction in segment]
+        visit_4 = next(
+            i for i, ins in enumerate(flat)
+            if isinstance(ins, VisitChildInstruction) and ins.child_position == 4
+        )
+        st_add_rule_index = next(
+            i for i, rule in enumerate(production.rules)
+            if rule.target == AttributeRef(6, "stab")
+        )
+        eval_st_add = next(
+            i for i, ins in enumerate(flat)
+            if isinstance(ins, EvalInstruction) and ins.rule_index == st_add_rule_index
+        )
+        assert visit_4 < eval_st_add
+
+    def test_two_pass_grammar_sequences(self):
+        grammar = _two_pass_grammar()
+        plan = build_evaluation_plan(grammar)
+        item_production = next(
+            p for p in grammar.productions if p.label == "item -> ID"
+        )
+        sequence = plan.sequences[item_production.index]
+        assert sequence.visit_count == 2
+        # decls is computed in visit 1, code in visit 2.
+        first_rules = {
+            item_production.rules[i.rule_index].target.name
+            for i in sequence.segment(1)
+            if isinstance(i, EvalInstruction)
+        }
+        second_rules = {
+            item_production.rules[i.rule_index].target.name
+            for i in sequence.segment(2)
+            if isinstance(i, EvalInstruction)
+        }
+        assert first_rules == {"decls"}
+        assert second_rules == {"code"}
+
+    def test_describe_is_readable(self, expr_grammar, expr_plan):
+        production = expr_grammar.productions[0]
+        text = expr_plan.sequences[production.index].describe(production)
+        assert "visit sequence" in text
+        assert "eval" in text

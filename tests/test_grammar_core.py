@@ -1,0 +1,223 @@
+"""Tests for the attribute-grammar data model (symbols, productions, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.attributes import AttributeDecl, AttributeKind
+from repro.grammar.builder import GrammarBuilder, Rule, copy_rule
+from repro.grammar.grammar import AttributeGrammar, GrammarError
+from repro.grammar.productions import AttributeRef, Production, SemanticRule
+from repro.grammar.symbols import Nonterminal, Terminal
+
+
+class TestSymbols:
+    def test_terminal_identity(self):
+        assert Terminal("PLUS") == Terminal("PLUS")
+        assert hash(Terminal("PLUS")) == hash(Terminal("PLUS"))
+        assert Terminal("PLUS") != Terminal("MINUS")
+
+    def test_terminal_and_nonterminal_with_same_name_differ(self):
+        assert Terminal("expr") != Nonterminal("expr")
+
+    def test_name_terminal_has_value_attribute(self):
+        ident = Terminal("IDENTIFIER", "string")
+        assert ident.attribute_names == ("string",)
+        assert ident.has_attribute("string")
+        assert not ident.has_attribute("value")
+
+    def test_keyword_terminal_has_no_attributes(self):
+        assert Terminal("LET").attribute_names == ()
+
+    def test_empty_symbol_name_rejected(self):
+        with pytest.raises(ValueError):
+            Terminal("")
+
+    def test_nonterminal_attribute_declaration(self):
+        expr = Nonterminal("expr")
+        expr.declare(AttributeDecl("value", AttributeKind.SYNTHESIZED))
+        expr.declare(AttributeDecl("stab", AttributeKind.INHERITED))
+        assert {d.name for d in expr.synthesized} == {"value"}
+        assert {d.name for d in expr.inherited} == {"stab"}
+        assert expr.attribute("value").is_synthesized
+
+    def test_duplicate_attribute_declaration_rejected(self):
+        expr = Nonterminal("expr")
+        expr.declare(AttributeDecl("value", AttributeKind.SYNTHESIZED))
+        with pytest.raises(ValueError):
+            expr.declare(AttributeDecl("value", AttributeKind.INHERITED))
+
+    def test_unknown_attribute_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Nonterminal("expr").attribute("missing")
+
+
+class TestAttributeRef:
+    @pytest.mark.parametrize(
+        "text, position, name",
+        [
+            ("$$.value", 0, "value"),
+            ("lhs.code", 0, "code"),
+            ("$0.code", 0, "code"),
+            ("$3.stab", 3, "stab"),
+            ("  $1.x ", 1, "x"),
+        ],
+    )
+    def test_parse(self, text, position, name):
+        ref = AttributeRef.parse(text)
+        assert ref.position == position
+        assert ref.name == name
+
+    @pytest.mark.parametrize("text", ["value", "$x.value", "foo.value", "$1.", "$-1.x"])
+    def test_parse_malformed(self, text):
+        with pytest.raises(ValueError):
+            AttributeRef.parse(text)
+
+    def test_equality_and_hash(self):
+        assert AttributeRef(1, "x") == AttributeRef(1, "x")
+        assert hash(AttributeRef(1, "x")) == hash(AttributeRef(1, "x"))
+        assert AttributeRef(1, "x") != AttributeRef(2, "x")
+
+
+class TestProduction:
+    def _simple(self):
+        expr = Nonterminal("expr")
+        expr.declare(AttributeDecl("value", AttributeKind.SYNTHESIZED))
+        number = Terminal("NUMBER", "string")
+        production = Production(expr, [number])
+        return expr, number, production
+
+    def test_symbol_at(self):
+        expr, number, production = self._simple()
+        assert production.symbol_at(0) is expr
+        assert production.symbol_at(1) is number
+        with pytest.raises(IndexError):
+            production.symbol_at(2)
+
+    def test_rule_referencing_unknown_attribute_rejected(self):
+        expr, number, production = self._simple()
+        with pytest.raises(ValueError):
+            production.add_rule(
+                SemanticRule(AttributeRef(0, "missing"), [], lambda: 0)
+            )
+
+    def test_defined_and_used_occurrences(self):
+        expr = Nonterminal("expr")
+        expr.declare(AttributeDecl("value", AttributeKind.SYNTHESIZED))
+        expr.declare(AttributeDecl("stab", AttributeKind.INHERITED))
+        plus = Terminal("+")
+        production = Production(expr, [expr, plus, expr])
+        defined = set(production.defined_occurrences())
+        used = set(production.used_occurrences())
+        assert AttributeRef(0, "value") in defined
+        assert AttributeRef(1, "stab") in defined
+        assert AttributeRef(3, "stab") in defined
+        assert AttributeRef(0, "stab") in used
+        assert AttributeRef(1, "value") in used
+        assert AttributeRef(3, "value") in used
+
+    def test_rule_defining_lookup(self):
+        expr, number, production = self._simple()
+        rule = SemanticRule(AttributeRef(0, "value"), [AttributeRef(1, "string")], int)
+        production.add_rule(rule)
+        assert production.rule_defining(AttributeRef(0, "value")) is rule
+        assert production.rule_defining(AttributeRef(0, "other")) is None
+
+
+class TestGrammarValidation:
+    def test_expression_grammar_is_valid(self, expr_grammar):
+        expr_grammar.validate()  # should not raise
+        assert expr_grammar.rule_count() >= 15
+        assert len(expr_grammar.productions) == 8
+
+    def test_missing_rule_detected(self):
+        builder = GrammarBuilder("bad")
+        builder.name_terminals("NUMBER")
+        builder.nonterminal("root", synthesized=["value"])
+        builder.production("root -> NUMBER")  # no rule for root.value
+        with pytest.raises(GrammarError, match="no semantic rule defines"):
+            builder.build(start="root")
+
+    def test_duplicate_rule_detected(self):
+        builder = GrammarBuilder("bad")
+        builder.name_terminals("NUMBER")
+        builder.nonterminal("root", synthesized=["value"])
+        builder.production(
+            "root -> NUMBER",
+            Rule("$$.value", ["$1.string"], int),
+            Rule("$$.value", ["$1.string"], int),
+        )
+        with pytest.raises(GrammarError, match="more than once"):
+            builder.build(start="root")
+
+    def test_nonterminal_without_production_detected(self):
+        builder = GrammarBuilder("bad")
+        builder.name_terminals("NUMBER")
+        builder.nonterminal("root", synthesized=["value"])
+        builder.nonterminal("orphan", synthesized=["value"])
+        builder.production("root -> NUMBER", Rule("$$.value", ["$1.string"], int))
+        with pytest.raises(GrammarError, match="has no productions"):
+            builder.build(start="root")
+
+    def test_unreachable_nonterminal_detected(self):
+        builder = GrammarBuilder("bad")
+        builder.name_terminals("NUMBER")
+        builder.nonterminal("root", synthesized=["value"])
+        builder.nonterminal("island", synthesized=["value"])
+        builder.production("root -> NUMBER", Rule("$$.value", ["$1.string"], int))
+        builder.production("island -> NUMBER", Rule("$$.value", ["$1.string"], int))
+        with pytest.raises(GrammarError, match="unreachable"):
+            builder.build(start="root")
+
+    def test_missing_start_symbol(self):
+        builder = GrammarBuilder("bad")
+        builder.name_terminals("NUMBER")
+        builder.nonterminal("root", synthesized=["value"])
+        builder.production("root -> NUMBER", Rule("$$.value", ["$1.string"], int))
+        with pytest.raises(GrammarError):
+            builder.build()
+
+    def test_summary_mentions_counts(self, expr_grammar):
+        summary = expr_grammar.summary()
+        assert "8 productions" in summary
+        assert "semantic rules" in summary
+
+
+class TestBuilder:
+    def test_copy_rule_helper(self):
+        rule = copy_rule("$1.stab", "$$.stab").to_semantic_rule()
+        assert rule.target == AttributeRef(1, "stab")
+        assert rule.evaluate(["x"]) == "x"
+
+    def test_copy_rule_requires_single_argument(self):
+        with pytest.raises(ValueError):
+            Rule("$$.value", ["$1.a", "$2.b"])
+
+    def test_unknown_lhs_rejected(self):
+        builder = GrammarBuilder()
+        builder.name_terminals("NUMBER")
+        with pytest.raises(GrammarError, match="unknown nonterminal"):
+            builder.production("mystery -> NUMBER")
+
+    def test_implicit_keyword_terminals(self):
+        builder = GrammarBuilder()
+        builder.nonterminal("root", synthesized=["value"])
+        builder.name_terminals("NUMBER")
+        builder.production(
+            "root -> NUMBER ; NUMBER",
+            Rule("$$.value", ["$1.string"], int),
+        )
+        grammar = builder.build(start="root")
+        assert ";" in grammar.terminals
+
+    def test_priority_attribute_must_be_declared(self):
+        builder = GrammarBuilder()
+        with pytest.raises(GrammarError, match="priority"):
+            builder.nonterminal("root", synthesized=["value"], priority=["missing"])
+
+    def test_split_declaration_recorded(self, expr_grammar):
+        block = expr_grammar.nonterminals["block"]
+        assert block.splittable
+        assert block.min_split_size == 100
+        assert expr_grammar.nonterminals["expr"].splittable is False
+        assert [nt.name for nt in expr_grammar.split_nonterminals] == ["block"]

@@ -1,0 +1,190 @@
+"""Tests for the Pascal-subset compiler: parsing, typing, code generation, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pascal import PascalCompiler, SAMPLE_PROGRAMS, generate_program, tokenize_pascal
+from repro.pascal.grammar import pascal_grammar
+from repro.pascal import types as ptypes
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return PascalCompiler()
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize_pascal("BEGIN begin Begin")]
+        assert kinds == ["BEGIN", "BEGIN", "BEGIN"]
+
+    def test_compound_operators(self):
+        kinds = [t.kind for t in tokenize_pascal("a := b <= c <> d .. e")]
+        assert ":=" in kinds and "<=" in kinds and "<>" in kinds and ".." in kinds
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize_pascal("x { comment } := (* other *) 1")]
+        assert kinds == ["IDENTIFIER", ":=", "NUMBER"]
+
+    def test_string_literals(self):
+        tokens = tokenize_pascal("writeln('hello, ''quoted'' world')")
+        assert any(t.kind == "STRINGLIT" for t in tokens)
+
+
+class TestGrammar:
+    def test_size_matches_paper_scale(self):
+        grammar = pascal_grammar()
+        assert 80 <= len(grammar.productions) <= 120
+        assert grammar.rule_count() >= 300
+        split_names = {nt.name for nt in grammar.split_nonterminals}
+        assert split_names == {"statement", "statement_list", "proc_decl", "proc_decls"}
+
+    def test_priority_attributes_declared(self):
+        grammar = pascal_grammar()
+        statement = grammar.nonterminals["statement"]
+        assert statement.attribute("env").priority
+        assert statement.attribute("env").is_inherited
+
+    def test_grammar_is_ordered(self):
+        from repro.analysis.visit_sequences import build_evaluation_plan
+
+        plan = build_evaluation_plan(pascal_grammar())
+        assert plan.visit_count("proc_decl") == 2
+        assert plan.visit_count("statement") == 1
+
+
+class TestTypes:
+    def test_array_type(self):
+        array = ptypes.ArrayType(1, 10, ptypes.INTEGER)
+        assert array.size() == 40
+        assert array.length == 10
+        with pytest.raises(ValueError):
+            ptypes.ArrayType(5, 1, ptypes.INTEGER)
+
+    def test_record_type_offsets(self):
+        record = ptypes.RecordType([("a", ptypes.INTEGER), ("b", ptypes.BOOLEAN)])
+        assert record.field_offset("a") == 0
+        assert record.field_offset("b") == 4
+        assert record.field_type("missing") is None
+        assert record.size() == 8
+
+    def test_compatibility(self):
+        assert ptypes.types_compatible(ptypes.INTEGER, ptypes.INTEGER)
+        assert not ptypes.types_compatible(ptypes.INTEGER, ptypes.BOOLEAN)
+        assert ptypes.types_compatible(ptypes.INTEGER, ptypes.ERROR_TYPE)
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(SAMPLE_PROGRAMS))
+    @pytest.mark.parametrize("evaluator", ["static", "dynamic", "combined"])
+    def test_samples_compile_cleanly(self, compiler, name, evaluator):
+        result = compiler.compile(SAMPLE_PROGRAMS[name], evaluator=evaluator)
+        assert result.ok, result.errors
+        assert result.code
+
+    def test_evaluators_produce_identical_code(self, compiler):
+        source = SAMPLE_PROGRAMS["sorting"]
+        static = compiler.compile(source, evaluator="static")
+        dynamic = compiler.compile(source, evaluator="dynamic")
+        combined = compiler.compile(source, evaluator="combined")
+        assert static.code.count("\n") == dynamic.code.count("\n") == combined.code.count("\n")
+
+    def test_generated_assembly_structure(self, compiler):
+        result = compiler.compile(SAMPLE_PROGRAMS["factorial"], evaluator="static")
+        assert "_main" in result.code
+        assert "calls" in result.code
+        assert ".globl" in result.code
+        # The recursive factorial function must have a label and a ret.
+        assert "F_fact_" in result.code
+        assert "\tret\n" in result.code
+
+    def test_global_variables_emitted(self, compiler):
+        result = compiler.compile(SAMPLE_PROGRAMS["sorting"], evaluator="static")
+        assert ".lcomm\tG_data" in result.code
+
+    def test_string_literals_in_data_segment(self, compiler):
+        result = compiler.compile(SAMPLE_PROGRAMS["hello"], evaluator="static")
+        assert '.asciz\t"hello, world"' in result.code
+
+    def test_nested_procedure_uses_static_link(self, compiler):
+        result = compiler.compile(SAMPLE_PROGRAMS["nested"], evaluator="static")
+        # Access to an enclosing scope's variable goes through the static link chain.
+        assert "4(r2)" in result.code or "(r2)" in result.code
+
+
+class TestDiagnostics:
+    def _errors(self, compiler, body, declarations=""):
+        source = f"program t; {declarations} begin {body} end."
+        return compiler.compile(source, evaluator="static").errors
+
+    def test_undeclared_identifier(self, compiler):
+        errors = self._errors(compiler, "x := 1")
+        assert any("undeclared" in message for message in errors)
+
+    def test_type_mismatch_assignment(self, compiler):
+        errors = self._errors(compiler, "x := true", "var x: integer;")
+        assert any("cannot assign" in message for message in errors)
+
+    def test_condition_must_be_boolean(self, compiler):
+        errors = self._errors(compiler, "if x then x := 1", "var x: integer;")
+        assert any("condition must be boolean" in message for message in errors)
+
+    def test_wrong_argument_count(self, compiler):
+        source = """
+        program t;
+        var a: integer;
+        procedure p(x: integer);
+        begin x := x end;
+        begin p(1, 2); a := 0 end.
+        """
+        errors = PascalCompiler().compile(source, evaluator="static").errors
+        assert any("expects 1 argument" in message for message in errors)
+
+    def test_var_parameter_needs_variable(self, compiler):
+        source = """
+        program t;
+        var a: integer;
+        procedure p(var x: integer);
+        begin x := x end;
+        begin p(a + 1) end.
+        """
+        errors = PascalCompiler().compile(source, evaluator="static").errors
+        assert any("must be a variable" in message for message in errors)
+
+    def test_unknown_type(self, compiler):
+        errors = self._errors(compiler, "x := 1", "var x: widget;")
+        assert any("unknown type" in message for message in errors)
+
+    def test_duplicate_declarations(self, compiler):
+        errors = self._errors(compiler, "x := 1", "var x: integer; x: integer;")
+        assert any("duplicate variable" in message for message in errors)
+
+    def test_array_index_type(self, compiler):
+        errors = self._errors(
+            compiler, "a[true] := 1", "var a: array [1..4] of integer;"
+        )
+        assert any("array index" in message for message in errors)
+
+    def test_record_field_missing(self, compiler):
+        errors = self._errors(
+            compiler, "p.z := 1", "type pt = record x: integer end; var p: pt;"
+        )
+        assert any("no field" in message for message in errors)
+
+
+class TestGeneratedPrograms:
+    def test_generator_is_deterministic(self):
+        assert generate_program(seed=7, procedures=5) == generate_program(seed=7, procedures=5)
+
+    def test_generated_program_compiles(self, compiler):
+        source = generate_program(procedures=6, statements_per_procedure=3, seed=2)
+        result = compiler.compile(source, evaluator="static")
+        assert result.ok, result.errors[:5]
+        assert result.tree_nodes > 500
+
+    def test_paper_sized_program_shape(self):
+        source = generate_program()
+        lines = source.count("\n") + 1
+        assert 700 <= lines <= 2500
+        assert source.count("procedure ") + source.count("function ") >= 46

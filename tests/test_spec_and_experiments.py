@@ -1,0 +1,130 @@
+"""Tests for the textual grammar format, the baselines and the experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.parallel_make import ParallelMakeModel
+from repro.baselines.pipeline import PipelinedCompilerModel
+from repro.exprlang.grammar import EXPRESSION_ENVIRONMENT, EXPRESSION_SPEC
+from repro.grammar.spec_parser import SpecSyntaxError, parse_grammar_spec
+
+
+class TestSpecParser:
+    def test_expression_spec_round_trip(self, expr_grammar_spec, expr_grammar):
+        assert len(expr_grammar_spec.productions) == len(expr_grammar.productions)
+        assert set(expr_grammar_spec.nonterminals) == set(expr_grammar.nonterminals)
+        block = expr_grammar_spec.nonterminals["block"]
+        assert block.splittable and block.min_split_size == 100
+
+    def test_spec_grammar_evaluates(self, expr_grammar_spec):
+        from repro.evaluation.static import StaticEvaluator
+        from repro.exprlang.frontend import tokenize_expression
+        from repro.parsing.parser import Parser
+
+        tree = Parser(expr_grammar_spec).parse(tokenize_expression("let x = 3 in 1 + 2 * x ni"))
+        StaticEvaluator(expr_grammar_spec).evaluate(tree)
+        assert tree.get_attribute("value") == 7
+
+    def test_missing_separator(self):
+        with pytest.raises(SpecSyntaxError, match="%%"):
+            parse_grammar_spec("%start s\n")
+
+    def test_unknown_function(self):
+        spec = "%name N\n%nosplit s syn(v)\n%start s\n%%\ns : N\n  $$.v = mystery($1.string)\n;\n"
+        with pytest.raises(SpecSyntaxError, match="mystery"):
+            parse_grammar_spec(spec)
+
+    def test_unknown_declaration(self):
+        with pytest.raises(SpecSyntaxError, match="unknown declaration"):
+            parse_grammar_spec("%bogus x\n%%\n")
+
+    def test_unterminated_production(self):
+        spec = "%name N\n%nosplit s syn(v)\n%start s\n%%\ns : N\n  $$.v = $1.string\n"
+        with pytest.raises(SpecSyntaxError, match="not terminated"):
+            parse_grammar_spec(spec)
+
+    def test_priority_declaration(self):
+        spec = (
+            "%name N\n%priority env\n%nosplit s syn(v) inh(env)\n%nosplit t syn(v)\n"
+            "%start t\n%%\n"
+            "t : s\n  $1.env = $1.v\n  $$.v = $1.v\n;\n"
+            "s : N\n  $$.v = $1.string\n;\n"
+        )
+        grammar = parse_grammar_spec(spec)
+        assert grammar.nonterminals["s"].attribute("env").priority
+
+
+class TestBaselines:
+    def test_pipeline_speedup_limited(self):
+        report = PipelinedCompilerModel().run(total_work_seconds=10.0, chunks=40)
+        assert 1.5 < report.speedup < 3.0
+        assert report.pipelined_time < report.sequential_time
+        assert set(report.stage_utilization) == {"scan", "parse", "semantics", "codegen", "assemble"}
+
+    def test_pipeline_single_chunk_has_no_speedup(self):
+        report = PipelinedCompilerModel().run(total_work_seconds=10.0, chunks=1)
+        assert report.speedup <= 1.05
+
+    def test_parallel_make_limited_by_largest_job_and_link(self):
+        jobs = [10.0, 1.0, 1.0, 1.0, 1.0]
+        report = ParallelMakeModel().run(jobs, machines=5)
+        assert report.parallel_time >= 10.0
+        assert report.speedup < 1.5
+
+    def test_parallel_make_balanced_jobs(self):
+        report = ParallelMakeModel(link_fraction=0.0).run([1.0] * 8, machines=4)
+        assert report.speedup == pytest.approx(4.0)
+
+
+class TestExperimentDrivers:
+    """Smoke tests on a deliberately small workload so the unit suite stays fast."""
+
+    @pytest.fixture(scope="class")
+    def small_workload(self):
+        from repro.experiments.workload import default_workload
+
+        return default_workload(procedures=8, nested_procedures=2,
+                                statements_per_procedure=3, seed=7)
+
+    def test_figure5_driver(self, small_workload):
+        from repro.experiments.figure5 import run_figure5
+
+        result = run_figure5(small_workload, machine_counts=(1, 3))
+        assert set(result.combined_times) == {1, 3}
+        assert result.combined_times[3] < result.combined_times[1]
+        assert "Figure 5" in result.describe()
+
+    def test_figure6_driver(self, small_workload):
+        from repro.experiments.figure6 import run_figure6
+
+        result = run_figure6(small_workload, machines=3)
+        assert result.machines == 3
+        assert "machine-0" in result.timeline
+        assert result.phase_totals
+        assert "|" in result.ascii_timeline()
+
+    def test_figure7_driver(self, small_workload):
+        from repro.experiments.figure7 import run_figure7
+
+        result = run_figure7(small_workload, machines=3)
+        assert result.plan.region_count <= 3
+        assert result.rows()[0]["region"] == "a"
+
+    def test_dynamic_fraction_driver(self, small_workload):
+        from repro.experiments.dynamic_fraction import run_dynamic_fraction
+
+        result = run_dynamic_fraction(small_workload, machine_counts=(2, 3))
+        assert 0.0 < result.average < 0.2
+
+    def test_librarian_driver(self, small_workload):
+        from repro.experiments.librarian import run_librarian_comparison
+
+        result = run_librarian_comparison(small_workload, machines=3)
+        assert result.bytes_with < result.bytes_without
+
+    def test_sequential_driver(self, small_workload):
+        from repro.experiments.sequential import run_sequential_comparison
+
+        result = run_sequential_comparison(small_workload)
+        assert result.dynamic_time > result.combined_time > 0

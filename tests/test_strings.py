@@ -1,0 +1,130 @@
+"""Tests for rope strings, descriptors and code values (with property-based checks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings.code import as_code, code_concat, code_join, code_size, flatten_code
+from repro.strings.descriptors import ConcatDescriptor, LeafDescriptor, LiteralDescriptor
+from repro.strings.rope import Rope, rope
+
+
+class TestRope:
+    def test_leaf_and_flatten(self):
+        assert Rope.leaf("hello").flatten() == "hello"
+        assert len(Rope.leaf("hello")) == 5
+
+    def test_empty(self):
+        assert Rope.empty().flatten() == ""
+        assert len(Rope.empty()) == 0
+
+    def test_concat_is_constant_size_metadata(self):
+        left = Rope.leaf("a" * 100)
+        right = Rope.leaf("b" * 50)
+        joined = Rope.concat(left, right)
+        assert len(joined) == 150
+        assert joined.leaf_count == 2
+
+    def test_concat_elides_empty(self):
+        piece = Rope.leaf("x")
+        assert Rope.concat(Rope.empty(), piece) is piece
+        assert Rope.concat(piece, Rope.empty()) is piece
+
+    def test_addition_operators(self):
+        value = Rope.leaf("a") + "b" + Rope.leaf("c")
+        assert value.flatten() == "abc"
+        assert ("pre" + Rope.leaf("fix")).flatten() == "prefix"
+
+    def test_join(self):
+        assert Rope.join(["a", Rope.leaf("b"), "c"]).flatten() == "abc"
+
+    def test_equality_with_strings(self):
+        assert Rope.leaf("ab") + "c" == "abc"
+        assert Rope.leaf("ab") == Rope.concat(Rope.leaf("a"), Rope.leaf("b"))
+
+    def test_iter_leaves_order(self):
+        value = (Rope.leaf("a") + "b") + (Rope.leaf("c") + "d")
+        assert list(value.iter_leaves()) == ["a", "b", "c", "d"]
+
+    def test_transmission_size_accounts_for_leaves(self):
+        value = Rope.leaf("abcd") + Rope.leaf("ef")
+        assert value.transmission_size() == 6 + 4 * 2
+
+    def test_invalid_node(self):
+        with pytest.raises(ValueError):
+            Rope(text="x", left=Rope.leaf("y"))
+
+    def test_rope_helper(self):
+        assert rope("abc").flatten() == "abc"
+        assert rope("").flatten() == ""
+        existing = Rope.leaf("x")
+        assert rope(existing) is existing
+
+    @given(st.lists(st.text(max_size=8), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_property_join_matches_python_concat(self, pieces):
+        assert Rope.join(list(pieces)).flatten() == "".join(pieces)
+
+    @given(st.text(max_size=20), st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_concat_associative(self, a, b, c):
+        left = Rope.concat(Rope.concat(Rope.leaf(a), Rope.leaf(b)), Rope.leaf(c))
+        right = Rope.concat(Rope.leaf(a), Rope.concat(Rope.leaf(b), Rope.leaf(c)))
+        assert left.flatten() == right.flatten()
+        assert len(left) == len(a) + len(b) + len(c)
+
+
+class TestDescriptors:
+    def _library(self):
+        fragments = {
+            (1, 1): Rope.leaf("alpha "),
+            (2, 1): Rope.leaf("beta "),
+        }
+        return fragments, lambda region, fragment: fragments[(region, fragment)]
+
+    def test_leaf_descriptor_assembly(self):
+        fragments, lookup = self._library()
+        descriptor = LeafDescriptor(1, 1, 6)
+        assert descriptor.assemble(lookup).flatten() == "alpha "
+        assert descriptor.fragment_ids() == [(1, 1)]
+
+    def test_concat_descriptor_assembly_preserves_order(self):
+        fragments, lookup = self._library()
+        descriptor = ConcatDescriptor(
+            LeafDescriptor(1, 1, 6),
+            ConcatDescriptor(LiteralDescriptor(Rope.leaf("and ")), LeafDescriptor(2, 1, 5)),
+        )
+        assert descriptor.assemble(lookup).flatten() == "alpha and beta "
+        assert descriptor.fragment_ids() == [(1, 1), (2, 1)]
+
+    def test_descriptor_sizes_are_small(self):
+        descriptor = ConcatDescriptor(LeafDescriptor(1, 1, 10_000), LeafDescriptor(2, 1, 20_000))
+        assert descriptor.descriptor_size() < 100
+
+
+class TestCodeValues:
+    def test_code_concat_ropes(self):
+        value = code_concat("a", Rope.leaf("b"))
+        assert isinstance(value, Rope)
+        assert value.flatten() == "ab"
+
+    def test_code_concat_with_descriptor(self):
+        descriptor = LeafDescriptor(3, 1, 4)
+        value = code_concat("local ", descriptor)
+        assert not isinstance(value, Rope)
+        assert value.fragment_ids() == [(3, 1)]
+
+    def test_code_join_and_flatten_with_lookup(self):
+        descriptor = LeafDescriptor(3, 1, 6)
+        value = code_join(["head ", descriptor, " tail"])
+        text = flatten_code(value, lambda r, f: Rope.leaf("REMOTE"))
+        assert text == "head REMOTE tail"
+
+    def test_code_size(self):
+        assert code_size("abcd") == Rope.leaf("abcd").transmission_size()
+        assert code_size(LeafDescriptor(1, 1, 50)) == 12
+
+    def test_as_code_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_code(42)

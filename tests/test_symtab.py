@@ -1,0 +1,114 @@
+"""Tests for the persistent map and the applicative symbol table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symtab.persistent_tree import PersistentMap
+from repro.symtab.symbol_table import SymbolTable, SymbolTableError, st_add, st_create, st_get, st_lookup, st_put
+
+
+class TestPersistentMap:
+    def test_insert_and_get(self):
+        table = PersistentMap().insert(5, "five").insert(2, "two").insert(9, "nine")
+        assert table.get(5) == "five"
+        assert table.get(2) == "two"
+        assert table.get(404) is None
+        assert len(table) == 3
+
+    def test_insert_is_applicative(self):
+        original = PersistentMap().insert(1, "one")
+        updated = original.insert(1, "uno").insert(2, "two")
+        assert original.get(1) == "one"
+        assert len(original) == 1
+        assert updated.get(1) == "uno"
+        assert len(updated) == 2
+
+    def test_items_sorted(self):
+        table = PersistentMap()
+        for key in (5, 1, 9, 3):
+            table = table.insert(key, key * 10)
+        assert list(table.keys()) == [1, 3, 5, 9]
+
+    def test_merge(self):
+        left = PersistentMap().insert(1, "a").insert(2, "b")
+        right = PersistentMap().insert(2, "B").insert(3, "c")
+        merged = left.merge(right)
+        assert merged.get(2) == "B"
+        assert len(merged) == 3
+
+    @given(st.dictionaries(st.integers(-1000, 1000), st.integers(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_property_behaves_like_dict(self, mapping):
+        table = PersistentMap()
+        for key, value in mapping.items():
+            table = table.insert(key, value)
+        assert len(table) == len(mapping)
+        for key, value in mapping.items():
+            assert table.get(key) == value
+        assert list(table.keys()) == sorted(mapping)
+
+
+class TestSymbolTable:
+    def test_create_add_lookup(self):
+        table = st_add(st_create(), "x", 3)
+        assert st_lookup(table, "x") == 3
+        assert "x" in table
+        assert "y" not in table
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(SymbolTableError):
+            st_create().lookup("nope")
+
+    def test_lookup_default(self):
+        assert st_create().lookup("nope", 7) == 7
+
+    def test_applicative_shadowing(self):
+        outer = st_add(st_create(), "x", 1)
+        inner = st_add(outer, "x", 2)
+        assert st_lookup(outer, "x") == 1
+        assert st_lookup(inner, "x") == 2
+        assert len(outer) == 1
+        assert len(inner) == 1
+
+    def test_put_get_round_trip(self):
+        table = st_create()
+        for index, name in enumerate(["alpha", "beta", "gamma"]):
+            table = st_add(table, name, index)
+        rebuilt = st_get(st_put(table))
+        assert rebuilt == table
+        assert st_lookup(rebuilt, "beta") == 1
+
+    def test_merge(self):
+        left = st_add(st_add(st_create(), "a", 1), "b", 2)
+        right = st_add(st_create(), "b", 20)
+        merged = left.merge(right)
+        assert merged.lookup("b") == 20
+        assert merged.lookup("a") == 1
+
+    def test_depth_stays_logarithmic(self):
+        table = st_create()
+        for index in range(400):
+            table = table.add(f"name{index}", index)
+        assert table.depth() <= 40
+
+    def test_transmission_size_grows_with_bindings(self):
+        small = st_add(st_create(), "x", 1)
+        big = small
+        for index in range(20):
+            big = st_add(big, f"longer_identifier_{index}", index)
+        assert big.transmission_size() > small.transmission_size()
+
+    @given(st.dictionaries(st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                                   min_size=1, max_size=10),
+                           st.integers(), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_dict_semantics(self, bindings):
+        table = st_create()
+        for name, value in bindings.items():
+            table = st_add(table, name, value)
+        assert len(table) == len(bindings)
+        for name, value in bindings.items():
+            assert st_lookup(table, name) == value
+        assert sorted(dict(table.items())) == sorted(bindings)

@@ -1,0 +1,139 @@
+"""Tests for parse trees, linearization and decomposition planning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exprlang.evaluator import random_expression_source
+from repro.exprlang.frontend import parse_expression
+from repro.partition.decomposition import plan_decomposition
+from repro.partition.splitter import detach_subtree, splittable_nodes
+from repro.tree.linearize import delinearize, linearize
+from repro.tree.node import ParseTreeNode
+from repro.tree.stats import tree_statistics
+
+
+class TestTreeNodes:
+    def test_walk_and_size(self, expr_grammar):
+        tree = parse_expression("1 + 2 * 3")
+        assert tree.subtree_size() == sum(1 for _ in tree.walk())
+        assert tree.symbol.name == "main_expr"
+
+    def test_parent_and_child_index(self):
+        tree = parse_expression("1 + 2")
+        expr = tree.children[0]
+        assert expr.parent is tree
+        assert expr.child_index == 1
+
+    def test_resolve_occurrences(self):
+        tree = parse_expression("1 + 2")
+        expr = tree.children[0]
+        from repro.grammar.productions import AttributeRef
+
+        assert expr.resolve(AttributeRef(0, "value")) is expr
+        assert expr.resolve(AttributeRef(1, "value")) is expr.children[0]
+
+    def test_get_unevaluated_attribute_raises(self):
+        tree = parse_expression("1")
+        with pytest.raises(KeyError):
+            tree.get_attribute("value")
+
+    def test_pretty_renders(self):
+        text = parse_expression("1 + 2").pretty()
+        assert "main_expr" in text
+        assert "NUMBER" in text
+
+    def test_statistics(self):
+        tree = parse_expression("let x = 3 in x * x ni")
+        stats = tree_statistics(tree)
+        assert stats.node_count == tree.subtree_size()
+        assert stats.terminal_count > 0
+        assert stats.max_depth > 3
+        assert stats.nodes_by_symbol["block"] == 1
+
+
+class TestLinearize:
+    @pytest.mark.parametrize("source", ["1", "1 + 2 * 3", "let x = 3 in 1 + 2 * x ni"])
+    def test_round_trip(self, expr_grammar, source):
+        tree = parse_expression(source)
+        rebuilt, holes = delinearize(expr_grammar, linearize(tree))
+        assert holes == {}
+        assert rebuilt.pretty() == tree.pretty()
+
+    def test_round_trip_with_holes(self, expr_grammar):
+        tree = parse_expression("let x = 3 in 1 + 2 * x ni")
+        block = next(n for n in tree.walk() if n.symbol.name == "block")
+        linearized = linearize(tree, holes={block.node_id: 7})
+        rebuilt, holes = delinearize(expr_grammar, linearized)
+        assert list(holes) == [7]
+        assert holes[7].symbol.name == "block"
+        assert holes[7].production is None
+        # The hole stands in for the whole block subtree.
+        assert rebuilt.subtree_size() == tree.subtree_size() - block.subtree_size() + 1
+
+    def test_size_bytes_positive_and_monotonic(self, expr_grammar):
+        small = linearize(parse_expression("1 + 2"))
+        large = linearize(parse_expression(random_expression_source(40, seed=1)))
+        assert 0 < small.size_bytes() < large.size_bytes()
+
+    def test_truncated_records_rejected(self, expr_grammar):
+        linearized = linearize(parse_expression("1 + 2"))
+        linearized.records.pop()
+        with pytest.raises(ValueError):
+            delinearize(expr_grammar, linearized)
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip_random_expressions(self, seed):
+        source = random_expression_source(25, seed=seed)
+        tree = parse_expression(source)
+        from repro.exprlang.grammar import expression_grammar
+
+        rebuilt, _ = delinearize(expression_grammar(), linearize(tree))
+        assert rebuilt.pretty() == tree.pretty()
+
+
+class TestSplitting:
+    def test_splittable_nodes_respect_declaration(self, expr_grammar):
+        tree = parse_expression("let x = 3 in let y = 2 in x * y ni + x ni")
+        nodes = splittable_nodes(tree, min_size=0)
+        assert nodes
+        assert all(node.symbol.name == "block" for node in nodes)
+
+    def test_detach_subtree(self, expr_grammar):
+        tree = parse_expression("let x = 3 in 1 + 2 * x ni")
+        block = next(n for n in tree.walk() if n.symbol.name == "block")
+        parent = block.parent
+        index = block.child_index
+        hole = detach_subtree(block)
+        assert parent.children[index - 1] is hole
+        assert hole.symbol.name == "block"
+        assert block.parent is None
+
+    def test_detach_root_rejected(self):
+        tree = parse_expression("1")
+        with pytest.raises(ValueError):
+            detach_subtree(tree)
+
+    def test_plan_decomposition_single_machine(self):
+        tree = parse_expression(random_expression_source(80, seed=2))
+        plan = plan_decomposition(tree, 1)
+        assert plan.region_count == 1
+        assert plan.regions[0].root is tree
+
+    def test_plan_decomposition_multiple_regions(self):
+        tree = parse_expression(random_expression_source(300, seed=5, nesting=6))
+        plan = plan_decomposition(tree, 4)
+        assert 1 < plan.region_count <= 4
+        total_nodes = sum(region.node_count for region in plan.regions)
+        assert total_nodes == tree.subtree_size()
+        for region in plan.regions[1:]:
+            assert region.root.symbol.name == "block"
+            assert region.parent_region is not None
+
+    def test_describe_lists_regions(self):
+        tree = parse_expression(random_expression_source(300, seed=5, nesting=6))
+        plan = plan_decomposition(tree, 3)
+        text = plan.describe()
+        assert "region a" in text
