@@ -1,18 +1,19 @@
 """repro — Parallel Attribute Grammar Evaluation.
 
 A reproduction of Boehm & Zwaenepoel, "Parallel Attribute Grammar Evaluation"
-(ICDCS 1987): attribute grammars, dynamic / static (ordered) / combined evaluators, a
-simulated network multiprocessor, tree partitioning, a distributed parallel compiler
-driver with string-librarian result propagation, and a Pascal-subset compiler used as
-the headline workload.
+(ICDCS 1987): attribute grammars, dynamic / static (ordered) / combined evaluators,
+interchangeable execution backends (the paper's simulated network multiprocessor plus
+real OS-thread and OS-process substrates), tree partitioning, a distributed parallel
+compiler driver with string-librarian result propagation, and a Pascal-subset compiler
+used as the headline workload.
 
 Quick start::
 
     from repro import evaluate_expression
     assert evaluate_expression("let x = 3 in 1 + 2 * x ni") == 7
 
-See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system inventory
-and experiment index, and ``EXPERIMENTS.md`` for paper-versus-measured results.
+See ``README.md`` at the repository root for the architecture overview and a tour of
+the packages, examples and benchmarks.
 """
 
 from repro.grammar import (
@@ -35,6 +36,12 @@ from repro.evaluation import (
     EvaluationError,
     EvaluationStatistics,
     StaticEvaluator,
+)
+from repro.backends import BACKEND_NAMES, create_backend
+from repro.distributed.compiler import (
+    CompilationReport,
+    CompilerConfiguration,
+    ParallelCompiler,
 )
 from repro.parsing import Lexer, Parser, ParseError, Token, TokenSpec
 from repro.strings import Rope, rope
@@ -59,6 +66,11 @@ __all__ = [
     "EvaluationError",
     "EvaluationStatistics",
     "StaticEvaluator",
+    "BACKEND_NAMES",
+    "create_backend",
+    "CompilationReport",
+    "CompilerConfiguration",
+    "ParallelCompiler",
     "Lexer",
     "Parser",
     "ParseError",

@@ -1,0 +1,74 @@
+"""Execution backends: interchangeable substrates for the parallel compiler.
+
+Three implementations of the same :class:`~repro.backends.base.Backend` interface:
+
+* ``"simulated"`` — the paper's modelled network multiprocessor (deterministic
+  discrete-event simulation, simulated seconds);
+* ``"threads"`` — one OS thread per evaluator region, ``queue.Queue`` mailboxes;
+* ``"processes"`` — one forked OS process per evaluator region, picklable protocol
+  messages over ``multiprocessing.Queue``.
+
+Select one with ``ParallelCompiler(grammar, backend="processes")`` or per call with
+``compile_tree(..., backend="threads")``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.backends.base import (
+    Backend,
+    BackendError,
+    BackendTelemetry,
+    Compute,
+    Mailbox,
+    Receive,
+)
+from repro.backends.processes import ProcessesBackend
+from repro.backends.simulated import SimulatedBackend
+from repro.backends.threads import ThreadsBackend
+from repro.runtime.cost import CostModel
+from repro.runtime.network import NetworkParameters
+
+#: Names accepted by :func:`create_backend` and the compiler's ``backend=`` knob.
+BACKEND_NAMES = ("simulated", "threads", "processes")
+
+
+def create_backend(
+    name: str,
+    machines: int,
+    network: Optional[NetworkParameters] = None,
+    cost_model: Optional[CostModel] = None,
+    machine_speeds: Optional[List[float]] = None,
+    receive_timeout: Optional[float] = None,
+) -> Backend:
+    """Instantiate the backend called ``name``.
+
+    ``machines``/``network``/``cost_model``/``machine_speeds`` parameterise the
+    simulated cluster and are ignored by the real substrates; ``receive_timeout``
+    bounds blocking receives on the real substrates and is ignored by the simulator.
+    """
+    if name == "simulated":
+        return SimulatedBackend(
+            machines, network=network, cost_model=cost_model, machine_speeds=machine_speeds
+        )
+    if name == "threads":
+        return ThreadsBackend() if receive_timeout is None else ThreadsBackend(receive_timeout)
+    if name == "processes":
+        return ProcessesBackend() if receive_timeout is None else ProcessesBackend(receive_timeout)
+    raise ValueError(f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
+
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendTelemetry",
+    "BACKEND_NAMES",
+    "Compute",
+    "Mailbox",
+    "ProcessesBackend",
+    "Receive",
+    "SimulatedBackend",
+    "ThreadsBackend",
+    "create_backend",
+]

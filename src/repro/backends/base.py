@@ -1,0 +1,225 @@
+"""The execution-substrate abstraction shared by all backends.
+
+The distributed compiler's processes (parser, evaluators, string librarian) are written
+once as *request generators*: plain Python generators that yield :class:`Compute` and
+:class:`Receive` requests and call :meth:`Backend.send` / :meth:`Backend.publish_report`
+directly.  A backend decides what those requests mean:
+
+* the **simulated** backend translates them into discrete-event simulator operations
+  (CPU occupancy on a modelled machine, blocking mailbox reads) and charges modelled
+  time — this is the paper-faithful substrate every figure is measured on;
+* the **threads** and **processes** backends execute the very same generators on real
+  OS threads / OS processes: the real CPU work happens inline between yields, so a
+  :class:`Compute` request resumes immediately (its modelled cost is ignored) and a
+  :class:`Receive` is a genuine blocking read from a ``queue.Queue`` /
+  ``multiprocessing.Queue`` mailbox.
+
+Because the process bodies never import a substrate directly, the coordinator,
+evaluator and librarian logic exists exactly once and every backend runs the identical
+protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.runtime.machine import ActivityInterval, ActivityKind
+
+
+class BackendError(RuntimeError):
+    """Raised when a backend cannot complete the distributed protocol."""
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Request: account ``cost`` modelled CPU seconds of work just performed.
+
+    The simulated backend occupies the machine's CPU for ``cost`` scaled seconds; real
+    backends treat the request as bookkeeping only (the actual computation already ran
+    inline inside the process body).
+    """
+
+    cost: float
+    kind: ActivityKind = ActivityKind.OTHER
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Receive:
+    """Request: block until a message is available in ``mailbox`` and resume with it."""
+
+    mailbox: "Mailbox"
+
+
+class Mailbox:
+    """A named FIFO channel owned by one receiving process.
+
+    Concrete backends attach their own transport handle (a simulator ``Store``, a
+    ``queue.Queue`` or a ``multiprocessing.Queue``).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class BackendTelemetry:
+    """Substrate-level measurements gathered during one run.
+
+    The simulated backend fills every field from the cluster model; real backends
+    report message counts/bytes observed at their transport and leave the
+    modelled-time fields (timeline, utilization, busy time) empty.
+    """
+
+    timeline: Dict[str, List[ActivityInterval]] = field(default_factory=dict)
+    utilization: Dict[str, float] = field(default_factory=dict)
+    network_messages: int = 0
+    network_bytes: int = 0
+    network_busy_time: float = 0.0
+
+
+class Backend(abc.ABC):
+    """One execution substrate: mailboxes, process spawning, message transport, clock.
+
+    Lifecycle: create mailboxes, ``spawn`` process bodies (coordinator bodies — the
+    parser and the librarian — are guaranteed to execute in the driving Python process
+    so they can share memory with the caller; worker bodies may execute on real OS
+    threads or processes), then ``run()`` drives everything to completion and returns
+    the wall-clock seconds spent.
+    """
+
+    #: Short name used by the ``backend=`` knob of the parallel compiler.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._reports: Dict[int, Any] = {}
+        self._worker_count = 0
+
+    # ----------------------------------------------------------------- plumbing
+
+    @abc.abstractmethod
+    def mailbox(self, name: str) -> Mailbox:
+        """Create a new (empty) mailbox."""
+
+    @abc.abstractmethod
+    def spawn(
+        self,
+        body: Generator,
+        *,
+        name: str,
+        machine: int = 0,
+        coordinator: bool = False,
+    ) -> None:
+        """Register a process body to run on (modelled or real) ``machine``.
+
+        ``coordinator`` bodies always execute in the driving process; worker bodies are
+        placed on the substrate's parallel execution units.
+        """
+
+    @abc.abstractmethod
+    def send(
+        self,
+        source: int,
+        destination: int,
+        message: Any,
+        size_bytes: int,
+        mailbox: Mailbox,
+    ) -> None:
+        """Deliver ``message`` (of modelled size ``size_bytes``) into ``mailbox``.
+
+        ``source``/``destination`` are machine indexes; the simulated backend uses them
+        to charge network time, real backends only for diagnostics.
+        """
+
+    @abc.abstractmethod
+    def run(self) -> float:
+        """Execute all spawned bodies to completion; return wall-clock seconds."""
+
+    # -------------------------------------------------------------------- clock
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """The backend's notion of elapsed time since ``run()`` started.
+
+        Simulated seconds on the simulator, wall-clock seconds on real substrates.
+        """
+
+    # ------------------------------------------------------------ result plane
+
+    def publish_report(self, region_id: int, report: Any) -> None:
+        """Make a worker's final report visible to the coordinator.
+
+        Runs out-of-band (not through the modelled network) so that publishing results
+        never perturbs modelled timings; the processes backend overrides this to ship
+        the report across the OS-process boundary.
+        """
+        self._reports[region_id] = report
+
+    @property
+    def reports(self) -> Dict[int, Any]:
+        """Reports published by workers, keyed by region id (valid after ``run()``)."""
+        return dict(self._reports)
+
+    @property
+    def worker_count(self) -> int:
+        """How many non-coordinator bodies were spawned."""
+        return self._worker_count
+
+    def telemetry(self) -> BackendTelemetry:
+        """Substrate measurements (valid after ``run()``)."""
+        return BackendTelemetry()
+
+
+def poll_receive(fifo: Any, timeout: float, failed: Any, who: str, mailbox_name: str) -> Any:
+    """Blocking queue read with cooperative failure detection for real substrates.
+
+    Polls ``fifo`` (a ``queue.Queue`` or ``multiprocessing.Queue``) in short slices so
+    that a failure flagged by another worker (``failed``, a ``threading.Event``)
+    unwinds this reader promptly instead of deadlocking the whole run; gives up with a
+    diagnostic after ``timeout`` seconds.
+    """
+    import queue as queue_module
+
+    deadline = time.monotonic() + timeout
+    while True:
+        if failed.is_set():
+            raise BackendError(f"{who} aborted: another worker failed")
+        try:
+            return fifo.get(timeout=0.05)
+        except queue_module.Empty:
+            if time.monotonic() > deadline:
+                raise BackendError(
+                    f"{who} timed out after {timeout:.0f}s waiting on "
+                    f"mailbox {mailbox_name!r} (protocol deadlock?)"
+                ) from None
+
+
+def drive(body: Generator, receive: Any) -> None:
+    """Drive a request generator on a real substrate.
+
+    ``receive`` is a callable ``(mailbox) -> message`` implementing a blocking mailbox
+    read.  :class:`Compute` requests resume immediately and their modelled cost is
+    discarded — the real CPU work already happened inline inside the generator, and
+    wall-clock time is what real substrates measure.
+    """
+    value: Any = None
+    while True:
+        try:
+            request = body.send(value)
+        except StopIteration:
+            return
+        if isinstance(request, Compute):
+            value = None
+        elif isinstance(request, Receive):
+            value = receive(request.mailbox)
+        else:
+            raise BackendError(f"process body yielded an unsupported request: {request!r}")

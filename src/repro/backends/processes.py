@@ -1,0 +1,251 @@
+"""The multiprocessing backend: one OS process per worker body.
+
+Mailboxes are ``multiprocessing.Queue`` instances, so every message that crosses a
+worker boundary — linearized subtrees, boundary attribute values, code fragments,
+descriptors, results — round-trips through pickle, exactly like bytes on a wire.
+Workers are forked *after* the coordinator has built the grammar, the evaluation plan
+and every process body, so the (unpicklable, closure-rich) grammar machinery is
+inherited copy-on-write and never serialised; only protocol messages travel between
+processes.
+
+Placement: worker bodies (the evaluators) each get their own forked OS process;
+coordinator bodies (parser, librarian) run on threads inside the driving process, where
+they can share the compilation outcome with the caller.  Worker reports come back
+out-of-band on a control queue via :meth:`publish_report`.
+
+Requires a POSIX ``fork`` start method (Linux/macOS); on platforms without it,
+construction raises :class:`BackendError` — use the threads backend there.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.backends.base import (
+    Backend,
+    BackendError,
+    BackendTelemetry,
+    Mailbox,
+    drive,
+    poll_receive,
+)
+from repro.backends.threads import QueueMailbox
+
+
+class ProcessesBackend(Backend):
+    """Run the distributed protocol on real OS processes with pickled messages."""
+
+    name = "processes"
+
+    def __init__(self, receive_timeout: float = 120.0):
+        super().__init__()
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as error:
+            raise BackendError(
+                "the processes backend requires the 'fork' multiprocessing start "
+                "method (POSIX only); use backend='threads' on this platform"
+            ) from error
+        self.receive_timeout = receive_timeout
+        self._workers: List[Tuple[Generator, str]] = []
+        self._coordinators: List[Tuple[Generator, str]] = []
+        self._control = self._context.Queue()
+        self._failed = threading.Event()
+        self._errors: List[Tuple[str, str]] = []
+        self._lock = threading.Lock()
+        self._messages = 0
+        self._bytes = 0
+        self._net_records_seen = 0
+        self._start: Optional[float] = None
+        self._in_child = False
+
+    # ----------------------------------------------------------------- plumbing
+
+    def mailbox(self, name: str) -> QueueMailbox:
+        return QueueMailbox(name, self._context.Queue())
+
+    def spawn(
+        self,
+        body: Generator,
+        *,
+        name: str,
+        machine: int = 0,
+        coordinator: bool = False,
+    ) -> None:
+        if coordinator:
+            self._coordinators.append((body, name))
+        else:
+            self._worker_count += 1
+            self._workers.append((body, name))
+
+    def send(
+        self,
+        source: int,
+        destination: int,
+        message: Any,
+        size_bytes: int,
+        mailbox: Mailbox,
+    ) -> None:
+        assert isinstance(mailbox, QueueMailbox)
+        mailbox.queue.put(message)
+        with self._lock:
+            self._messages += 1
+            self._bytes += size_bytes
+
+    def publish_report(self, region_id: int, report: Any) -> None:
+        if self._in_child:
+            self._control.put(("report", region_id, report))
+        else:
+            super().publish_report(region_id, report)
+
+    def run(self) -> float:
+        self._start = time.perf_counter()
+        # Fork the workers before starting any coordinator thread (and hence before the
+        # first queue put): forking a process with live queue feeder threads is unsafe.
+        children = [
+            self._context.Process(target=self._child_main, args=(body, name), name=name, daemon=True)
+            for body, name in self._workers
+        ]
+        for child in children:
+            child.start()
+        coordinator_threads = [
+            threading.Thread(
+                target=self._run_coordinator, args=(body, name), name=name, daemon=True
+            )
+            for body, name in self._coordinators
+        ]
+        for thread in coordinator_threads:
+            thread.start()
+
+        pending_children = {child.name: child for child in children}
+        try:
+            while True:
+                self._drain_control(timeout=0.05)
+                for name, child in list(pending_children.items()):
+                    if not child.is_alive():
+                        child.join()
+                        if child.exitcode not in (0, None):
+                            with self._lock:
+                                if not any(entry[0] == name for entry in self._errors):
+                                    self._errors.append(
+                                        (name, f"worker process exited with code {child.exitcode}")
+                                    )
+                            self._failed.set()
+                        del pending_children[name]
+                if self._failed.is_set():
+                    break
+                if not pending_children and all(
+                    not thread.is_alive() for thread in coordinator_threads
+                ):
+                    break
+        finally:
+            # Also terminate on exceptions that bypass the error plumbing (e.g. a
+            # KeyboardInterrupt in this monitor loop) — otherwise healthy children
+            # blocked in a receive would pin the join below for the full timeout.
+            aborting = self._failed.is_set() or sys.exc_info()[0] is not None
+            if aborting:
+                for child in pending_children.values():
+                    if child.is_alive():
+                        child.terminate()
+            for child in pending_children.values():
+                child.join()
+            for thread in coordinator_threads:
+                thread.join()
+            # Each child enqueues its report and then its network-counter record just
+            # before exiting, and the queue's feeder pipe can lag the join: keep
+            # draining until both have landed for every worker (bounded, in case a
+            # child died before publishing).
+            drain_deadline = time.monotonic() + 5.0
+            self._drain_control(timeout=0.2)
+            while (
+                (len(self._reports) < self._worker_count
+                 or self._net_records_seen < self._worker_count)
+                and not self._errors
+                and not aborting
+                and time.monotonic() < drain_deadline
+            ):
+                self._drain_control(timeout=0.1)
+
+        if self._errors:
+            name, detail = self._errors[0]
+            raise BackendError(f"worker {name!r} failed: {detail}")
+        return time.perf_counter() - self._start
+
+    @property
+    def now(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def telemetry(self) -> BackendTelemetry:
+        return BackendTelemetry(network_messages=self._messages, network_bytes=self._bytes)
+
+    # ---------------------------------------------------------------- internals
+
+    def _child_main(self, body: Generator, name: str) -> None:
+        """Entry point of a forked worker process."""
+        self._in_child = True
+        self._start = time.perf_counter()
+        try:
+            drive(body, lambda mailbox: self._child_receive(mailbox, name))
+            self._control.put(("net", self._messages, self._bytes))
+        except BaseException:  # noqa: BLE001 — shipped to the parent, then re-raised
+            self._control.put(("error", name, traceback.format_exc()))
+            raise
+
+    def _child_receive(self, mailbox: QueueMailbox, who: str) -> Any:
+        try:
+            return mailbox.queue.get(timeout=self.receive_timeout)
+        except queue_module.Empty:
+            raise BackendError(
+                f"{who} timed out after {self.receive_timeout:.0f}s waiting on "
+                f"mailbox {mailbox.name!r} (protocol deadlock?)"
+            ) from None
+
+    def _run_coordinator(self, body: Generator, name: str) -> None:
+        try:
+            drive(body, lambda mailbox: self._coordinator_receive(mailbox, name))
+        except BaseException as error:  # noqa: BLE001 — reported via run()
+            with self._lock:
+                self._errors.append((name, repr(error)))
+            self._failed.set()
+
+    def _coordinator_receive(self, mailbox: QueueMailbox, who: str) -> Any:
+        return poll_receive(
+            mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
+        )
+
+    def _drain_control(self, timeout: float) -> None:
+        """Absorb report/telemetry/error records sent by worker processes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                record = self._control.get(timeout=max(remaining, 0.0) or 0.01)
+            except queue_module.Empty:
+                return
+            tag = record[0]
+            if tag == "report":
+                self._reports[record[1]] = record[2]
+            elif tag == "net":
+                with self._lock:
+                    self._messages += record[1]
+                    self._bytes += record[2]
+                    self._net_records_seen += 1
+            elif tag == "error":
+                with self._lock:
+                    # A child's traceback beats the bare exit-code diagnostic that the
+                    # liveness check may already have recorded for the same worker.
+                    self._errors = [
+                        entry
+                        for entry in self._errors
+                        if not (entry[0] == record[1] and "exited with code" in entry[1])
+                    ]
+                    self._errors.insert(0, (record[1], record[2]))
+                self._failed.set()

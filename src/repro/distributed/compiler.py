@@ -4,18 +4,33 @@
 parser builds the syntax tree, divides it into subtrees and sends them to attribute
 evaluators executing in parallel on different machines; the evaluators exchange
 attribute values, and the root attributes flow back to the parser (optionally routing
-code strings through the string librarian).  Everything runs on the simulated cluster,
-so the returned :class:`CompilationReport` carries simulated times, per-machine activity
-timelines, message statistics and evaluator statistics — the raw material for every
-figure in the paper's evaluation section.
+code strings through the string librarian).
+
+The coordinator/evaluator/librarian processes are written once against the backend
+interface in :mod:`repro.backends`, so the same protocol runs on three interchangeable
+substrates selected by the ``backend`` knob:
+
+* ``"simulated"`` (default) — the paper's modelled cluster; the returned
+  :class:`CompilationReport` carries simulated times, per-machine activity timelines,
+  message statistics and evaluator statistics — the raw material for every figure in
+  the paper's evaluation section;
+* ``"threads"`` — one OS thread per evaluator region (``queue.Queue`` mailboxes);
+* ``"processes"`` — one forked OS process per evaluator region (pickled protocol
+  messages over ``multiprocessing.Queue``).
+
+Every report additionally carries wall-clock timings, so real and simulated runs can be
+compared side by side.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
+from repro.backends import Backend, create_backend
+from repro.backends.base import BackendError, Compute, Mailbox, Receive
 from repro.distributed.evaluator_node import (
     EvaluatorNode,
     EvaluatorReport,
@@ -33,11 +48,9 @@ from repro.grammar.attributes import AttributeKind
 from repro.grammar.grammar import AttributeGrammar
 from repro.grammar.symbols import Nonterminal
 from repro.partition.decomposition import DecompositionPlan, plan_decomposition
-from repro.runtime.cluster import Cluster
 from repro.runtime.cost import CostModel
-from repro.runtime.machine import ActivityInterval, ActivityKind, Machine
+from repro.runtime.machine import ActivityInterval, ActivityKind
 from repro.runtime.network import NetworkParameters
-from repro.runtime.simulator import Store
 from repro.strings.rope import Rope
 from repro.tree.linearize import linearize
 from repro.tree.node import ParseTreeNode
@@ -49,6 +62,8 @@ class CompilerConfiguration:
     """Tunable knobs of the parallel compiler.
 
     :param evaluator: ``"combined"`` (the paper's contribution) or ``"dynamic"``.
+    :param backend: execution substrate — ``"simulated"``, ``"threads"`` or
+        ``"processes"`` (see :mod:`repro.backends`).
     :param use_librarian: route code attributes through the string librarian instead of
         shipping full code strings up the evaluator tree.
     :param librarian_attributes: names of root/split synthesized attributes treated as
@@ -58,9 +73,12 @@ class CompilerConfiguration:
         the threshold is derived from the tree size and machine count.
     :param split_scale: multiplier on the automatically derived threshold (the paper's
         runtime granularity argument).
+    :param receive_timeout: bound (wall seconds) on blocking receives for the real
+        backends; ``None`` selects each backend's default.
     """
 
     evaluator: str = "combined"
+    backend: str = "simulated"
     use_librarian: bool = True
     librarian_attributes: Tuple[str, ...] = ("code",)
     use_priority: bool = True
@@ -70,11 +88,19 @@ class CompilerConfiguration:
     min_split_size: Optional[int] = None
     split_scale: float = 1.0
     attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase
+    receive_timeout: Optional[float] = None
 
 
 @dataclass
 class CompilationReport:
-    """Everything measured during one (simulated) parallel compilation."""
+    """Everything measured during one parallel compilation.
+
+    On the simulated backend ``parse_time``/``evaluation_time`` are simulated seconds;
+    on the real backends ``evaluation_time`` is wall-clock seconds and the simulated
+    network/timeline fields are empty.  ``wall_time_seconds`` (whole compilation) and
+    ``wall_evaluation_seconds`` (backend run only) are real wall-clock measurements on
+    every backend.
+    """
 
     machines: int
     evaluator: str
@@ -93,10 +119,19 @@ class CompilationReport:
     statistics: EvaluationStatistics
     memory_bytes: int
     tree_nodes: int
+    backend: str = "simulated"
+    wall_time_seconds: float = 0.0
+    wall_evaluation_seconds: float = 0.0
+    worker_count: int = 0
 
     @property
     def total_time(self) -> float:
-        """Parse plus evaluation time (the paper reports them separately)."""
+        """Parse plus evaluation time (the paper reports them separately).
+
+        Only meaningful on the simulated backend, where both terms are simulated
+        seconds; on real backends ``parse_time`` stays a modelled cost while
+        ``evaluation_time`` is wall-clock, so use ``wall_time_seconds`` there.
+        """
         return self.parse_time + self.evaluation_time
 
     @property
@@ -121,9 +156,11 @@ class CompilationReport:
         return str(value)
 
     def summary(self) -> str:
+        unit = "s" if self.backend == "simulated" else "s wall"
         lines = [
-            f"{self.evaluator} evaluator on {self.machines} machine(s): "
-            f"evaluation {self.evaluation_time:.3f}s (+ parse {self.parse_time:.3f}s)",
+            f"{self.evaluator} evaluator on {self.machines} machine(s) "
+            f"[{self.backend} backend]: "
+            f"evaluation {self.evaluation_time:.3f}{unit} (+ parse {self.parse_time:.3f}s)",
             f"  regions: {self.decomposition.region_count}, "
             f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
             f"  network: {self.network_messages} messages, {self.network_bytes} bytes, "
@@ -141,11 +178,13 @@ class ParallelCompiler:
         grammar: AttributeGrammar,
         configuration: Optional[CompilerConfiguration] = None,
         plan: Optional[OrderedEvaluationPlan] = None,
+        backend: Optional[str] = None,
     ):
         self.grammar = grammar
         self.configuration = configuration or CompilerConfiguration()
         if self.configuration.evaluator not in ("combined", "dynamic"):
             raise ValueError("evaluator must be 'combined' or 'dynamic'")
+        self.backend = backend or self.configuration.backend
         # The ordered-evaluation plan is only needed by the combined evaluator, and some
         # grammars are evaluable dynamically but not ordered.
         if self.configuration.evaluator == "combined":
@@ -160,9 +199,11 @@ class ParallelCompiler:
         tree: ParseTreeNode,
         machines: int,
         root_inherited: Optional[Dict[str, Any]] = None,
+        backend: Optional[str] = None,
     ) -> CompilationReport:
-        """Compile an already-parsed tree on ``machines`` simulated workstations."""
+        """Compile an already-parsed tree on ``machines`` (simulated or real) workers."""
         config = self.configuration
+        wall_started = time.perf_counter()
         stats = tree_statistics(tree)
         parse_time = config.cost_model.parse_cost(stats.node_count)
 
@@ -172,16 +213,22 @@ class ParallelCompiler:
             min_size=config.min_split_size,
             scale=config.split_scale,
         )
-        cluster = Cluster(machines, network=config.network, cost_model=config.cost_model)
-        parser_machine = cluster.machine(0)
-        parser_mailbox = cluster.environment.store("parser.mailbox")
+        substrate = create_backend(
+            backend or self.backend,
+            machines,
+            network=config.network,
+            cost_model=config.cost_model,
+            receive_timeout=config.receive_timeout,
+        )
+        parser_machine = 0
+        parser_mailbox = substrate.mailbox("parser.mailbox")
 
-        machine_of_region: Dict[int, Machine] = {
-            region.region_id: cluster.machine(region.region_id % machines)
+        machine_of_region: Dict[int, int] = {
+            region.region_id: region.region_id % machines
             for region in decomposition.regions
         }
-        mailboxes: Dict[int, Store] = {
-            region.region_id: cluster.environment.store(f"evaluator-{region.region_id}.mailbox")
+        mailboxes: Dict[int, Mailbox] = {
+            region.region_id: substrate.mailbox(f"evaluator-{region.region_id}.mailbox")
             for region in decomposition.regions
         }
 
@@ -192,17 +239,22 @@ class ParallelCompiler:
             and bool(librarian_attrs)
         )
         librarian: Optional[StringLibrarian] = None
-        librarian_mailbox: Optional[Store] = None
+        librarian_mailbox: Optional[Mailbox] = None
         if librarian_active:
-            librarian_mailbox = cluster.environment.store("librarian.mailbox")
-            librarian = StringLibrarian(parser_machine, config.cost_model, librarian_mailbox)
+            librarian_mailbox = substrate.mailbox("librarian.mailbox")
+            librarian = StringLibrarian(
+                config.cost_model,
+                librarian_mailbox,
+                transport=substrate,
+                machine_index=parser_machine,
+            )
 
         evaluators: List[EvaluatorNode] = []
         for region in decomposition.regions:
             node = EvaluatorNode(
                 region_id=region.region_id,
-                machine=machine_of_region[region.region_id],
-                cluster=cluster,
+                machine_index=machine_of_region[region.region_id],
+                transport=substrate,
                 grammar=self.grammar,
                 plan=self.plan,
                 evaluator_kind=config.evaluator,
@@ -218,17 +270,22 @@ class ParallelCompiler:
                 attribute_phase=config.attribute_phase,
             )
             evaluators.append(node)
-            cluster.spawn(node.run(), name=f"evaluator-{region.region_id}")
+            substrate.spawn(
+                node.run(),
+                name=f"evaluator-{region.region_id}",
+                machine=machine_of_region[region.region_id],
+            )
 
         if librarian_active:
-            cluster.spawn(
+            substrate.spawn(
                 librarian.run(
-                    cluster,
                     parser_machine,
                     parser_mailbox,
                     expected_assemblies=len(librarian_attrs),
                 ),
                 name="librarian",
+                machine=parser_machine,
+                coordinator=True,
             )
 
         outcome: Dict[str, Any] = {
@@ -236,9 +293,9 @@ class ParallelCompiler:
             "assembled": {},
             "finish_time": 0.0,
         }
-        cluster.spawn(
+        substrate.spawn(
             self._parser_process(
-                cluster,
+                substrate,
                 parser_machine,
                 parser_mailbox,
                 decomposition,
@@ -249,20 +306,34 @@ class ParallelCompiler:
                 outcome=outcome,
             ),
             name="parser",
+            machine=parser_machine,
+            coordinator=True,
         )
 
-        cluster.run()
-        self._check_finished(cluster)
+        wall_evaluation = substrate.run()
 
+        # Every evaluator publishes its report as the last step of its body; a missing
+        # report after a successful run means results were lost in transit (e.g. a
+        # worker process died silently), which must be loud, not zero-filled.
+        reports_by_region = substrate.reports
+        missing = [
+            node.region_id for node in evaluators if node.region_id not in reports_by_region
+        ]
+        if missing:
+            raise BackendError(
+                f"backend {substrate.name!r} returned no evaluator report for "
+                f"region(s) {missing}"
+            )
         aggregate = EvaluationStatistics()
         memory = 0
         reports = []
         for node in evaluators:
-            aggregate.merge(node.report.statistics)
-            memory += node.report.memory_bytes
-            reports.append(node.report)
+            report = reports_by_region[node.region_id]
+            aggregate.merge(report.statistics)
+            memory += report.memory_bytes
+            reports.append(report)
 
-        network = cluster.network_stats()
+        telemetry = substrate.telemetry()
         return CompilationReport(
             machines=machines,
             evaluator=config.evaluator,
@@ -273,14 +344,18 @@ class ParallelCompiler:
             root_attributes=outcome["root_attributes"],
             assembled=outcome["assembled"],
             evaluator_reports=reports,
-            timeline=cluster.timeline(),
-            utilization=cluster.utilization(),
-            network_messages=network.messages,
-            network_bytes=network.bytes_sent,
-            network_busy_time=network.busy_time,
+            timeline=telemetry.timeline,
+            utilization=telemetry.utilization,
+            network_messages=telemetry.network_messages,
+            network_bytes=telemetry.network_bytes,
+            network_busy_time=telemetry.network_busy_time,
             statistics=aggregate,
             memory_bytes=memory,
             tree_nodes=stats.node_count,
+            backend=substrate.name,
+            wall_time_seconds=time.perf_counter() - wall_started,
+            wall_evaluation_seconds=wall_evaluation,
+            worker_count=substrate.worker_count,
         )
 
     # --------------------------------------------------------------- internals
@@ -297,12 +372,12 @@ class ParallelCompiler:
 
     def _parser_process(
         self,
-        cluster: Cluster,
-        parser_machine: Machine,
-        parser_mailbox: Store,
+        substrate: Backend,
+        parser_machine: int,
+        parser_mailbox: Mailbox,
         decomposition: DecompositionPlan,
-        machine_of_region: Dict[int, Machine],
-        mailboxes: Dict[int, Store],
+        machine_of_region: Dict[int, int],
+        mailboxes: Dict[int, Mailbox],
         root_inherited: Dict[str, Any],
         expected_assemblies: int,
         outcome: Dict[str, Any],
@@ -317,9 +392,7 @@ class ParallelCompiler:
                 config.cost_model.linearize_cost(linearized.size_bytes())
                 + config.cost_model.message_cpu_cost
             )
-            yield from parser_machine.compute(
-                cost, ActivityKind.PARSE, f"ship region {region.label}"
-            )
+            yield Compute(cost, ActivityKind.PARSE, f"ship region {region.label}")
             message = SubtreeMessage(
                 region_id=region.region_id,
                 parent_region=region.parent_region,
@@ -327,7 +400,7 @@ class ParallelCompiler:
                 unique_base=base_for_region(region.region_id),
                 label=region.label,
             )
-            cluster.send(
+            substrate.send(
                 parser_machine,
                 machine_of_region[region.region_id],
                 message,
@@ -345,12 +418,12 @@ class ParallelCompiler:
             root_inherited=dict(root_inherited),
             label=root_region.label,
         )
-        cluster.send(parser_machine, parser_machine, root_message, 0, mailbox=mailboxes[0])
+        substrate.send(parser_machine, parser_machine, root_message, 0, mailbox=mailboxes[0])
 
         expected_messages = 1 + expected_assemblies
         received = 0
         while received < expected_messages:
-            message = yield from parser_machine.receive(parser_mailbox)
+            message = yield Receive(parser_mailbox)
             if isinstance(message, ResultMessage):
                 outcome["root_attributes"] = dict(message.attributes)
             elif isinstance(message, AssembledCodeMessage):
@@ -358,13 +431,4 @@ class ParallelCompiler:
             else:
                 raise TypeError(f"parser received unexpected message {message!r}")
             received += 1
-        outcome["finish_time"] = cluster.now
-
-    def _check_finished(self, cluster: Cluster) -> None:
-        unfinished = cluster.environment.unfinished_processes()
-        blocking = [process.name for process in unfinished]
-        if blocking:
-            raise RuntimeError(
-                "parallel compilation deadlocked; unfinished processes: "
-                + ", ".join(blocking)
-            )
+        outcome["finish_time"] = substrate.now

@@ -6,6 +6,11 @@ combined evaluator is used), then evaluate attributes as they become ready — s
 boundary attributes to neighbouring evaluators as soon as they are computed, blocking
 for remote values when nothing is ready, and (optionally) routing the final code
 attribute through the string librarian.
+
+The body is written against the backend-neutral request protocol
+(:class:`~repro.backends.base.Compute` / :class:`~repro.backends.base.Receive` yields
+plus ``transport.send``), so the identical code runs on the simulated cluster, on OS
+threads and on OS processes.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan
+from repro.backends.base import Backend, Compute, Mailbox, Receive
 from repro.distributed.protocol import (
     AssembleRequest,
     AttributeMessage,
@@ -27,10 +33,8 @@ from repro.evaluation.combined import CombinedScheduler
 from repro.evaluation.dynamic import DynamicScheduler
 from repro.grammar.grammar import AttributeGrammar
 from repro.grammar.symbols import Nonterminal
-from repro.runtime.cluster import Cluster
 from repro.runtime.cost import CostModel
-from repro.runtime.machine import ActivityKind, Machine
-from repro.runtime.simulator import Store
+from repro.runtime.machine import ActivityKind
 from repro.strings.descriptors import (
     ConcatDescriptor,
     LeafDescriptor,
@@ -54,7 +58,7 @@ def default_attribute_phase(name: str) -> ActivityKind:
 
 @dataclass
 class EvaluatorReport:
-    """Per-evaluator results gathered after the simulation."""
+    """Per-evaluator results gathered after the run."""
 
     region_id: int
     machine: str
@@ -68,23 +72,23 @@ class EvaluatorReport:
 
 
 class EvaluatorNode:
-    """One region's evaluator, driven as a simulation process."""
+    """One region's evaluator, driven as a backend process."""
 
     def __init__(
         self,
         region_id: int,
-        machine: Machine,
-        cluster: Cluster,
+        machine_index: int,
+        transport: Backend,
         grammar: AttributeGrammar,
         plan: OrderedEvaluationPlan,
         evaluator_kind: str,
         cost_model: CostModel,
-        mailboxes: Dict[int, Store],
-        machines_of_regions: Dict[int, Machine],
-        parser_machine: Machine,
-        parser_mailbox: Store,
-        librarian_machine: Optional[Machine] = None,
-        librarian_mailbox: Optional[Store] = None,
+        mailboxes: Dict[int, Mailbox],
+        machines_of_regions: Dict[int, int],
+        parser_machine: int,
+        parser_mailbox: Mailbox,
+        librarian_machine: Optional[int] = None,
+        librarian_mailbox: Optional[Mailbox] = None,
         librarian_attributes: Sequence[str] = (),
         use_priority: bool = True,
         attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase,
@@ -92,8 +96,8 @@ class EvaluatorNode:
         if evaluator_kind not in ("combined", "dynamic"):
             raise ValueError("evaluator_kind must be 'combined' or 'dynamic'")
         self.region_id = region_id
-        self.machine = machine
-        self.cluster = cluster
+        self.machine_index = machine_index
+        self.transport = transport
         self.grammar = grammar
         self.plan = plan
         self.evaluator_kind = evaluator_kind
@@ -109,7 +113,7 @@ class EvaluatorNode:
         self.use_priority = use_priority
         self.attribute_phase = attribute_phase
 
-        self.report = EvaluatorReport(region_id, machine.name)
+        self.report = EvaluatorReport(region_id, f"machine-{machine_index}")
         self._fragment_counter = 0
         self._root: Optional[ParseTreeNode] = None
         self._holes: Dict[int, ParseTreeNode] = {}
@@ -126,7 +130,7 @@ class EvaluatorNode:
         # are already computing), so buffer anything that arrives before the subtree.
         early: List[Any] = []
         while True:
-            message = yield from self.machine.receive(self.mailbox)
+            message = yield Receive(self.mailbox)
             if isinstance(message, SubtreeMessage):
                 break
             early.append(message)
@@ -134,7 +138,7 @@ class EvaluatorNode:
 
         unpack_cost = self.cost_model.delinearize_cost(message.tree.size_bytes())
         if message.parent_region is not None:
-            yield from self.machine.compute(unpack_cost, ActivityKind.UNPACK, "delinearize")
+            yield Compute(unpack_cost, ActivityKind.UNPACK, "delinearize")
         root, holes = delinearize(self.grammar, message.tree)
         self._root = root
         self._holes = holes
@@ -142,7 +146,7 @@ class EvaluatorNode:
 
         scheduler, build_cost = self._build_scheduler(message)
         if build_cost > 0:
-            yield from self.machine.compute(build_cost, ActivityKind.GRAPH, "dependencies")
+            yield Compute(build_cost, ActivityKind.GRAPH, "dependencies")
         self.report.graph_build_time = build_cost
 
         generator = UniqueIdGenerator(message.unique_base)
@@ -160,14 +164,15 @@ class EvaluatorNode:
                 dynamic_task = result.dependency_work > 0
                 cost = self.cost_model.task_cost(result, dynamic=dynamic_task)
                 phase = self._phase_of(result.computed)
-                yield from self.machine.compute(cost, phase)
+                yield Compute(cost, phase)
                 yield from self._handle_exports(result.computed)
             if scheduler.is_complete():
                 break
-            incoming = yield from self.machine.receive(self.mailbox)
+            incoming = yield Receive(self.mailbox)
             yield from self._apply_message(incoming, scheduler)
 
         yield from self._finish(scheduler)
+        self.transport.publish_report(self.region_id, self.report)
 
     # --------------------------------------------------------------- internals
 
@@ -239,7 +244,7 @@ class EvaluatorNode:
                         value: Any, decl) -> Generator:
         wire_value = decl.converter.put(value)
         size = decl.size_of(value)
-        yield from self.machine.compute(
+        yield Compute(
             self.cost_model.convert_cost(size) + self.cost_model.message_cpu_cost,
             ActivityKind.MESSAGE,
             f"send {name}",
@@ -253,9 +258,11 @@ class EvaluatorNode:
             size=size,
             priority=decl.priority,
         )
-        destination = self._machines_of_regions[target_region]
-        self.cluster.send(
-            self.machine, destination, message, message.size_bytes(),
+        self.transport.send(
+            self.machine_index,
+            self._machines_of_regions[target_region],
+            message,
+            message.size_bytes(),
             mailbox=self._mailboxes[target_region],
         )
         self.report.messages_sent += 1
@@ -265,20 +272,20 @@ class EvaluatorNode:
         descriptor, fragments = self._register_fragments(value)
         for fragment_id, text in fragments:
             size = text.transmission_size()
-            yield from self.machine.compute(
+            yield Compute(
                 self.cost_model.convert_cost(size) + self.cost_model.message_cpu_cost,
                 ActivityKind.RESULT_PROPAGATION,
                 f"fragment {name}",
             )
             fragment_message = CodeFragmentMessage(self.region_id, fragment_id, text, size)
-            self.cluster.send(
-                self.machine, self.librarian_machine, fragment_message,
+            self.transport.send(
+                self.machine_index, self.librarian_machine, fragment_message,
                 fragment_message.size_bytes(), mailbox=self.librarian_mailbox,
             )
             self.report.messages_sent += 1
             self.report.bytes_sent += size
         descriptor_size = descriptor.descriptor_size()
-        yield from self.machine.compute(
+        yield Compute(
             self.cost_model.message_cpu_cost, ActivityKind.RESULT_PROPAGATION,
             f"descriptor {name}",
         )
@@ -291,9 +298,11 @@ class EvaluatorNode:
             size=descriptor_size,
             priority=decl.priority,
         )
-        destination = self._machines_of_regions[self._parent_region]
-        self.cluster.send(
-            self.machine, destination, message, message.size_bytes(),
+        self.transport.send(
+            self.machine_index,
+            self._machines_of_regions[self._parent_region],
+            message,
+            message.size_bytes(),
             mailbox=self._mailboxes[self._parent_region],
         )
         self.report.messages_sent += 1
@@ -344,7 +353,7 @@ class EvaluatorNode:
         value = message.value
         if not isinstance(value, StringDescriptor):
             value = decl.converter.get(value)
-        yield from self.machine.compute(
+        yield Compute(
             self.cost_model.message_cpu_cost + self.cost_model.convert_cost(message.size),
             ActivityKind.MESSAGE,
             f"recv {message.name}",
@@ -377,26 +386,26 @@ class EvaluatorNode:
                         else LiteralDescriptor(value if isinstance(value, Rope) else Rope.leaf(str(value)))
                     )
                     request = AssembleRequest(name, descriptor, descriptor.descriptor_size())
-                    yield from self.machine.compute(
+                    yield Compute(
                         self.cost_model.message_cpu_cost,
                         ActivityKind.RESULT_PROPAGATION,
                         f"assemble {name}",
                     )
-                    self.cluster.send(
-                        self.machine, self.librarian_machine, request,
+                    self.transport.send(
+                        self.machine_index, self.librarian_machine, request,
                         request.size_bytes(), mailbox=self.librarian_mailbox,
                     )
                     payload[name] = value
                     continue
                 payload[name] = value
                 total_size += decl.size_of(value)
-            yield from self.machine.compute(
+            yield Compute(
                 self.cost_model.message_cpu_cost, ActivityKind.RESULT_PROPAGATION, "result"
             )
             result = ResultMessage(self.region_id, payload, total_size)
-            self.cluster.send(
-                self.machine, self.parser_machine, result, result.size_bytes(),
+            self.transport.send(
+                self.machine_index, self.parser_machine, result, result.size_bytes(),
                 mailbox=self.parser_mailbox,
             )
             self.report.messages_sent += 1
-        self.report.finish_time = self.cluster.now
+        self.report.finish_time = self.transport.now

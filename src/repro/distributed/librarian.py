@@ -8,21 +8,24 @@ to the information in the descriptors."  (paper, §4.3)
 
 The librarian therefore has two jobs: store fragments as they arrive (one network
 transmission per evaluator, overlapping with ongoing evaluation), and, once the root
-descriptor arrives, assemble the final string and hand it to the parser.
+descriptor arrives, assemble the final string and hand it to the parser.  Like the
+other distributed processes it is written against the backend-neutral request protocol
+and runs unchanged on the simulator, on threads and on processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.backends.base import Backend, Compute, Mailbox, Receive
 from repro.distributed.protocol import (
     AssembleRequest,
     AssembledCodeMessage,
     CodeFragmentMessage,
 )
 from repro.runtime.cost import CostModel
-from repro.runtime.machine import ActivityKind, Machine
+from repro.runtime.machine import ActivityKind
 from repro.strings.rope import Rope
 
 
@@ -37,12 +40,17 @@ class LibrarianStats:
 class StringLibrarian:
     """State machine of the librarian; driven as a process by the parallel compiler."""
 
-    def __init__(self, machine: Machine, cost_model: CostModel, mailbox=None):
-        self.machine = machine
+    def __init__(
+        self,
+        cost_model: CostModel,
+        mailbox: Mailbox,
+        transport: Optional[Backend] = None,
+        machine_index: int = 0,
+    ):
         self.cost_model = cost_model
-        self.mailbox = mailbox if mailbox is not None else machine.environment.store(
-            "librarian.mailbox"
-        )
+        self.mailbox = mailbox
+        self.transport = transport
+        self.machine_index = machine_index
         self._fragments: Dict[Tuple[int, int], Rope] = {}
         self._pending: List[AssembleRequest] = []
         self.stats = LibrarianStats()
@@ -93,9 +101,8 @@ class StringLibrarian:
 
     def run(
         self,
-        cluster,
-        parser_machine: Machine,
-        parser_mailbox=None,
+        parser_machine: int,
+        parser_mailbox: Mailbox,
         expected_assemblies: int = 1,
     ) -> Generator:
         """Librarian process body.
@@ -109,9 +116,9 @@ class StringLibrarian:
         if expected_assemblies <= 0:
             return
         while True:
-            message = yield from self.machine.receive(self.mailbox)
+            message = yield Receive(self.mailbox)
             if isinstance(message, CodeFragmentMessage):
-                yield from self.machine.compute(
+                yield Compute(
                     self.cost_model.message_cpu_cost
                     + self.cost_model.convert_cost(message.size),
                     ActivityKind.LIBRARIAN,
@@ -119,7 +126,7 @@ class StringLibrarian:
                 )
                 self.store_fragment(message)
             elif isinstance(message, AssembleRequest):
-                yield from self.machine.compute(
+                yield Compute(
                     self.cost_model.message_cpu_cost, ActivityKind.LIBRARIAN, "request"
                 )
                 outstanding_requests.append(message)
@@ -131,12 +138,12 @@ class StringLibrarian:
                 if not self.can_assemble(request):
                     still_waiting.append(request)
                     continue
-                yield from self.machine.compute(
+                yield Compute(
                     self.assembly_cost(request), ActivityKind.LIBRARIAN, "assemble"
                 )
                 assembled = self.assemble(request)
-                cluster.send(
-                    self.machine, parser_machine, assembled, assembled.size_bytes(),
+                self.transport.send(
+                    self.machine_index, parser_machine, assembled, assembled.size_bytes(),
                     mailbox=parser_mailbox,
                 )
                 finished_assemblies += 1

@@ -6,6 +6,12 @@ the corresponding hole node) and the parent needs the synthesized attributes of 
 same root.  Messages therefore address attributes by ``(region_id, attribute name)``
 rather than by node identity, which keeps the protocol independent of how each evaluator
 numbers its local nodes.
+
+Every message type (and everything it carries: linearized trees, ropes, string
+descriptors, converted attribute values) must survive a pickle round-trip, because the
+``"processes"`` backend ships messages between OS processes over
+``multiprocessing.Queue``.  :data:`PROTOCOL_MESSAGES` enumerates the full wire
+vocabulary; the test suite round-trips each one through a real queue.
 """
 
 from __future__ import annotations
@@ -104,3 +110,14 @@ class AssembledCodeMessage:
 
     def size_bytes(self) -> int:
         return self.size + 16
+
+
+#: The complete wire vocabulary of the distributed protocol.
+PROTOCOL_MESSAGES = (
+    SubtreeMessage,
+    AttributeMessage,
+    CodeFragmentMessage,
+    ResultMessage,
+    AssembleRequest,
+    AssembledCodeMessage,
+)

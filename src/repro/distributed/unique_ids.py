@@ -17,6 +17,7 @@ unique without any messages.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterator, List, Optional
 
 #: How far apart the per-evaluator base values are spaced by default.  The paper's
@@ -47,12 +48,26 @@ class UniqueIdGenerator:
         return self._next - self.base
 
 
-_generator_stack: List[UniqueIdGenerator] = [UniqueIdGenerator(0)]
+class _GeneratorStack(threading.local):
+    """Per-thread generator stack.
+
+    The threads backend runs one evaluator per OS thread, each activating its own
+    region-base generator around every scheduler task; a process-global stack would let
+    concurrent evaluators pop each other's generators and draw ids from the wrong
+    range.  Thread-local state keeps each evaluator's ids deterministic regardless of
+    substrate (the simulator and the processes backend each see a single stack anyway).
+    """
+
+    def __init__(self):
+        self.items: List[UniqueIdGenerator] = [UniqueIdGenerator(0)]
+
+
+_stacks = _GeneratorStack()
 
 
 def current_generator() -> UniqueIdGenerator:
     """The generator currently in effect (the innermost active context)."""
-    return _generator_stack[-1]
+    return _stacks.items[-1]
 
 
 @contextlib.contextmanager
@@ -66,11 +81,12 @@ def unique_id_context(generator_or_base) -> Iterator[UniqueIdGenerator]:
         generator = generator_or_base
     else:
         generator = UniqueIdGenerator(int(generator_or_base))
-    _generator_stack.append(generator)
+    stack = _stacks.items
+    stack.append(generator)
     try:
         yield generator
     finally:
-        _generator_stack.pop()
+        stack.pop()
 
 
 def next_unique_id() -> int:

@@ -104,15 +104,18 @@ class PascalCompiler:
         source: str,
         machines: int,
         configuration: Optional[CompilerConfiguration] = None,
+        backend: Optional[str] = None,
     ) -> CompilationReport:
-        """Compile on the simulated network multiprocessor.
+        """Compile on the parallel compiler's execution substrate.
 
-        Returns the full :class:`CompilationReport` (timings, timeline, decomposition,
-        message statistics and the generated code).
+        ``backend`` selects the substrate (``"simulated"`` by default, or
+        ``"threads"``/``"processes"`` for real concurrency).  Returns the full
+        :class:`CompilationReport` (timings, timeline, decomposition, message
+        statistics and the generated code).
         """
         config = configuration or self.configuration
         tree = self.parse(source)
-        parallel = ParallelCompiler(self.grammar, config, plan=self.plan)
+        parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
         return parallel.compile_tree(tree, machines)
 
     def compile_tree_parallel(
@@ -120,9 +123,10 @@ class PascalCompiler:
         tree: ParseTreeNode,
         machines: int,
         configuration: Optional[CompilerConfiguration] = None,
+        backend: Optional[str] = None,
     ) -> CompilationReport:
         """Like :meth:`compile_parallel` but reuses an already-parsed tree (useful when
         sweeping machine counts over the same program, as the figures do)."""
         config = configuration or self.configuration
-        parallel = ParallelCompiler(self.grammar, config, plan=self.plan)
+        parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
         return parallel.compile_tree(tree, machines)

@@ -68,13 +68,15 @@ class Store:
 
 
 class Process:
-    """A running generator inside an :class:`Environment`."""
+    """A running generator inside an :class:`Environment`.
 
-    _counter = 0
+    Pids are allocated by the owning environment (not a class-level global), so every
+    fresh :class:`Environment` numbers its processes from 1 and back-to-back
+    simulations are independently reproducible.
+    """
 
     def __init__(self, environment: "Environment", generator: Generator, name: str = ""):
-        Process._counter += 1
-        self.pid = Process._counter
+        self.pid = environment._allocate_pid()
         self.name = name or f"process-{self.pid}"
         self.environment = environment
         self.generator = generator
@@ -98,7 +100,12 @@ class Environment:
         self._sequence = 0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._active_processes = 0
+        self._pid_counter = 0
         self.processes: List[Process] = []
+
+    def _allocate_pid(self) -> int:
+        self._pid_counter += 1
+        return self._pid_counter
 
     # ------------------------------------------------------------------- clock
 

@@ -1,0 +1,236 @@
+"""Tests for the execution backends: parity across substrates, pickling, placement."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+
+import pytest
+
+from repro.backends import BACKEND_NAMES, BackendError, create_backend
+from repro.backends.base import Compute, Receive
+from repro.distributed.compiler import CompilerConfiguration, ParallelCompiler
+from repro.distributed.protocol import (
+    PROTOCOL_MESSAGES,
+    AssembledCodeMessage,
+    AssembleRequest,
+    AttributeMessage,
+    CodeFragmentMessage,
+    ResultMessage,
+    SubtreeMessage,
+)
+from repro.exprlang.evaluator import random_expression_source
+from repro.exprlang.frontend import parse_expression
+from repro.exprlang.grammar import expression_grammar
+from repro.strings.descriptors import ConcatDescriptor, LeafDescriptor, LiteralDescriptor
+from repro.strings.rope import Rope
+from repro.tree.linearize import linearize
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+requires_fork = pytest.mark.skipif(
+    not _fork_available(), reason="processes backend requires the fork start method"
+)
+
+REAL_BACKENDS = ["threads", pytest.param("processes", marks=requires_fork)]
+
+
+@pytest.fixture(scope="module")
+def split_grammar():
+    """Expression grammar with a low split threshold so small trees decompose."""
+    return expression_grammar(min_split_size=60)
+
+
+@pytest.fixture(scope="module")
+def big_expression(split_grammar):
+    source = random_expression_source(250, seed=11, nesting=6)
+    return parse_expression(source, split_grammar)
+
+
+@pytest.fixture(scope="module")
+def pascal_setup():
+    from repro.pascal import PascalCompiler, generate_program
+
+    compiler = PascalCompiler()
+    source = generate_program(procedures=10, statements_per_procedure=3, seed=3)
+    return compiler, compiler.parse(source)
+
+
+class TestBackendFactory:
+    def test_known_names(self):
+        assert BACKEND_NAMES == ("simulated", "threads", "processes")
+        for name in ("simulated", "threads"):
+            assert create_backend(name, machines=2).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            create_backend("quantum", machines=2)
+        with pytest.raises(ValueError):
+            ParallelCompiler(
+                expression_grammar(), backend="quantum"
+            ).compile_tree(parse_expression("1 + 2", expression_grammar()), 1)
+
+
+class TestBackendParity:
+    """The same workload must produce identical results on every substrate."""
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_expression_value_matches_simulated(self, split_grammar, big_expression, backend):
+        compiler = ParallelCompiler(split_grammar)
+        simulated = compiler.compile_tree(big_expression, 4)
+        real = compiler.compile_tree(big_expression, 4, backend=backend)
+        assert real.backend == backend
+        assert real.root_attributes["value"] == simulated.root_attributes["value"]
+        assert real.decomposition.region_count == simulated.decomposition.region_count
+        # One real worker per evaluator region.
+        assert real.worker_count == real.decomposition.region_count
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_pascal_code_byte_identical(self, pascal_setup, backend):
+        compiler, tree = pascal_setup
+        simulated = compiler.compile_tree_parallel(tree, 4)
+        real = compiler.compile_tree_parallel(tree, 4, backend=backend)
+        assert real.code_text("code") == simulated.code_text("code")
+        assert real.root_attributes["errs"] == simulated.root_attributes["errs"]
+        assert set(real.root_attributes) == set(simulated.root_attributes)
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_dynamic_evaluator_parity(self, split_grammar, big_expression, backend):
+        configuration = CompilerConfiguration(evaluator="dynamic")
+        compiler = ParallelCompiler(split_grammar, configuration)
+        simulated = compiler.compile_tree(big_expression, 3)
+        real = compiler.compile_tree(big_expression, 3, backend=backend)
+        assert real.root_attributes["value"] == simulated.root_attributes["value"]
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_wall_clock_reported(self, split_grammar, big_expression, backend):
+        report = ParallelCompiler(split_grammar, backend=backend).compile_tree(
+            big_expression, 3
+        )
+        assert report.wall_time_seconds > 0
+        assert report.wall_evaluation_seconds > 0
+        assert report.wall_time_seconds >= report.wall_evaluation_seconds
+        # Real substrates report wall-clock evaluation time, not simulated seconds.
+        assert report.evaluation_time > 0
+        # Modelled-cluster telemetry does not exist off the simulator.
+        assert report.timeline == {}
+        assert report.utilization == {}
+        assert report.network_messages > 0
+
+    def test_simulated_wall_clock_also_reported(self, split_grammar, big_expression):
+        report = ParallelCompiler(split_grammar).compile_tree(big_expression, 3)
+        assert report.backend == "simulated"
+        assert report.wall_time_seconds > 0
+        assert report.timeline
+
+
+@requires_fork
+class TestProcessesPlacement:
+    """Acceptance: the paper workload runs on >= 4 real worker processes."""
+
+    def test_paper_workload_on_four_worker_processes(self):
+        from repro.experiments.workload import default_workload
+
+        workload = default_workload()
+        simulated = workload.compiler.compile_tree_parallel(workload.tree, 4)
+        real = workload.compiler.compile_tree_parallel(workload.tree, 4, backend="processes")
+        assert real.worker_count >= 4
+        assert real.code_text("code") == simulated.code_text("code")
+        assert real.wall_evaluation_seconds > 0
+
+
+def _sample_messages():
+    """One instance of every protocol message, with realistic payloads."""
+    grammar = expression_grammar()
+    tree = parse_expression("1 + 2 * 3", grammar)
+    linearized = linearize(tree)
+    descriptor = ConcatDescriptor(
+        LeafDescriptor(1, 1, 4),
+        ConcatDescriptor(LiteralDescriptor(Rope.leaf("mid")), LeafDescriptor(2, 1, 5)),
+    )
+    return [
+        SubtreeMessage(
+            region_id=1,
+            parent_region=0,
+            tree=linearized,
+            unique_base=10_000_000,
+            root_inherited={"env": ()},
+            label="S",
+        ),
+        AttributeMessage(
+            source_region=1,
+            target_region=0,
+            direction="up",
+            name="code",
+            value=descriptor,
+            size=12,
+            priority=True,
+        ),
+        CodeFragmentMessage(1, 1, Rope.leaf("movl\tr0, r1\n"), 12),
+        ResultMessage(0, {"value": 7, "code": Rope.leaf("halt\n")}, 12),
+        AssembleRequest("code", descriptor, descriptor.descriptor_size()),
+        AssembledCodeMessage("code", Rope.leaf("movl\tr0, r1\nhalt\n"), 18),
+    ]
+
+
+class TestProtocolPickling:
+    """Every wire message must survive multiprocessing transport."""
+
+    def test_sample_covers_whole_vocabulary(self):
+        assert {type(message) for message in _sample_messages()} == set(PROTOCOL_MESSAGES)
+
+    @pytest.mark.parametrize(
+        "message", _sample_messages(), ids=lambda message: type(message).__name__
+    )
+    def test_pickle_round_trip(self, message):
+        clone = pickle.loads(pickle.dumps(message))
+        assert type(clone) is type(message)
+        assert clone.size_bytes() == message.size_bytes()
+
+    @requires_fork
+    def test_round_trip_through_multiprocessing_queue(self):
+        context = multiprocessing.get_context("fork")
+        fifo = context.Queue()
+        originals = _sample_messages()
+        for message in originals:
+            fifo.put(message)
+        for message in originals:
+            clone = fifo.get(timeout=10)
+            assert type(clone) is type(message)
+            assert clone.size_bytes() == message.size_bytes()
+            if isinstance(clone, SubtreeMessage):
+                assert clone.tree.records == message.tree.records
+            if isinstance(clone, AssembledCodeMessage):
+                assert clone.text.flatten() == message.text.flatten()
+            if isinstance(clone, CodeFragmentMessage):
+                assert clone.text.flatten() == message.text.flatten()
+        fifo.close()
+        fifo.join_thread()
+
+
+class TestBackendRobustness:
+    def test_threads_backend_surfaces_worker_failure(self):
+        backend = create_backend("threads", machines=1, receive_timeout=5)
+
+        def failing_body():
+            raise RuntimeError("boom")
+            yield Compute(0.0)  # pragma: no cover — makes this a generator
+
+        backend.spawn(failing_body(), name="bad-worker")
+        with pytest.raises(BackendError, match="bad-worker"):
+            backend.run()
+
+    def test_threads_backend_receive_times_out(self):
+        backend = create_backend("threads", machines=1, receive_timeout=0.2)
+        mailbox = backend.mailbox("never-written")
+
+        def waiting_body():
+            yield Receive(mailbox)
+
+        backend.spawn(waiting_body(), name="waiter")
+        with pytest.raises(BackendError, match="waiter"):
+            backend.run()

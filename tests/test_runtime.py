@@ -71,6 +71,22 @@ class TestSimulator:
         with pytest.raises(ValueError):
             env.schedule(-1.0, lambda: None)
 
+    def test_pids_are_per_environment(self):
+        # Back-to-back simulations must be independently reproducible: a fresh
+        # environment numbers its processes from 1 rather than continuing a
+        # process-global counter.
+        def idle():
+            yield Timeout(0.0)
+
+        first = Environment()
+        first.process(idle(), name="a")
+        first.process(idle(), name="b")
+        second = Environment()
+        second.process(idle(), name="c")
+        assert [process.pid for process in first.processes] == [1, 2]
+        assert [process.pid for process in second.processes] == [1]
+        assert second.processes[0].name == "c"
+
 
 class TestMachine:
     def test_compute_accumulates_busy_time(self):
