@@ -37,16 +37,22 @@ from repro.evaluation import (
     EvaluationStatistics,
     StaticEvaluator,
 )
-from repro.backends import BACKEND_NAMES, create_backend
+from repro.backends import BACKEND_NAMES, Substrate, create_backend, create_substrate
 from repro.distributed.compiler import (
     CompilationReport,
     CompilerConfiguration,
     ParallelCompiler,
 )
 from repro.parsing import Lexer, Parser, ParseError, Token, TokenSpec
+from repro.service import CompilationJob, CompilationService, ServiceStats
 from repro.strings import Rope, rope
 from repro.symtab import SymbolTable, st_add, st_create, st_lookup
-from repro.exprlang import evaluate_expression, expression_grammar, parse_expression
+from repro.exprlang import (
+    evaluate_expression,
+    evaluate_expression_parallel,
+    expression_grammar,
+    parse_expression,
+)
 
 __version__ = "1.0.0"
 
@@ -67,10 +73,15 @@ __all__ = [
     "EvaluationStatistics",
     "StaticEvaluator",
     "BACKEND_NAMES",
+    "Substrate",
     "create_backend",
+    "create_substrate",
+    "CompilationJob",
     "CompilationReport",
+    "CompilationService",
     "CompilerConfiguration",
     "ParallelCompiler",
+    "ServiceStats",
     "Lexer",
     "Parser",
     "ParseError",
@@ -83,6 +94,7 @@ __all__ = [
     "st_create",
     "st_lookup",
     "evaluate_expression",
+    "evaluate_expression_parallel",
     "expression_grammar",
     "parse_expression",
     "__version__",

@@ -4,12 +4,18 @@ Three implementations of the same :class:`~repro.backends.base.Backend` interfac
 
 * ``"simulated"`` — the paper's modelled network multiprocessor (deterministic
   discrete-event simulation, simulated seconds);
-* ``"threads"`` — one OS thread per evaluator region, ``queue.Queue`` mailboxes;
-* ``"processes"`` — one forked OS process per evaluator region, picklable protocol
-  messages over ``multiprocessing.Queue``.
+* ``"threads"`` — OS threads with ``queue.Queue`` mailboxes;
+* ``"processes"`` — forked OS processes with picklable protocol messages over
+  ``multiprocessing.Queue``.
 
-Select one with ``ParallelCompiler(grammar, backend="processes")`` or per call with
-``compile_tree(..., backend="threads")``.
+Each comes in two lifecycles:
+
+* **one-shot** (:func:`create_backend`): build → spawn → run → discard, exactly the
+  original semantics — ``ParallelCompiler(grammar, backend="processes")`` or per call
+  with ``compile_tree(..., backend="threads")``;
+* **pooled** (:func:`create_substrate`): a persistent :class:`Substrate` whose worker
+  pool and mailbox registry survive across compilations —
+  ``compile_tree(..., substrate=pool)`` or the :mod:`repro.service` layer on top.
 """
 
 from __future__ import annotations
@@ -23,10 +29,12 @@ from repro.backends.base import (
     Compute,
     Mailbox,
     Receive,
+    Substrate,
+    WorkerJob,
 )
-from repro.backends.processes import ProcessesBackend
-from repro.backends.simulated import SimulatedBackend
-from repro.backends.threads import ThreadsBackend
+from repro.backends.processes import ProcessesBackend, ProcessesSubstrate
+from repro.backends.simulated import SimulatedBackend, SimulatedSubstrate
+from repro.backends.threads import ThreadsBackend, ThreadsSubstrate
 from repro.runtime.cost import CostModel
 from repro.runtime.network import NetworkParameters
 
@@ -42,7 +50,7 @@ def create_backend(
     machine_speeds: Optional[List[float]] = None,
     receive_timeout: Optional[float] = None,
 ) -> Backend:
-    """Instantiate the backend called ``name``.
+    """Instantiate the one-shot backend called ``name``.
 
     ``machines``/``network``/``cost_model``/``machine_speeds`` parameterise the
     simulated cluster and are ignored by the real substrates; ``receive_timeout``
@@ -59,6 +67,32 @@ def create_backend(
     raise ValueError(f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
 
 
+def create_substrate(
+    name: str,
+    workers: int = 0,
+    network: Optional[NetworkParameters] = None,
+    cost_model: Optional[CostModel] = None,
+    machine_speeds: Optional[List[float]] = None,
+    receive_timeout: Optional[float] = None,
+) -> Substrate:
+    """Instantiate the persistent (pooled) substrate called ``name``.
+
+    ``workers`` is the initial pool size for the real substrates (both grow on demand
+    so a compilation's whole worker batch always runs concurrently); the simulated
+    substrate pools nothing and simply hands out fresh deterministic clusters.
+    Remember to ``start()`` it (or use a ``with`` block) and ``shutdown()`` when done.
+    """
+    if name == "simulated":
+        return SimulatedSubstrate(
+            network=network, cost_model=cost_model, machine_speeds=machine_speeds
+        )
+    if name == "threads":
+        return ThreadsSubstrate(workers=workers, receive_timeout=receive_timeout)
+    if name == "processes":
+        return ProcessesSubstrate(workers=workers, receive_timeout=receive_timeout)
+    raise ValueError(f"unknown substrate {name!r}; choose from {BACKEND_NAMES}")
+
+
 __all__ = [
     "Backend",
     "BackendError",
@@ -67,8 +101,14 @@ __all__ = [
     "Compute",
     "Mailbox",
     "ProcessesBackend",
+    "ProcessesSubstrate",
     "Receive",
     "SimulatedBackend",
+    "SimulatedSubstrate",
+    "Substrate",
     "ThreadsBackend",
+    "ThreadsSubstrate",
+    "WorkerJob",
     "create_backend",
+    "create_substrate",
 ]

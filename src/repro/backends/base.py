@@ -17,6 +17,21 @@ directly.  A backend decides what those requests mean:
 Because the process bodies never import a substrate directly, the coordinator,
 evaluator and librarian logic exists exactly once and every backend runs the identical
 protocol.
+
+The contract is split in two layers:
+
+* a :class:`Substrate` is the **persistent** half: a worker pool and mailbox registry
+  created once (explicit :meth:`~Substrate.start` / :meth:`~Substrate.shutdown`, or a
+  ``with`` block) and reused across many compilations — long-lived OS threads or forked
+  worker processes pull work from a job channel instead of dying after one run;
+* a :class:`Backend` is the **per-compilation run session**: mailboxes, spawned bodies,
+  one :meth:`~Backend.run` barrier, reports and telemetry, all scoped to a single job.
+  Sessions are created with :meth:`Substrate.session` and torn down with
+  :meth:`Backend.close` (idempotent, safe on every error path).
+
+The legacy one-shot classes (``SimulatedBackend``, ``ThreadsBackend``,
+``ProcessesBackend``) remain: they are sessions bound to a private single-use
+substrate, preserving the original create→spawn→run API byte-for-byte.
 """
 
 from __future__ import annotations
@@ -24,7 +39,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional
 
 from repro.runtime.machine import ActivityInterval, ActivityKind
 
@@ -70,6 +85,32 @@ class Mailbox:
         return f"{type(self).__name__}({self.name!r})"
 
 
+@dataclass(frozen=True)
+class WorkerJob:
+    """A substrate-neutral description of a worker process body.
+
+    ``factory(transport, **kwargs, **shared)`` must return the request generator to
+    drive; it is called with the session (or, on pooled process workers, a child-side
+    transport proxy) as its first argument.  In-process substrates materialise the body
+    immediately; the pooled processes substrate pickles the job and rebuilds the body
+    inside a long-lived worker, which is why ``factory`` must be a module-level callable
+    and ``kwargs`` must pickle (``Mailbox`` values are translated to registry indexes
+    automatically, including inside dicts/lists/tuples).
+
+    ``shared`` holds large immutable objects (grammars, evaluation plans) that pooled
+    workers cache by identity: each worker receives the pickled bundle once and reuses
+    it for every later job that shares it.
+    """
+
+    factory: Callable[..., Generator]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    shared: Mapping[str, Any] = field(default_factory=dict)
+
+    def materialize(self, transport: Any) -> Generator:
+        """Build the process body in-process (non-pooled and in-memory substrates)."""
+        return self.factory(transport, **dict(self.kwargs), **dict(self.shared))
+
+
 @dataclass
 class BackendTelemetry:
     """Substrate-level measurements gathered during one run.
@@ -87,13 +128,15 @@ class BackendTelemetry:
 
 
 class Backend(abc.ABC):
-    """One execution substrate: mailboxes, process spawning, message transport, clock.
+    """One compilation run session: mailboxes, process spawning, transport, clock.
 
     Lifecycle: create mailboxes, ``spawn`` process bodies (coordinator bodies — the
     parser and the librarian — are guaranteed to execute in the driving Python process
     so they can share memory with the caller; worker bodies may execute on real OS
     threads or processes), then ``run()`` drives everything to completion and returns
-    the wall-clock seconds spent.
+    the wall-clock seconds spent.  ``close()`` tears the session down and must be
+    called on every path — including when ``run()`` or result collection raised — so
+    that no worker thread or forked process outlives a failed compilation.
     """
 
     #: Short name used by the ``backend=`` knob of the parallel compiler.
@@ -107,12 +150,12 @@ class Backend(abc.ABC):
 
     @abc.abstractmethod
     def mailbox(self, name: str) -> Mailbox:
-        """Create a new (empty) mailbox."""
+        """Create (or lease from the substrate's registry) a new empty mailbox."""
 
     @abc.abstractmethod
     def spawn(
         self,
-        body: Generator,
+        body: Any,
         *,
         name: str,
         machine: int = 0,
@@ -120,6 +163,7 @@ class Backend(abc.ABC):
     ) -> None:
         """Register a process body to run on (modelled or real) ``machine``.
 
+        ``body`` is either a request generator or a :class:`WorkerJob` describing one.
         ``coordinator`` bodies always execute in the driving process; worker bodies are
         placed on the substrate's parallel execution units.
         """
@@ -177,6 +221,77 @@ class Backend(abc.ABC):
     def telemetry(self) -> BackendTelemetry:
         """Substrate measurements (valid after ``run()``)."""
         return BackendTelemetry()
+
+    # ---------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Tear the session down (idempotent; safe before, during and after ``run``).
+
+        On a pooled substrate this aborts any of the session's still-running bodies and
+        returns leased mailboxes to the registry; on a one-shot backend it joins or
+        terminates the private worker pool.  The substrate itself stays alive.
+        """
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Substrate(abc.ABC):
+    """The persistent half of an execution backend: worker pool + mailbox registry.
+
+    Created once and reused across many compilations::
+
+        with create_substrate("threads") as substrate:
+            report_a = compiler.compile_tree(tree_a, 4, substrate=substrate)
+            report_b = compiler.compile_tree(tree_b, 4, substrate=substrate)
+
+    ``start()`` brings the pool up (idempotent), ``session()`` hands out a
+    per-compilation :class:`Backend` run session, and ``shutdown()`` joins/terminates
+    every pooled worker.  Sessions may run concurrently on one substrate — that is what
+    the :mod:`repro.service` layer builds on.
+    """
+
+    #: Short name matching the ``backend=`` knob ("simulated", "threads", "processes").
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._sessions_opened = 0
+
+    @abc.abstractmethod
+    def start(self) -> "Substrate":
+        """Bring the worker pool up.  Idempotent; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Stop every pooled worker.  Idempotent; the substrate cannot be restarted."""
+
+    @abc.abstractmethod
+    def session(
+        self,
+        machines: int,
+        *,
+        receive_timeout: Optional[float] = None,
+    ) -> Backend:
+        """Open a new run session for one compilation on ``machines`` workers.
+
+        ``machines`` parameterises the simulated cluster (real substrates size
+        themselves from the bodies actually spawned); ``receive_timeout`` overrides the
+        substrate's blocking-receive bound for this session only.
+        """
+
+    @property
+    def sessions_opened(self) -> int:
+        """How many run sessions this substrate has handed out so far."""
+        return self._sessions_opened
+
+    def __enter__(self) -> "Substrate":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
 
 def poll_receive(fifo: Any, timeout: float, failed: Any, who: str, mailbox_name: str) -> Any:

@@ -1,17 +1,30 @@
-"""The multiprocessing backend: one OS process per worker body.
+"""The multiprocessing backend: real OS processes with pickled protocol messages.
 
 Mailboxes are ``multiprocessing.Queue`` instances, so every message that crosses a
 worker boundary — linearized subtrees, boundary attribute values, code fragments,
 descriptors, results — round-trips through pickle, exactly like bytes on a wire.
-Workers are forked *after* the coordinator has built the grammar, the evaluation plan
-and every process body, so the (unpicklable, closure-rich) grammar machinery is
-inherited copy-on-write and never serialised; only protocol messages travel between
-processes.
 
-Placement: worker bodies (the evaluators) each get their own forked OS process;
-coordinator bodies (parser, librarian) run on threads inside the driving process, where
-they can share the compilation outcome with the caller.  Worker reports come back
-out-of-band on a control queue via :meth:`publish_report`.
+Two lifecycles are provided:
+
+* :class:`ProcessesSubstrate` — the persistent pool.  ``start()`` forks long-lived
+  worker processes that pull *job specs* (picklable :class:`~repro.backends.base.WorkerJob`
+  descriptions, not generators) from per-worker job channels and survive across
+  compilations, so fork cost is paid once, not per compile.  Large immutable objects
+  (grammar + evaluation plan bundles) are shipped to each worker once and cached there
+  by key; mailboxes are leased from a fixed registry of queues created before the
+  first fork so that children inherit every transport handle they will ever need.
+  The pool grows on demand (``fork`` start method, so late workers inherit the same
+  registry), and many run sessions may be in flight concurrently.
+
+* :class:`ProcessesBackend` — the legacy one-shot API.  Workers are forked *after*
+  the coordinator has built the grammar and every process body, so the process bodies
+  are inherited copy-on-write and never serialised; this is the only processes path
+  that can run arbitrary in-memory generators (and unpicklable grammars).
+
+Placement (both lifecycles): worker bodies (the evaluators) execute on forked OS
+processes; coordinator bodies (parser, librarian) run on threads inside the driving
+process, where they can share the compilation outcome with the caller.  Worker reports
+come back out-of-band on a control queue via ``publish_report``.
 
 Requires a POSIX ``fork`` start method (Linux/macOS); on platforms without it,
 construction raises :class:`BackendError` — use the threads backend there.
@@ -20,26 +33,734 @@ construction raises :class:`BackendError` — use the threads backend there.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import queue as queue_module
 import sys
 import threading
 import time
 import traceback
-from typing import Any, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.backends.base import (
     Backend,
     BackendError,
     BackendTelemetry,
     Mailbox,
+    Substrate,
+    WorkerJob,
     drive,
     poll_receive,
 )
 from repro.backends.threads import QueueMailbox
 
 
+# ---------------------------------------------------------------------------- wire
+
+
+@dataclass(frozen=True)
+class _MailboxRef:
+    """Registry index standing in for a mailbox inside a pickled job spec."""
+
+    index: int
+    name: str
+
+
+class RegistryMailbox(QueueMailbox):
+    """A mailbox leased from a :class:`ProcessesSubstrate` registry slot."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, name: str, fifo: Any, index: int):
+        super().__init__(name, fifo)
+        self.index = index
+
+
+def _encode_wire(value: Any) -> Any:
+    """Replace mailboxes with registry references, recursing into containers."""
+    if isinstance(value, RegistryMailbox):
+        return _MailboxRef(value.index, value.name)
+    if isinstance(value, Mailbox):
+        raise BackendError(
+            f"mailbox {value.name!r} was not leased from this substrate's registry "
+            "and cannot cross to a pooled worker"
+        )
+    if isinstance(value, dict):
+        return {key: _encode_wire(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_encode_wire(item) for item in value)
+    return value
+
+
+def _decode_wire(value: Any, registry: List[Any]) -> Any:
+    """Child-side inverse of :func:`_encode_wire`."""
+    if isinstance(value, _MailboxRef):
+        return QueueMailbox(value.name, registry[value.index])
+    if isinstance(value, dict):
+        return {key: _decode_wire(item, registry) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_decode_wire(item, registry) for item in value)
+    return value
+
+
+# ---------------------------------------------------------------------- child side
+
+
+class _JobAborted(Exception):
+    """Raised inside a pooled worker when the parent flags the current job aborted."""
+
+
+class _ChildTransport:
+    """The Backend facade seen by a job running inside a pooled worker process."""
+
+    name = "processes"
+
+    def __init__(
+        self,
+        control: Any,
+        session_id: int,
+        abort_event: Any,
+        receive_timeout: float,
+    ):
+        self._control = control
+        self._session_id = session_id
+        self._abort = abort_event
+        self._timeout = receive_timeout
+        self._started = time.perf_counter()
+        self.messages = 0
+        self.bytes = 0
+
+    def send(self, source: int, destination: int, message: Any, size_bytes: int,
+             mailbox: QueueMailbox) -> None:
+        mailbox.queue.put(message)
+        self.messages += 1
+        self.bytes += size_bytes
+
+    def publish_report(self, region_id: int, report: Any) -> None:
+        self._control.put(("report", self._session_id, region_id, report))
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._started
+
+    def receive(self, mailbox: QueueMailbox) -> Any:
+        deadline = time.monotonic() + self._timeout
+        while True:
+            if self._abort.is_set():
+                raise _JobAborted()
+            try:
+                return mailbox.queue.get(timeout=0.05)
+            except queue_module.Empty:
+                if time.monotonic() > deadline:
+                    raise BackendError(
+                        f"pooled worker timed out after {self._timeout:.0f}s waiting on "
+                        f"mailbox {mailbox.name!r} (protocol deadlock?)"
+                    ) from None
+
+
+def _pool_worker_main(
+    worker_index: int,
+    job_queue: Any,
+    control: Any,
+    registry: List[Any],
+    abort_event: Any,
+) -> None:
+    """Entry point of a long-lived pooled worker process.
+
+    Pulls pickled job specs until poisoned with ``None``.  Shared bundles (grammar +
+    plan) arrive at most once and are cached by key for every later job.  A failing or
+    aborted job is reported on the control queue and the worker stays alive for the
+    next job — one bad compilation never costs the pool a fork.
+    """
+    shared_cache: Dict[int, Any] = {}
+    while True:
+        item = job_queue.get()
+        if item is None:
+            return
+        (session_id, name, payload_blob, shared_blobs, receive_timeout) = item
+        # The abort event is cleared by the PARENT (under its lock) when this job is
+        # assigned and when job-completion records are processed; clearing it here
+        # could erase an abort meant for this very job.
+        try:
+            for key, blob in shared_blobs.items():
+                shared_cache[key] = pickle.loads(blob)
+            factory, encoded_kwargs, shared_keys = pickle.loads(payload_blob)
+            kwargs = _decode_wire(encoded_kwargs, registry)
+            for argument, key in shared_keys.items():
+                kwargs[argument] = shared_cache[key]
+            transport = _ChildTransport(control, session_id, abort_event, receive_timeout)
+            body = factory(transport, **kwargs)
+            drive(body, transport.receive)
+            control.put(
+                ("done", session_id, worker_index, name, transport.messages, transport.bytes)
+            )
+        except _JobAborted:
+            control.put(("aborted", session_id, worker_index, name))
+        except BaseException:  # noqa: BLE001 — shipped to the parent; worker survives
+            control.put(("error", session_id, worker_index, name, traceback.format_exc()))
+
+
+# --------------------------------------------------------------------- parent side
+
+
+class _PoolWorker:
+    """Parent-side bookkeeping for one long-lived worker process."""
+
+    __slots__ = ("index", "process", "job_queue", "abort_event", "known_keys", "current")
+
+    def __init__(self, index: int, process: Any, job_queue: Any, abort_event: Any):
+        self.index = index
+        self.process = process
+        self.job_queue = job_queue
+        self.abort_event = abort_event
+        self.known_keys: set = set()
+        self.current: Optional[Tuple[int, str]] = None  # (session_id, job name)
+
+
+class ProcessesSubstrate(Substrate):
+    """A persistent pool of forked worker processes shared by many run sessions."""
+
+    name = "processes"
+
+    #: Default bound on blocking receives (seconds) when none is configured.
+    DEFAULT_RECEIVE_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        workers: int = 0,
+        mailbox_capacity: int = 128,
+        receive_timeout: Optional[float] = None,
+    ):
+        super().__init__()
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as error:
+            raise BackendError(
+                "the processes substrate requires the 'fork' multiprocessing start "
+                "method (POSIX only); use the threads substrate on this platform"
+            ) from error
+        self.receive_timeout = (
+            self.DEFAULT_RECEIVE_TIMEOUT if receive_timeout is None else receive_timeout
+        )
+        self.mailbox_capacity = mailbox_capacity
+        self._initial_workers = workers
+        self._lock = threading.Lock()
+        self._workers: List[_PoolWorker] = []
+        self._next_worker_index = 0
+        self._registry: List[Any] = []
+        self._free_mailboxes: List[int] = []
+        self._control: Optional[Any] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._sessions: Dict[int, "ProcessesSession"] = {}
+        self._session_seq = 0
+        self._shared_ids: Dict[Tuple[int, ...], int] = {}  # component ids -> key
+        self._shared_objects: Dict[int, Any] = {}   # key -> obj (keeps ids stable)
+        self._shared_blobs: Dict[int, bytes] = {}
+        self._next_shared_key = 0
+        self._started = False
+        self._stopped = False
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ProcessesSubstrate":
+        with self._lock:
+            if self._stopped:
+                raise BackendError("processes substrate has been shut down")
+            if self._started:
+                return self
+            self._started = True
+            self._control = self._context.Queue()
+            # The whole mailbox registry is created before the first fork so every
+            # worker — including ones forked later to grow the pool — inherits every
+            # transport handle a session could ever lease.
+            self._registry = [self._context.Queue() for _ in range(self.mailbox_capacity)]
+            self._free_mailboxes = list(range(self.mailbox_capacity))
+            for _ in range(self._initial_workers):
+                self._fork_worker_locked()
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-pool-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+        return self
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._stopped or not self._started:
+                self._stopped = True
+                return
+            self._stopped = True
+            workers = list(self._workers)
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            # Fail the whole in-flight run, not just its receives: the dispatcher is
+            # about to exit, so the workers' final control records will never be
+            # routed — without an error and a completed jobs-event, run() would wait
+            # on those records forever (or, worse, report an aborted run as success).
+            with session._lock:
+                session._errors.append(
+                    ("substrate", "processes substrate was shut down mid-run")
+                )
+            session._failed.set()
+            session._jobs_event.set()
+        for worker in workers:
+            if worker.process.is_alive():
+                # Unblock a worker wedged in a receive (it polls the abort event)
+                # so the poison pill below is seen promptly instead of after the
+                # full receive timeout.
+                worker.abort_event.set()
+                worker.job_queue.put(None)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+
+    def session(
+        self,
+        machines: int = 1,
+        *,
+        receive_timeout: Optional[float] = None,
+    ) -> "ProcessesSession":
+        self.start()
+        with self._lock:
+            self._sessions_opened += 1
+            self._session_seq += 1
+            session_id = self._session_seq
+        return ProcessesSession(
+            self,
+            session_id,
+            self.receive_timeout if receive_timeout is None else receive_timeout,
+        )
+
+    @property
+    def pool_size(self) -> int:
+        """How many worker processes are alive (grows with the largest batch seen)."""
+        with self._lock:
+            return sum(1 for worker in self._workers if worker.process.is_alive())
+
+    # ------------------------------------------------------------ pool plumbing
+
+    def _fork_worker_locked(self) -> _PoolWorker:
+        # Forking here is safe even though the parent is multi-threaded (dispatcher,
+        # service executors, other sessions' coordinators may be mid-put on shared
+        # queues): multiprocessing.Queue registers an after-fork hook that re-inits
+        # its internal condition lock and buffer in the child (Queue._reset with
+        # after_fork=True), and the child's first action is our own worker loop,
+        # which touches nothing else inherited.
+        index = self._next_worker_index
+        self._next_worker_index += 1
+        job_queue = self._context.Queue()
+        abort_event = self._context.Event()
+        process = self._context.Process(
+            target=_pool_worker_main,
+            args=(index, job_queue, self._control, self._registry, abort_event),
+            name=f"repro-pool-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        worker = _PoolWorker(index, process, job_queue, abort_event)
+        self._workers.append(worker)
+        return worker
+
+    def _lease_mailbox(self, name: str) -> RegistryMailbox:
+        with self._lock:
+            if not self._started:
+                raise BackendError("processes substrate not started")
+            if not self._free_mailboxes:
+                raise BackendError(
+                    f"mailbox registry exhausted ({self.mailbox_capacity} slots); "
+                    "raise mailbox_capacity or lower the number of concurrent sessions"
+                )
+            index = self._free_mailboxes.pop()
+        return RegistryMailbox(name, self._registry[index], index)
+
+    def _release_mailboxes(self, leased: List[RegistryMailbox], settle: bool) -> None:
+        """Drain and return leased registry slots so the next lease starts empty.
+
+        ``settle`` waits out in-flight queue feeders after a failed run; a clean run
+        leaves its mailboxes empty by protocol, so the fast path is a no-op.
+        """
+        for mailbox in leased:
+            empty_streak = 0
+            while empty_streak < (2 if settle else 1):
+                try:
+                    mailbox.queue.get(timeout=0.05) if settle else mailbox.queue.get_nowait()
+                    empty_streak = 0
+                except queue_module.Empty:
+                    empty_streak += 1
+        with self._lock:
+            for mailbox in leased:
+                self._free_mailboxes.append(mailbox.index)
+
+    def _shared_entry(self, obj: Any) -> int:
+        # Key tuples by their components' identities: grammar bundles are rebuilt as
+        # fresh (grammar, plan) tuples by every thin-client compiler instance, but the
+        # grammar and plan objects themselves are stable — dedup on those so each
+        # worker receives a given grammar exactly once.  The objects stay pinned for
+        # the substrate's lifetime (identity is the cache key); their pickled blobs
+        # are evicted once every live worker has received them and re-pickled only if
+        # the pool later grows.
+        ident = (
+            tuple(id(part) for part in obj) if isinstance(obj, tuple) else (id(obj),)
+        )
+        key = self._shared_ids.get(ident)
+        if key is None:
+            key = self._next_shared_key
+            self._next_shared_key += 1
+            self._shared_ids[ident] = key
+            self._shared_objects[key] = obj
+        return key
+
+    def _shared_blob(self, key: int) -> bytes:
+        blob = self._shared_blobs.get(key)
+        if blob is None:
+            try:
+                blob = pickle.dumps(self._shared_objects[key])
+            except Exception as error:
+                raise BackendError(
+                    "shared objects (grammar/plan bundles) must be picklable for the "
+                    "pooled processes substrate; use module-level semantic functions "
+                    "and converters, or the threads substrate instead"
+                ) from error
+            self._shared_blobs[key] = blob
+        return blob
+
+    def _evict_delivered_blobs_locked(self) -> None:
+        """Free pickled bundles every live worker already holds (lazily re-created)."""
+        for key in list(self._shared_blobs):
+            if all(key in worker.known_keys for worker in self._workers):
+                del self._shared_blobs[key]
+
+    def _register(self, session: "ProcessesSession") -> None:
+        with self._lock:
+            self._sessions[session.session_id] = session
+
+    def _unregister(self, session: "ProcessesSession") -> None:
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+
+    def _submit_jobs(
+        self, session: "ProcessesSession", jobs: List[Tuple[WorkerJob, str]]
+    ) -> None:
+        """Assign one session's worker jobs, growing the pool so all run at once.
+
+        Every job of a batch gets its own worker immediately: pooled bodies block on
+        each other's messages, so a batch queued behind itself would deadlock.
+        """
+        with self._lock:
+            if self._stopped:
+                raise BackendError("processes substrate has been shut down")
+            free = [
+                worker
+                for worker in self._workers
+                if worker.current is None and worker.process.is_alive()
+            ]
+            while len(free) < len(jobs):
+                free.append(self._fork_worker_locked())
+            for index, ((job, name), worker) in enumerate(zip(jobs, free)):
+                try:
+                    shared_keys: Dict[str, int] = {}
+                    shared_blobs: Dict[int, bytes] = {}
+                    for argument, obj in job.shared.items():
+                        key = self._shared_entry(obj)
+                        shared_keys[argument] = key
+                        if key not in worker.known_keys:
+                            shared_blobs[key] = self._shared_blob(key)
+                    # Pickle in the caller (not the queue's feeder thread) so
+                    # unpicklable kwargs fail loudly here, not as a hung run.
+                    try:
+                        payload_blob = pickle.dumps(
+                            (job.factory, _encode_wire(dict(job.kwargs)), shared_keys)
+                        )
+                    except Exception as error:
+                        raise BackendError(
+                            f"worker job {name!r} is not picklable for the pooled "
+                            "processes substrate; use the threads substrate or the "
+                            "one-shot ProcessesBackend"
+                        ) from error
+                    # A stale abort (from a previous assignment, already settled
+                    # under this lock) must not leak into the job about to be queued;
+                    # clear before the put — the child may dequeue it immediately.
+                    worker.abort_event.clear()
+                    worker.job_queue.put(
+                        (session.session_id, name, payload_blob, shared_blobs,
+                         session.receive_timeout)
+                    )
+                except BaseException:
+                    # Jobs from this one on were never enqueued: settle their share
+                    # of the session's completion count so close() doesn't stall.
+                    session._account_unsubmitted(len(jobs) - index)
+                    raise
+                # Only a delivered blob counts as known — marking earlier would let a
+                # failed submit poison the cache for every later compilation.
+                worker.known_keys.update(shared_blobs)
+                worker.current = (session.session_id, name)
+            self._evict_delivered_blobs_locked()
+
+    def _abort_session(self, session: "ProcessesSession") -> None:
+        """Flag every pooled worker still running a job of ``session`` to unwind."""
+        with self._lock:
+            for worker in self._workers:
+                if worker.current is not None and worker.current[0] == session.session_id:
+                    worker.abort_event.set()
+
+    # ----------------------------------------------------------------- dispatcher
+
+    def _dispatch_loop(self) -> None:
+        """Drain the control queue and watch worker liveness until shutdown."""
+        last_liveness = 0.0
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return
+            try:
+                record = self._control.get(timeout=0.05)
+            except queue_module.Empty:
+                record = None
+            if record is not None:
+                self._handle_record(record)
+            now = time.monotonic()
+            if now - last_liveness >= 0.2:
+                last_liveness = now
+                self._check_liveness()
+
+    def _handle_record(self, record: Tuple) -> None:
+        tag, session_id = record[0], record[1]
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if tag == "report":
+            if session is not None:
+                session._reports[record[2]] = record[3]
+            return
+        worker_index = record[2]
+        with self._lock:
+            worker = next(
+                (entry for entry in self._workers if entry.index == worker_index), None
+            )
+            if worker is None:
+                # The worker was already reaped by the liveness check, which settled
+                # its in-flight job then; settling again here would release the
+                # session's completion event while sibling jobs are still running.
+                return
+            worker.current = None
+            worker.abort_event.clear()
+        if session is None:
+            return
+        if tag == "done":
+            session._job_done(record[3], record[4], record[5])
+        elif tag == "aborted":
+            session._job_done(record[3], 0, 0)
+        elif tag == "error":
+            session._job_failed(record[3], record[4])
+
+    def _check_liveness(self) -> None:
+        dead: List[_PoolWorker] = []
+        with self._lock:
+            for worker in self._workers:
+                if not worker.process.is_alive():
+                    dead.append(worker)
+            for worker in dead:
+                self._workers.remove(worker)
+        for worker in dead:
+            worker.process.join()
+            if worker.current is not None:
+                session_id, name = worker.current
+                with self._lock:
+                    session = self._sessions.get(session_id)
+                if session is not None:
+                    session._job_failed(
+                        name,
+                        f"worker process exited with code {worker.process.exitcode}",
+                    )
+
+
+class ProcessesSession(Backend):
+    """One compilation run on a :class:`ProcessesSubstrate` pool."""
+
+    name = "processes"
+
+    def __init__(self, substrate: ProcessesSubstrate, session_id: int, receive_timeout: float):
+        super().__init__()
+        self._substrate = substrate
+        self.session_id = session_id
+        self.receive_timeout = receive_timeout
+        self._worker_jobs: List[Tuple[WorkerJob, str]] = []
+        self._coordinators: List[Tuple[Generator, str]] = []
+        self._leased: List[RegistryMailbox] = []
+        self._failed = threading.Event()
+        self._errors: List[Tuple[str, str]] = []
+        self._lock = threading.Lock()
+        self._messages = 0
+        self._bytes = 0
+        self._jobs_remaining = 0
+        self._jobs_event = threading.Event()
+        self._start: Optional[float] = None
+        self._ran = False
+        self._closed = False
+
+    # ----------------------------------------------------------------- plumbing
+
+    def mailbox(self, name: str) -> RegistryMailbox:
+        mailbox = self._substrate._lease_mailbox(name)
+        self._leased.append(mailbox)
+        return mailbox
+
+    def spawn(
+        self,
+        body: Any,
+        *,
+        name: str,
+        machine: int = 0,
+        coordinator: bool = False,
+    ) -> None:
+        if coordinator:
+            if isinstance(body, WorkerJob):
+                body = body.materialize(self)
+            self._coordinators.append((body, name))
+            return
+        if not isinstance(body, WorkerJob):
+            raise BackendError(
+                "pooled processes workers run from picklable WorkerJob specs; "
+                "spawn raw generator bodies on the one-shot ProcessesBackend instead"
+            )
+        self._worker_count += 1
+        self._worker_jobs.append((body, name))
+
+    def send(
+        self,
+        source: int,
+        destination: int,
+        message: Any,
+        size_bytes: int,
+        mailbox: Mailbox,
+    ) -> None:
+        assert isinstance(mailbox, QueueMailbox)
+        mailbox.queue.put(message)
+        with self._lock:
+            self._messages += 1
+            self._bytes += size_bytes
+
+    def run(self) -> float:
+        if self._ran:
+            raise BackendError("a run session can only be run once")
+        self._ran = True
+        self._start = time.perf_counter()
+        self._substrate._register(self)
+        self._jobs_remaining = len(self._worker_jobs)
+        if self._jobs_remaining == 0:
+            self._jobs_event.set()
+        else:
+            self._substrate._submit_jobs(self, self._worker_jobs)
+        coordinator_threads = [
+            threading.Thread(
+                target=self._run_coordinator, args=(body, name), name=name, daemon=True
+            )
+            for body, name in self._coordinators
+        ]
+        for thread in coordinator_threads:
+            thread.start()
+        self._jobs_event.wait()
+        for thread in coordinator_threads:
+            thread.join()
+        if self._errors:
+            name, detail = self._errors[0]
+            raise BackendError(f"worker {name!r} failed: {detail}")
+        return time.perf_counter() - self._start
+
+    @property
+    def now(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def telemetry(self) -> BackendTelemetry:
+        with self._lock:
+            return BackendTelemetry(
+                network_messages=self._messages, network_bytes=self._bytes
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        settle = False
+        if self._ran and not self._jobs_event.is_set():
+            # The compilation is being torn down mid-flight (an error escaped between
+            # run() and report collection, or run() itself raised): unwind our
+            # coordinators and flag our pooled workers so they return to the pool.
+            self._failed.set()
+            self._substrate._abort_session(self)
+            self._jobs_event.wait(timeout=10.0)
+            settle = True
+        if self._errors:
+            settle = True
+        if self._ran and not self._jobs_event.is_set():
+            # A worker is still wedged in this session's compute after the grace
+            # period: leak the leased mailbox slots rather than return them — a slot
+            # re-leased to a new session could otherwise receive a late message from
+            # this dead compilation and corrupt an unrelated result.
+            self._substrate._unregister(self)
+            return
+        self._substrate._release_mailboxes(self._leased, settle=settle)
+        self._leased = []
+        self._substrate._unregister(self)
+
+    # ---------------------------------------------------------------- internals
+
+    def _account_unsubmitted(self, count: int) -> None:
+        """Settle completion accounting for jobs that never reached a worker."""
+        with self._lock:
+            self._jobs_remaining -= count
+            if self._jobs_remaining <= 0:
+                self._jobs_event.set()
+
+    def _job_done(self, name: str, messages: int, size_bytes: int) -> None:
+        with self._lock:
+            self._messages += messages
+            self._bytes += size_bytes
+            self._jobs_remaining -= 1
+            if self._jobs_remaining <= 0:
+                self._jobs_event.set()
+
+    def _job_failed(self, name: str, detail: str) -> None:
+        with self._lock:
+            self._errors.append((name, detail))
+        self._failed.set()
+        self._substrate._abort_session(self)
+        with self._lock:
+            self._jobs_remaining -= 1
+            if self._jobs_remaining <= 0:
+                self._jobs_event.set()
+
+    def _run_coordinator(self, body: Generator, name: str) -> None:
+        try:
+            drive(body, lambda mailbox: self._coordinator_receive(mailbox, name))
+        except BaseException as error:  # noqa: BLE001 — reported via run()
+            with self._lock:
+                self._errors.append((name, repr(error)))
+            self._failed.set()
+            self._substrate._abort_session(self)
+
+    def _coordinator_receive(self, mailbox: QueueMailbox, who: str) -> Any:
+        return poll_receive(
+            mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
+        )
+
+
+# ------------------------------------------------------------------ one-shot API
+
+
 class ProcessesBackend(Backend):
-    """Run the distributed protocol on real OS processes with pickled messages."""
+    """Run the distributed protocol on freshly forked OS processes (one-shot).
+
+    Workers are forked *after* the coordinator has built the grammar, the evaluation
+    plan and every process body, so the (possibly unpicklable, closure-rich) grammar
+    machinery is inherited copy-on-write and never serialised; only protocol messages
+    travel between processes.  For a persistent pool that amortises the fork cost
+    across many compilations, use :class:`ProcessesSubstrate`.
+    """
 
     name = "processes"
 
@@ -64,6 +785,8 @@ class ProcessesBackend(Backend):
         self._net_records_seen = 0
         self._start: Optional[float] = None
         self._in_child = False
+        self._children: List[Any] = []
+        self._closed = False
 
     # ----------------------------------------------------------------- plumbing
 
@@ -72,12 +795,16 @@ class ProcessesBackend(Backend):
 
     def spawn(
         self,
-        body: Generator,
+        body: Any,
         *,
         name: str,
         machine: int = 0,
         coordinator: bool = False,
     ) -> None:
+        if isinstance(body, WorkerJob):
+            # Materialised pre-fork: the body is inherited copy-on-write, so even
+            # unpicklable grammars work on the one-shot path.
+            body = body.materialize(self)
         if coordinator:
             self._coordinators.append((body, name))
         else:
@@ -112,6 +839,7 @@ class ProcessesBackend(Backend):
             self._context.Process(target=self._child_main, args=(body, name), name=name, daemon=True)
             for body, name in self._workers
         ]
+        self._children = children
         for child in children:
             child.start()
         coordinator_threads = [
@@ -185,6 +913,23 @@ class ProcessesBackend(Backend):
 
     def telemetry(self) -> BackendTelemetry:
         return BackendTelemetry(network_messages=self._messages, network_bytes=self._bytes)
+
+    def close(self) -> None:
+        """Terminate any forked worker still alive (idempotent, safe on every path).
+
+        ``run()`` already joins or terminates its children in its own ``finally``;
+        this is the last line of defence for error paths that never reach ``run`` or
+        that abandon the backend between ``run`` and report collection.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._failed.set()
+        for child in self._children:
+            if child.is_alive():
+                child.terminate()
+        for child in self._children:
+            child.join(timeout=5.0)
 
     # ---------------------------------------------------------------- internals
 

@@ -10,6 +10,7 @@ simulated seconds, which keeps every figure reproduction byte-for-byte determini
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Generator, List, Optional
 
@@ -20,6 +21,8 @@ from repro.backends.base import (
     Compute,
     Mailbox,
     Receive,
+    Substrate,
+    WorkerJob,
 )
 from repro.runtime.cluster import Cluster
 from repro.runtime.cost import CostModel
@@ -62,12 +65,14 @@ class SimulatedBackend(Backend):
 
     def spawn(
         self,
-        body: Generator,
+        body: Any,
         *,
         name: str,
         machine: int = 0,
         coordinator: bool = False,
     ) -> None:
+        if isinstance(body, WorkerJob):
+            body = body.materialize(self)
         if not coordinator:
             self._worker_count += 1
         self.cluster.spawn(self._drive(body, self.cluster.machine(machine)), name=name)
@@ -134,3 +139,54 @@ class SimulatedBackend(Backend):
                 raise BackendError(
                     f"process body yielded an unsupported request: {request!r}"
                 )
+
+
+class SimulatedSubstrate(Substrate):
+    """The persistent form of the simulated backend.
+
+    The simulator has no OS resources to pool — the whole point of pooling here is API
+    uniformity: a service can hold one :class:`SimulatedSubstrate` and open a session
+    per compilation.  Every session gets a *fresh* modelled cluster, which is exactly
+    what keeps figure reproductions byte-for-byte deterministic no matter how many
+    compilations share the substrate or how they interleave.
+    """
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        network: Optional[NetworkParameters] = None,
+        cost_model: Optional[CostModel] = None,
+        machine_speeds: Optional[List[float]] = None,
+    ):
+        super().__init__()
+        self.network = network
+        self.cost_model = cost_model
+        self.machine_speeds = machine_speeds
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    def start(self) -> "SimulatedSubstrate":
+        if self._stopped:
+            raise BackendError("simulated substrate has been shut down")
+        return self
+
+    def shutdown(self) -> None:
+        self._stopped = True
+
+    def session(
+        self,
+        machines: int = 1,
+        *,
+        receive_timeout: Optional[float] = None,
+    ) -> SimulatedBackend:
+        if self._stopped:
+            raise BackendError("simulated substrate has been shut down")
+        with self._lock:
+            self._sessions_opened += 1
+        return SimulatedBackend(
+            machines,
+            network=self.network,
+            cost_model=self.cost_model,
+            machine_speeds=self.machine_speeds,
+        )

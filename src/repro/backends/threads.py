@@ -1,4 +1,4 @@
-"""The in-process threads backend: one OS thread per spawned body.
+"""The in-process threads backend: a persistent pool of worker threads.
 
 Mailboxes are ``queue.Queue`` instances, sends are queue puts, receives are blocking
 queue gets.  Python's GIL serialises pure-Python compute, so this backend demonstrates
@@ -6,9 +6,21 @@ real *concurrency* (overlapping blocking waits, true message passing) rather tha
 parallel speedup — but it exercises the identical protocol code on a real substrate and
 is the cheapest way to run the evaluators off the simulator.
 
-Failure handling: any body that raises flips a shared failure flag; every other body's
-blocking receive polls the flag so the whole run unwinds promptly instead of
-deadlocking, and :meth:`ThreadsBackend.run` re-raises the first error.
+Two lifecycles share the implementation:
+
+* :class:`ThreadsSubstrate` — the persistent pool: long-lived worker threads pull
+  process bodies from a shared job channel and survive across compilations, so
+  per-compilation thread spawn/join cost disappears and many run sessions can execute
+  concurrently on one pool (the pool grows on demand so that every body of a session
+  can run at once — bodies block on each other's messages, so a session's batch must
+  never queue behind itself);
+* :class:`ThreadsBackend` — the legacy one-shot API: a single run session bound to a
+  private pool that is started lazily and retired when the run finishes.
+
+Failure handling: any body that raises flips the owning *session's* failure flag;
+every other body of that session polls the flag inside blocking receives so the
+session unwinds promptly instead of deadlocking, while unrelated sessions on the same
+pool keep running.  :meth:`ThreadsSession.run` re-raises the first error.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import weakref
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.backends.base import (
@@ -23,6 +36,8 @@ from repro.backends.base import (
     BackendError,
     BackendTelemetry,
     Mailbox,
+    Substrate,
+    WorkerJob,
     drive,
     poll_receive,
 )
@@ -38,21 +53,161 @@ class QueueMailbox(Mailbox):
         self.queue = fifo
 
 
-class ThreadsBackend(Backend):
-    """Run the distributed protocol on OS threads with queue mailboxes."""
+class ThreadsSubstrate(Substrate):
+    """A persistent pool of OS worker threads shared by many run sessions."""
 
     name = "threads"
 
-    def __init__(self, receive_timeout: float = 60.0):
+    #: Default bound on blocking receives (seconds) when none is configured.
+    DEFAULT_RECEIVE_TIMEOUT = 60.0
+
+    def __init__(self, workers: int = 0, receive_timeout: Optional[float] = None):
         super().__init__()
+        self.receive_timeout = (
+            self.DEFAULT_RECEIVE_TIMEOUT if receive_timeout is None else receive_timeout
+        )
+        self._initial_workers = workers
+        self._jobs: "queue.SimpleQueue[Optional[Tuple[ThreadsSession, Generator, str]]]" = (
+            queue.SimpleQueue()
+        )
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._busy = 0
+        self._pending = 0
+        self._active: "weakref.WeakSet[ThreadsSession]" = weakref.WeakSet()
+        self._started = False
+        self._stopped = False
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ThreadsSubstrate":
+        with self._lock:
+            if self._stopped:
+                raise BackendError("threads substrate has been shut down")
+            if not self._started:
+                self._started = True
+                for _ in range(self._initial_workers):
+                    self._spawn_worker_locked()
+        return self
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            count = len(self._threads)
+            threads = list(self._threads)
+            sessions = list(self._active)
+        # Unwind any compilation still in flight: its blocked receives poll the
+        # session failure flag, so the pool threads come back promptly instead of
+        # sitting out the full receive timeout.
+        for session in sessions:
+            if not session._done.is_set():
+                session._failed.set()
+        for _ in range(count):
+            self._jobs.put(None)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # Any job the exiting workers never picked up must still be settled, or its
+        # session's run() would wait on the completion event forever.
+        while True:
+            try:
+                item = self._jobs.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            session, _body, name = item
+            session._body_never_ran(
+                name, BackendError("threads substrate shut down before body ran")
+            )
+
+    def session(
+        self,
+        machines: int = 1,
+        *,
+        receive_timeout: Optional[float] = None,
+    ) -> "ThreadsSession":
+        self.start()
+        with self._lock:
+            self._sessions_opened += 1
+        return ThreadsSession(
+            self, self.receive_timeout if receive_timeout is None else receive_timeout
+        )
+
+    @property
+    def pool_size(self) -> int:
+        """How many worker threads are alive (grows with the largest batch seen)."""
+        with self._lock:
+            return len(self._threads)
+
+    # ---------------------------------------------------------------- internals
+
+    def _spawn_worker_locked(self) -> None:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"repro-pool-{len(self._threads)}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _dispatch(self, session: "ThreadsSession", prepared: List[Tuple[Generator, str]]) -> None:
+        """Enqueue one session's bodies, growing the pool so they all run at once."""
+        with self._lock:
+            if self._stopped:
+                raise BackendError("threads substrate has been shut down")
+            if not self._started:
+                raise BackendError(
+                    "threads substrate not started; call start() or use a with block"
+                )
+            available = len(self._threads) - self._busy - self._pending
+            for _ in range(max(0, len(prepared) - available)):
+                self._spawn_worker_locked()
+            self._pending += len(prepared)
+            self._active.add(session)
+            # Enqueue under the lock so shutdown() (which also takes it) observes
+            # either no jobs or all of them — never a half-dispatched batch whose
+            # missing half could strand the session's completion event.
+            for body, name in prepared:
+                self._jobs.put((session, body, name))
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._jobs.get()
+            if item is None:
+                return
+            session, body, name = item
+            with self._lock:
+                self._pending -= 1
+                self._busy += 1
+            try:
+                session._run_body(body, name)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+
+class ThreadsSession(Backend):
+    """One compilation run on a :class:`ThreadsSubstrate` pool."""
+
+    name = "threads"
+
+    def __init__(self, substrate: ThreadsSubstrate, receive_timeout: float):
+        super().__init__()
+        self._substrate = substrate
         self.receive_timeout = receive_timeout
-        self._bodies: List[Tuple[Generator, str]] = []
+        self._bodies: List[Tuple[Any, str]] = []
         self._failed = threading.Event()
         self._errors: List[Tuple[str, BaseException]] = []
         self._lock = threading.Lock()
         self._messages = 0
         self._bytes = 0
         self._start: Optional[float] = None
+        self._remaining = 0
+        self._done = threading.Event()
+        self._ran = False
+        self._closed = False
 
     # ----------------------------------------------------------------- plumbing
 
@@ -61,7 +216,7 @@ class ThreadsBackend(Backend):
 
     def spawn(
         self,
-        body: Generator,
+        body: Any,
         *,
         name: str,
         machine: int = 0,
@@ -86,15 +241,29 @@ class ThreadsBackend(Backend):
             self._bytes += size_bytes
 
     def run(self) -> float:
+        if self._ran:
+            raise BackendError("a run session can only be run once")
+        self._ran = True
         self._start = time.perf_counter()
-        threads = [
-            threading.Thread(target=self._run_body, args=(body, name), name=name, daemon=True)
-            for body, name in self._bodies
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        prepared: List[Tuple[Generator, str]] = []
+        for body, name in self._bodies:
+            if isinstance(body, WorkerJob):
+                body = body.materialize(self)
+            prepared.append((body, name))
+        self._remaining = len(prepared)
+        if not prepared:
+            self._done.set()
+            return 0.0
+        try:
+            self._substrate._dispatch(self, prepared)
+        except BaseException:
+            # Nothing was enqueued: settle the completion event ourselves so
+            # close() doesn't wait for bodies that will never run.
+            with self._lock:
+                self._remaining = 0
+                self._done.set()
+            raise
+        self._done.wait()
         if self._errors:
             name, error = self._errors[0]
             raise BackendError(f"worker {name!r} failed: {error}") from error
@@ -109,6 +278,16 @@ class ThreadsBackend(Backend):
     def telemetry(self) -> BackendTelemetry:
         return BackendTelemetry(network_messages=self._messages, network_bytes=self._bytes)
 
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._ran and not self._done.is_set():
+            # Unwind any of this session's bodies still blocked in a receive; they poll
+            # the failure flag in short slices, so the pool threads come back quickly.
+            self._failed.set()
+            self._done.wait(timeout=10.0)
+
     # ---------------------------------------------------------------- internals
 
     def _run_body(self, body: Generator, name: str) -> None:
@@ -118,8 +297,49 @@ class ThreadsBackend(Backend):
             with self._lock:
                 self._errors.append((name, error))
             self._failed.set()
+        finally:
+            with self._lock:
+                self._remaining -= 1
+                if self._remaining == 0:
+                    self._done.set()
 
     def _receive(self, mailbox: QueueMailbox, who: str) -> Any:
         return poll_receive(
             mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
         )
+
+    def _body_never_ran(self, name: str, error: BaseException) -> None:
+        """Settle accounting for a dispatched body no pool worker will ever run."""
+        self._failed.set()
+        with self._lock:
+            self._errors.append((name, error))
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
+
+
+class ThreadsBackend(ThreadsSession):
+    """The one-shot threads API: a session bound to a private single-use pool.
+
+    Preserves the original create→spawn→run semantics (one fresh thread per body)
+    while being expressed through the substrate/session split: the private pool
+    starts empty, grows to exactly one thread per body on ``run()``, and is retired
+    when the run finishes or the session is closed.
+    """
+
+    def __init__(self, receive_timeout: float = 60.0):
+        substrate = ThreadsSubstrate(workers=0, receive_timeout=receive_timeout)
+        substrate.start()
+        super().__init__(substrate, receive_timeout)
+
+    def run(self) -> float:
+        try:
+            return super().run()
+        finally:
+            # Every body has finished (run waits for stragglers even on failure), so
+            # the private pool can be torn down immediately.
+            self._substrate.shutdown()
+
+    def close(self) -> None:
+        super().close()
+        self._substrate.shutdown()

@@ -29,12 +29,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
-from repro.backends import Backend, create_backend
-from repro.backends.base import BackendError, Compute, Mailbox, Receive
+from repro.backends import Backend, Substrate, create_backend
+from repro.backends.base import BackendError, Compute, Mailbox, Receive, WorkerJob
 from repro.distributed.evaluator_node import (
     EvaluatorNode,
     EvaluatorReport,
     default_attribute_phase,
+    evaluator_body,
 )
 from repro.distributed.librarian import StringLibrarian
 from repro.distributed.protocol import (
@@ -156,22 +157,49 @@ class CompilationReport:
         return str(value)
 
     def summary(self) -> str:
-        unit = "s" if self.backend == "simulated" else "s wall"
-        lines = [
-            f"{self.evaluator} evaluator on {self.machines} machine(s) "
-            f"[{self.backend} backend]: "
-            f"evaluation {self.evaluation_time:.3f}{unit} (+ parse {self.parse_time:.3f}s)",
-            f"  regions: {self.decomposition.region_count}, "
-            f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
-            f"  network: {self.network_messages} messages, {self.network_bytes} bytes, "
-            f"link busy {self.network_busy_time:.3f}s",
-            f"  memory: {self.memory_bytes} bytes across evaluators",
-        ]
+        """A human-readable digest, aware of what the backend actually measured.
+
+        The simulated backend reports modelled network occupancy and evaluator
+        memory; the real substrates have no modelled link or memory figures (they
+        would print misleading zeros), so their summary reports wall-clock times and
+        the real worker count instead.
+        """
+        if self.backend == "simulated":
+            lines = [
+                f"{self.evaluator} evaluator on {self.machines} machine(s) "
+                f"[{self.backend} backend]: "
+                f"evaluation {self.evaluation_time:.3f}s (+ parse {self.parse_time:.3f}s)",
+                f"  regions: {self.decomposition.region_count}, "
+                f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
+                f"  network: {self.network_messages} messages, {self.network_bytes} bytes, "
+                f"link busy {self.network_busy_time:.3f}s",
+                f"  memory: {self.memory_bytes} bytes across evaluators",
+            ]
+        else:
+            lines = [
+                f"{self.evaluator} evaluator on {self.machines} machine(s) "
+                f"[{self.backend} backend]: "
+                f"evaluation {self.evaluation_time:.3f}s wall "
+                f"(+ modelled parse {self.parse_time:.3f}s)",
+                f"  regions: {self.decomposition.region_count}, "
+                f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
+                f"  wall clock: {self.wall_time_seconds:.3f}s total, "
+                f"{self.wall_evaluation_seconds:.3f}s evaluating",
+                f"  workers: {self.worker_count} real {self.backend} worker(s), "
+                f"{self.network_messages} messages, {self.network_bytes} bytes",
+            ]
         return "\n".join(lines)
 
 
 class ParallelCompiler:
-    """Generate-once, compile-many driver for a single attribute grammar."""
+    """Generate-once, compile-many driver for a single attribute grammar.
+
+    By default every :meth:`compile_tree` call builds a one-shot backend (spawn
+    workers, run, tear down).  Pass a started :class:`~repro.backends.base.Substrate`
+    — at construction or per call — and the compiler becomes a thin client of that
+    persistent pool instead: each compilation borrows a run session, long-lived
+    workers pull the evaluator jobs, and the substrate survives for the next call.
+    """
 
     def __init__(
         self,
@@ -179,18 +207,24 @@ class ParallelCompiler:
         configuration: Optional[CompilerConfiguration] = None,
         plan: Optional[OrderedEvaluationPlan] = None,
         backend: Optional[str] = None,
+        substrate: Optional[Substrate] = None,
     ):
         self.grammar = grammar
         self.configuration = configuration or CompilerConfiguration()
         if self.configuration.evaluator not in ("combined", "dynamic"):
             raise ValueError("evaluator must be 'combined' or 'dynamic'")
         self.backend = backend or self.configuration.backend
+        self.substrate = substrate
         # The ordered-evaluation plan is only needed by the combined evaluator, and some
         # grammars are evaluable dynamically but not ordered.
         if self.configuration.evaluator == "combined":
             self.plan = plan or build_evaluation_plan(grammar)
         else:
             self.plan = plan
+        # One stable (grammar, plan) tuple for every job this compiler ever submits:
+        # pooled process workers cache the shipped bundle by identity, so reusing the
+        # same object means the grammar crosses to each worker exactly once.
+        self._grammar_bundle = (self.grammar, self.plan)
 
     # -------------------------------------------------------------------- API
 
@@ -200,8 +234,13 @@ class ParallelCompiler:
         machines: int,
         root_inherited: Optional[Dict[str, Any]] = None,
         backend: Optional[str] = None,
+        substrate: Optional[Substrate] = None,
     ) -> CompilationReport:
-        """Compile an already-parsed tree on ``machines`` (simulated or real) workers."""
+        """Compile an already-parsed tree on ``machines`` (simulated or real) workers.
+
+        Precedence for the execution substrate: per-call ``substrate`` >
+        per-call ``backend`` > the compiler's own ``substrate`` > its ``backend``.
+        """
         config = self.configuration
         wall_started = time.perf_counter()
         stats = tree_statistics(tree)
@@ -213,22 +252,61 @@ class ParallelCompiler:
             min_size=config.min_split_size,
             scale=config.split_scale,
         )
-        substrate = create_backend(
-            backend or self.backend,
-            machines,
-            network=config.network,
-            cost_model=config.cost_model,
-            receive_timeout=config.receive_timeout,
-        )
+        pool: Optional[Substrate] = None
+        if substrate is not None:
+            pool = substrate
+        elif backend is None:
+            pool = self.substrate
+        if pool is not None:
+            session = pool.session(machines, receive_timeout=config.receive_timeout)
+        else:
+            session = create_backend(
+                backend or self.backend,
+                machines,
+                network=config.network,
+                cost_model=config.cost_model,
+                receive_timeout=config.receive_timeout,
+            )
+        # Everything from here on runs under the session's teardown guarantee: if the
+        # run (or report collection) raises, close() joins/terminates this
+        # compilation's workers instead of leaking them.
+        try:
+            return self._compile_on_session(
+                session,
+                tree,
+                machines,
+                decomposition,
+                root_inherited,
+                parse_time,
+                stats.node_count,
+                wall_started,
+            )
+        finally:
+            session.close()
+
+    # --------------------------------------------------------------- internals
+
+    def _compile_on_session(
+        self,
+        session: Backend,
+        tree: ParseTreeNode,
+        machines: int,
+        decomposition: DecompositionPlan,
+        root_inherited: Optional[Dict[str, Any]],
+        parse_time: float,
+        tree_nodes: int,
+        wall_started: float,
+    ) -> CompilationReport:
+        config = self.configuration
         parser_machine = 0
-        parser_mailbox = substrate.mailbox("parser.mailbox")
+        parser_mailbox = session.mailbox("parser.mailbox")
 
         machine_of_region: Dict[int, int] = {
             region.region_id: region.region_id % machines
             for region in decomposition.regions
         }
         mailboxes: Dict[int, Mailbox] = {
-            region.region_id: substrate.mailbox(f"evaluator-{region.region_id}.mailbox")
+            region.region_id: session.mailbox(f"evaluator-{region.region_id}.mailbox")
             for region in decomposition.regions
         }
 
@@ -241,43 +319,46 @@ class ParallelCompiler:
         librarian: Optional[StringLibrarian] = None
         librarian_mailbox: Optional[Mailbox] = None
         if librarian_active:
-            librarian_mailbox = substrate.mailbox("librarian.mailbox")
+            librarian_mailbox = session.mailbox("librarian.mailbox")
             librarian = StringLibrarian(
                 config.cost_model,
                 librarian_mailbox,
-                transport=substrate,
+                transport=session,
                 machine_index=parser_machine,
             )
 
-        evaluators: List[EvaluatorNode] = []
+        region_ids: List[int] = []
         for region in decomposition.regions:
-            node = EvaluatorNode(
-                region_id=region.region_id,
-                machine_index=machine_of_region[region.region_id],
-                transport=substrate,
-                grammar=self.grammar,
-                plan=self.plan,
-                evaluator_kind=config.evaluator,
-                cost_model=config.cost_model,
-                mailboxes=mailboxes,
-                machines_of_regions=machine_of_region,
-                parser_machine=parser_machine,
-                parser_mailbox=parser_mailbox,
-                librarian_machine=parser_machine if librarian_active else None,
-                librarian_mailbox=librarian_mailbox,
-                librarian_attributes=config.librarian_attributes if librarian_active else (),
-                use_priority=config.use_priority,
-                attribute_phase=config.attribute_phase,
+            region_ids.append(region.region_id)
+            job = WorkerJob(
+                factory=evaluator_body,
+                kwargs=dict(
+                    region_id=region.region_id,
+                    machine_index=machine_of_region[region.region_id],
+                    evaluator_kind=config.evaluator,
+                    cost_model=config.cost_model,
+                    mailboxes=mailboxes,
+                    machines_of_regions=machine_of_region,
+                    parser_machine=parser_machine,
+                    parser_mailbox=parser_mailbox,
+                    librarian_machine=parser_machine if librarian_active else None,
+                    librarian_mailbox=librarian_mailbox,
+                    librarian_attributes=(
+                        config.librarian_attributes if librarian_active else ()
+                    ),
+                    use_priority=config.use_priority,
+                    attribute_phase=config.attribute_phase,
+                ),
+                shared={"grammar_bundle": self._grammar_bundle},
             )
-            evaluators.append(node)
-            substrate.spawn(
-                node.run(),
+            session.spawn(
+                job,
                 name=f"evaluator-{region.region_id}",
                 machine=machine_of_region[region.region_id],
             )
 
         if librarian_active:
-            substrate.spawn(
+            session.spawn(
                 librarian.run(
                     parser_machine,
                     parser_mailbox,
@@ -293,9 +374,9 @@ class ParallelCompiler:
             "assembled": {},
             "finish_time": 0.0,
         }
-        substrate.spawn(
+        session.spawn(
             self._parser_process(
-                substrate,
+                session,
                 parser_machine,
                 parser_mailbox,
                 decomposition,
@@ -310,30 +391,30 @@ class ParallelCompiler:
             coordinator=True,
         )
 
-        wall_evaluation = substrate.run()
+        wall_evaluation = session.run()
 
         # Every evaluator publishes its report as the last step of its body; a missing
         # report after a successful run means results were lost in transit (e.g. a
         # worker process died silently), which must be loud, not zero-filled.
-        reports_by_region = substrate.reports
+        reports_by_region = session.reports
         missing = [
-            node.region_id for node in evaluators if node.region_id not in reports_by_region
+            region_id for region_id in region_ids if region_id not in reports_by_region
         ]
         if missing:
             raise BackendError(
-                f"backend {substrate.name!r} returned no evaluator report for "
+                f"backend {session.name!r} returned no evaluator report for "
                 f"region(s) {missing}"
             )
         aggregate = EvaluationStatistics()
         memory = 0
         reports = []
-        for node in evaluators:
-            report = reports_by_region[node.region_id]
+        for region_id in region_ids:
+            report = reports_by_region[region_id]
             aggregate.merge(report.statistics)
             memory += report.memory_bytes
             reports.append(report)
 
-        telemetry = substrate.telemetry()
+        telemetry = session.telemetry()
         return CompilationReport(
             machines=machines,
             evaluator=config.evaluator,
@@ -351,14 +432,12 @@ class ParallelCompiler:
             network_busy_time=telemetry.network_busy_time,
             statistics=aggregate,
             memory_bytes=memory,
-            tree_nodes=stats.node_count,
-            backend=substrate.name,
+            tree_nodes=tree_nodes,
+            backend=session.name,
             wall_time_seconds=time.perf_counter() - wall_started,
             wall_evaluation_seconds=wall_evaluation,
-            worker_count=substrate.worker_count,
+            worker_count=session.worker_count,
         )
-
-    # --------------------------------------------------------------- internals
 
     def _root_librarian_attributes(self) -> Tuple[str, ...]:
         start = self.grammar.start

@@ -56,6 +56,55 @@ def default_attribute_phase(name: str) -> ActivityKind:
     return ActivityKind.CODE_GENERATION
 
 
+def evaluator_body(
+    transport: Backend,
+    *,
+    grammar_bundle: Tuple[AttributeGrammar, Optional[OrderedEvaluationPlan]],
+    region_id: int,
+    machine_index: int,
+    evaluator_kind: str,
+    cost_model: CostModel,
+    mailboxes: Dict[int, Mailbox],
+    machines_of_regions: Dict[int, int],
+    parser_machine: int,
+    parser_mailbox: Mailbox,
+    librarian_machine: Optional[int] = None,
+    librarian_mailbox: Optional[Mailbox] = None,
+    librarian_attributes: Sequence[str] = (),
+    use_priority: bool = True,
+    attribute_phase: Callable[[str], "ActivityKind"] = None,
+) -> Generator:
+    """Build one evaluator process body (the :class:`~repro.backends.base.WorkerJob`
+    factory used by every substrate).
+
+    Module-level and fed only picklable arguments so the pooled processes substrate
+    can ship the job to a long-lived forked worker; ``grammar_bundle`` is the
+    ``(grammar, plan)`` pair pickled as one unit (preserving shared references) and
+    cached per worker.  In-process substrates call it directly with the session as
+    ``transport``.
+    """
+    grammar, plan = grammar_bundle
+    node = EvaluatorNode(
+        region_id=region_id,
+        machine_index=machine_index,
+        transport=transport,
+        grammar=grammar,
+        plan=plan,
+        evaluator_kind=evaluator_kind,
+        cost_model=cost_model,
+        mailboxes=mailboxes,
+        machines_of_regions=machines_of_regions,
+        parser_machine=parser_machine,
+        parser_mailbox=parser_mailbox,
+        librarian_machine=librarian_machine,
+        librarian_mailbox=librarian_mailbox,
+        librarian_attributes=librarian_attributes,
+        use_priority=use_priority,
+        attribute_phase=attribute_phase or default_attribute_phase,
+    )
+    return node.run()
+
+
 @dataclass
 class EvaluatorReport:
     """Per-evaluator results gathered after the run."""

@@ -15,7 +15,11 @@ from repro.exprlang.grammar import (
     EXPRESSION_SPEC,
 )
 from repro.exprlang.frontend import parse_expression, tokenize_expression
-from repro.exprlang.evaluator import evaluate_expression, random_expression_source
+from repro.exprlang.evaluator import (
+    evaluate_expression,
+    evaluate_expression_parallel,
+    random_expression_source,
+)
 
 __all__ = [
     "expression_grammar",
@@ -24,5 +28,6 @@ __all__ = [
     "parse_expression",
     "tokenize_expression",
     "evaluate_expression",
+    "evaluate_expression_parallel",
     "random_expression_source",
 ]

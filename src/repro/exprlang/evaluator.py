@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Optional
 
+from repro.backends.base import Substrate
 from repro.evaluation.combined import CombinedEvaluator
 from repro.evaluation.dynamic import DynamicEvaluator
 from repro.evaluation.static import StaticEvaluator
@@ -38,6 +40,52 @@ def evaluate_expression(
     tree = parse_expression(source, grammar)
     _EVALUATORS[evaluator](grammar).evaluate(tree)
     return tree.get_attribute("value")
+
+
+@lru_cache(maxsize=None)
+def _default_parallel_compiler(evaluator: str):
+    """One shared compiler (grammar + plan built once) per evaluator kind.
+
+    Keeping the compiler — and hence the grammar bundle — stable across calls is
+    what lets a pooled processes substrate ship the grammar to each worker once
+    instead of once per expression.
+    """
+    from repro.distributed.compiler import CompilerConfiguration, ParallelCompiler
+
+    return ParallelCompiler(
+        expression_grammar(), CompilerConfiguration(evaluator=evaluator)
+    )
+
+
+def evaluate_expression_parallel(
+    source: str,
+    machines: int = 2,
+    evaluator: str = "combined",
+    grammar: Optional[AttributeGrammar] = None,
+    backend: Optional[str] = None,
+    substrate: Optional[Substrate] = None,
+) -> int:
+    """Parse and evaluate an expression on the distributed compiler.
+
+    A thin client of :class:`~repro.distributed.compiler.ParallelCompiler`: pass a
+    started :class:`~repro.backends.base.Substrate` to borrow a persistent worker
+    pool, or a ``backend`` name for a one-shot run (``"simulated"`` by default).
+    With the default grammar, the compiler (grammar analyses and all) is built once
+    and reused across calls.
+    """
+    from repro.distributed.compiler import CompilerConfiguration, ParallelCompiler
+
+    if grammar is None:
+        compiler = _default_parallel_compiler(evaluator)
+    else:
+        compiler = ParallelCompiler(
+            grammar, CompilerConfiguration(evaluator=evaluator)
+        )
+    tree = parse_expression(source, compiler.grammar)
+    report = compiler.compile_tree(
+        tree, machines, backend=backend, substrate=substrate
+    )
+    return report.root_attributes["value"]
 
 
 def random_expression_source(

@@ -23,14 +23,12 @@ def _multiply(left: int, right: int) -> int:
     return left * right
 
 
+def _stab_size(table: Any) -> int:
+    return table.transmission_size() if isinstance(table, SymbolTable) else 8
+
+
 def _stab_converter() -> AttributeConverter:
-    return AttributeConverter(
-        put=st_put,
-        get=st_get,
-        size_of=lambda table: table.transmission_size()
-        if isinstance(table, SymbolTable)
-        else 8,
-    )
+    return AttributeConverter(put=st_put, get=st_get, size_of=_stab_size)
 
 
 def expression_grammar(min_split_size: int = 100) -> AttributeGrammar:
@@ -60,7 +58,7 @@ def expression_grammar(min_split_size: int = 100) -> AttributeGrammar:
     builder.production(
         "main_expr -> expr",
         Rule("$$.value", ["$1.value"]),
-        Rule("$1.stab", [], lambda: st_create(), name="st_create"),
+        Rule("$1.stab", [], st_create, name="st_create"),
     )
     builder.production(
         "expr -> expr + expr",

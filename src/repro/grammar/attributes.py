@@ -54,6 +54,11 @@ def _default_size_of(value: Any) -> int:
     return 16
 
 
+def _identity(value: Any) -> Any:
+    """Default put/get conversion (module-level so converters stay picklable)."""
+    return value
+
+
 class AttributeConverter:
     """Converts attribute values to/from a flat transmissible representation.
 
@@ -61,6 +66,10 @@ class AttributeConverter:
     conversion functions (``st_put`` / ``st_get``).  ``put`` flattens a value, ``get``
     rebuilds it, and ``size_of`` reports the size in abstract bytes used by the network
     model to charge transmission time.
+
+    Converters (and hence grammars) must stay picklable: the pooled processes substrate
+    ships grammar bundles to long-lived worker processes, so ``put``/``get``/``size_of``
+    should be module-level functions, not lambdas or closures.
     """
 
     __slots__ = ("put", "get", "size_of")
@@ -71,8 +80,8 @@ class AttributeConverter:
         get: Optional[Callable[[Any], Any]] = None,
         size_of: Optional[Callable[[Any], int]] = None,
     ):
-        self.put = put or (lambda value: value)
-        self.get = get or (lambda wire: wire)
+        self.put = put or _identity
+        self.get = get or _identity
         self.size_of = size_of or _default_size_of
 
 

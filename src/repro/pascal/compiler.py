@@ -7,6 +7,7 @@ from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
+from repro.backends import Substrate
 from repro.distributed.compiler import (
     CompilationReport,
     CompilerConfiguration,
@@ -105,18 +106,20 @@ class PascalCompiler:
         machines: int,
         configuration: Optional[CompilerConfiguration] = None,
         backend: Optional[str] = None,
+        substrate: Optional[Substrate] = None,
     ) -> CompilationReport:
         """Compile on the parallel compiler's execution substrate.
 
-        ``backend`` selects the substrate (``"simulated"`` by default, or
-        ``"threads"``/``"processes"`` for real concurrency).  Returns the full
-        :class:`CompilationReport` (timings, timeline, decomposition, message
-        statistics and the generated code).
+        ``backend`` selects a one-shot substrate (``"simulated"`` by default, or
+        ``"threads"``/``"processes"`` for real concurrency); pass a started
+        ``substrate`` instead to borrow a persistent worker pool and skip the
+        per-compilation spawn cost.  Returns the full :class:`CompilationReport`
+        (timings, timeline, decomposition, message statistics and the generated code).
         """
         config = configuration or self.configuration
         tree = self.parse(source)
         parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
-        return parallel.compile_tree(tree, machines)
+        return parallel.compile_tree(tree, machines, substrate=substrate)
 
     def compile_tree_parallel(
         self,
@@ -124,9 +127,10 @@ class PascalCompiler:
         machines: int,
         configuration: Optional[CompilerConfiguration] = None,
         backend: Optional[str] = None,
+        substrate: Optional[Substrate] = None,
     ) -> CompilationReport:
         """Like :meth:`compile_parallel` but reuses an already-parsed tree (useful when
         sweeping machine counts over the same program, as the figures do)."""
         config = configuration or self.configuration
         parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
-        return parallel.compile_tree(tree, machines)
+        return parallel.compile_tree(tree, machines, substrate=substrate)

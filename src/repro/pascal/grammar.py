@@ -39,12 +39,12 @@ from repro.strings.code import code_concat, code_size
 from repro.symtab.symbol_table import SymbolTable
 
 
+def _environment_size(table) -> int:
+    return table.transmission_size() if isinstance(table, SymbolTable) else 16
+
+
 def _environment_converter() -> AttributeConverter:
-    return AttributeConverter(
-        size_of=lambda table: table.transmission_size()
-        if isinstance(table, SymbolTable)
-        else 16,
-    )
+    return AttributeConverter(size_of=_environment_size)
 
 
 def _code_converter() -> AttributeConverter:

@@ -200,12 +200,23 @@ def constant_reference_code(environment: SymbolTable, name: str, addr_code: Code
 # ------------------------------------------------------------- binary operators
 
 
-def make_arithmetic_code(opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
-    def build(left: CodeValue, right: CodeValue) -> CodeValue:
-        return machine.join([left, right, machine.binary_operation(opcode)])
+class _BinaryOperationCode:
+    """Two-operand code builder parameterised by opcode.
 
-    build.__name__ = f"arith_{opcode}"
-    return build
+    A class (not a closure) so that rule functions — and hence whole grammars — stay
+    picklable for the pooled processes substrate.
+    """
+
+    def __init__(self, opcode: str, prefix: str):
+        self.opcode = opcode
+        self.__name__ = f"{prefix}_{opcode}"
+
+    def __call__(self, left: CodeValue, right: CodeValue) -> CodeValue:
+        return machine.join([left, right, machine.binary_operation(self.opcode)])
+
+
+def make_arithmetic_code(opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
+    return _BinaryOperationCode(opcode, "arith")
 
 
 def arithmetic_type(
@@ -231,16 +242,23 @@ def arithmetic_errors(
     return errors
 
 
-def make_comparison_code(branch_opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
-    def build(left: CodeValue, right: CodeValue) -> CodeValue:
+class _ComparisonCode:
+    """Comparison code builder parameterised by branch opcode (picklable, see above)."""
+
+    def __init__(self, branch_opcode: str):
+        self.branch_opcode = branch_opcode
+        self.__name__ = f"compare_{branch_opcode}"
+
+    def __call__(self, left: CodeValue, right: CodeValue) -> CodeValue:
         true_label = next_label("T")
         end_label = next_label("E")
         return machine.join(
-            [left, right, machine.comparison(branch_opcode, true_label, end_label)]
+            [left, right, machine.comparison(self.branch_opcode, true_label, end_label)]
         )
 
-    build.__name__ = f"compare_{branch_opcode}"
-    return build
+
+def make_comparison_code(branch_opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
+    return _ComparisonCode(branch_opcode)
 
 
 def comparison_type(
@@ -271,11 +289,7 @@ def comparison_errors(
 
 
 def make_boolean_code(opcode: str) -> Callable[[CodeValue, CodeValue], CodeValue]:
-    def build(left: CodeValue, right: CodeValue) -> CodeValue:
-        return machine.join([left, right, machine.binary_operation(opcode)])
-
-    build.__name__ = f"bool_{opcode}"
-    return build
+    return _BinaryOperationCode(opcode, "bool")
 
 
 def boolean_result(left: ptypes.PascalType, right: ptypes.PascalType) -> ptypes.PascalType:

@@ -1,0 +1,23 @@
+"""The compilation service layer: sustained throughput on one persistent pool.
+
+The paper's generator runs its grammar-time analyses once and then compiles many
+programs; :class:`CompilationService` is the runtime counterpart — it owns a pooled
+execution substrate, accepts a stream of compilation jobs (parse → partition →
+evaluate) with configurable in-flight concurrency, returns futures resolving to full
+:class:`~repro.distributed.compiler.CompilationReport` objects, and tracks aggregate
+service statistics (jobs, throughput, latency percentiles).
+"""
+
+from repro.service.service import (
+    CompilationJob,
+    CompilationService,
+    ServiceError,
+    ServiceStats,
+)
+
+__all__ = [
+    "CompilationJob",
+    "CompilationService",
+    "ServiceError",
+    "ServiceStats",
+]

@@ -1,0 +1,260 @@
+"""A compilation service: many compilations, one persistent substrate.
+
+``ParallelCompiler.compile_tree`` is a one-shot call; this module turns it into a
+served workload.  A :class:`CompilationService` owns (or borrows) a pooled
+:class:`~repro.backends.base.Substrate`, keeps up to ``max_in_flight`` compilations
+running concurrently on it, and measures what a server operator would measure:
+compiles per second and latency percentiles.
+
+Jobs are heterogeneous: each :class:`CompilationJob` carries its own compiler (and
+hence grammar), so one service can interleave Pascal and expression-language
+compilations on the same worker pool — pooled process workers cache each grammar
+bundle the first time they see it.
+
+Typical use::
+
+    from repro.service import CompilationService, CompilationJob
+
+    with CompilationService("threads", max_in_flight=4) as service:
+        futures = [service.submit(CompilationJob(compiler, tree=t, machines=4))
+                   for t in trees]
+        reports = [f.result() for f in futures]
+        print(service.stats().summary())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Union
+
+from repro.backends import Substrate, create_substrate
+from repro.distributed.compiler import CompilationReport, ParallelCompiler
+from repro.tree.node import ParseTreeNode
+
+#: How many completed-job latencies the service keeps for percentile estimates.
+LATENCY_WINDOW = 4096
+
+
+class ServiceError(RuntimeError):
+    """Raised for service lifecycle misuse (submitting after shutdown, etc.)."""
+
+
+@dataclass
+class CompilationJob:
+    """One unit of work for the service: a program plus how to compile it.
+
+    Provide either an already-parsed ``tree`` or a ``source`` string together with a
+    ``parse`` callable (the service then performs parse → partition → evaluate).
+    ``compiler`` is any configured :class:`ParallelCompiler`; jobs with different
+    compilers/grammars can share one service.
+    """
+
+    compiler: ParallelCompiler
+    tree: Optional[ParseTreeNode] = None
+    source: Optional[str] = None
+    parse: Optional[Callable[[str], ParseTreeNode]] = None
+    machines: int = 2
+    root_inherited: Optional[Dict[str, Any]] = None
+    label: str = ""
+
+    def resolve_tree(self) -> ParseTreeNode:
+        if self.tree is not None:
+            return self.tree
+        if self.source is None:
+            raise ServiceError(f"job {self.label!r} has neither a tree nor a source")
+        if self.parse is None:
+            raise ServiceError(
+                f"job {self.label!r} has a source but no parse callable"
+            )
+        return self.parse(self.source)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of one service's aggregate behaviour."""
+
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_failed: int
+    jobs_in_flight: int
+    uptime_seconds: float
+    throughput: float          #: completed compilations per second of uptime
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    backend: str
+    sessions_opened: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_completed} compiled / {self.jobs_failed} failed / "
+            f"{self.jobs_in_flight} in flight on the {self.backend} pool: "
+            f"{self.throughput:.2f} compiles/s over {self.uptime_seconds:.2f}s, "
+            f"latency mean {self.latency_mean * 1000:.1f}ms, "
+            f"p50 {self.latency_p50 * 1000:.1f}ms, p95 {self.latency_p95 * 1000:.1f}ms"
+        )
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = int(round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+class CompilationService:
+    """Serve compilation jobs from a persistent worker pool.
+
+    :param substrate: a backend name (``"simulated"``/``"threads"``/``"processes"``,
+        creating a pool the service owns and will shut down) or an already-started
+        :class:`Substrate` to borrow (left running at shutdown).
+    :param max_in_flight: how many compilations may run concurrently on the pool.
+    :param workers: initial pool size when the service creates the substrate.
+    :param receive_timeout: blocking-receive bound handed to a substrate the service
+        creates (ignored for borrowed substrates).
+    """
+
+    def __init__(
+        self,
+        substrate: Union[str, Substrate] = "threads",
+        *,
+        max_in_flight: int = 4,
+        workers: int = 0,
+        receive_timeout: Optional[float] = None,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if isinstance(substrate, str):
+            self._substrate = create_substrate(
+                substrate, workers=workers, receive_timeout=receive_timeout
+            )
+            self._owns_substrate = True
+        else:
+            self._substrate = substrate
+            self._owns_substrate = False
+        self.max_in_flight = max_in_flight
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._started_at: Optional[float] = None
+        self._closed = False
+
+    # ---------------------------------------------------------------- lifecycle
+
+    @property
+    def substrate(self) -> Substrate:
+        return self._substrate
+
+    def start(self) -> "CompilationService":
+        """Bring the pool and the dispatch executor up (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("compilation service has been shut down")
+            if self._executor is None:
+                self._substrate.start()
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_in_flight, thread_name_prefix="repro-service"
+                )
+                self._started_at = time.perf_counter()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for in-flight compilations.
+
+        Shuts the substrate down too if the service created it; a borrowed substrate
+        is left running for its owner.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=wait)
+        if self._owns_substrate:
+            self._substrate.shutdown()
+
+    def __enter__(self) -> "CompilationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------- intake
+
+    def submit(self, job: CompilationJob) -> "Future[CompilationReport]":
+        """Queue one job; returns a future resolving to its CompilationReport.
+
+        At most ``max_in_flight`` jobs run concurrently; the rest wait in the
+        executor's queue.  A failing job fails only its own future.
+        """
+        self.start()
+        with self._lock:
+            if self._closed or self._executor is None:
+                raise ServiceError("compilation service has been shut down")
+            self._submitted += 1
+            return self._executor.submit(self._execute, job)
+
+    def compile_many(self, jobs: Iterable[CompilationJob]) -> List[CompilationReport]:
+        """Submit a batch and wait for all of it; reports come back in job order.
+
+        Raises the first job failure (after every job has been scheduled — one bad
+        job does not cancel its siblings).
+        """
+        futures = [self.submit(job) for job in jobs]
+        return [future.result() for future in futures]
+
+    # -------------------------------------------------------------------- stats
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            uptime = (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            )
+            latencies = sorted(self._latencies)
+            completed = self._completed
+            failed = self._failed
+            submitted = self._submitted
+        return ServiceStats(
+            jobs_submitted=submitted,
+            jobs_completed=completed,
+            jobs_failed=failed,
+            jobs_in_flight=submitted - completed - failed,
+            uptime_seconds=uptime,
+            throughput=completed / uptime if uptime > 0 else 0.0,
+            latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_p50=_percentile(latencies, 0.50),
+            latency_p95=_percentile(latencies, 0.95),
+            backend=self._substrate.name,
+            sessions_opened=self._substrate.sessions_opened,
+        )
+
+    # ---------------------------------------------------------------- internals
+
+    def _execute(self, job: CompilationJob) -> CompilationReport:
+        started = time.perf_counter()
+        try:
+            tree = job.resolve_tree()
+            report = job.compiler.compile_tree(
+                tree,
+                job.machines,
+                root_inherited=job.root_inherited,
+                substrate=self._substrate,
+            )
+        except BaseException:
+            with self._lock:
+                self._failed += 1
+            raise
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(time.perf_counter() - started)
+        return report

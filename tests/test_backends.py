@@ -128,6 +128,30 @@ class TestBackendParity:
         assert report.timeline
 
 
+class TestReportSummary:
+    """summary() reports what the backend actually measured, never modelled zeros."""
+
+    def test_simulated_summary_shows_modelled_network(self, split_grammar, big_expression):
+        summary = ParallelCompiler(split_grammar).compile_tree(big_expression, 3).summary()
+        assert "link busy" in summary
+        assert "memory" in summary
+        assert "wall clock" not in summary
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_real_summary_shows_wall_clock_and_workers(
+        self, split_grammar, big_expression, backend
+    ):
+        report = ParallelCompiler(split_grammar, backend=backend).compile_tree(
+            big_expression, 3
+        )
+        summary = report.summary()
+        assert "wall clock" in summary
+        assert f"{report.worker_count} real {backend} worker(s)" in summary
+        # The modelled link/memory figures do not exist off the simulator.
+        assert "link busy" not in summary
+        assert "memory" not in summary
+
+
 @requires_fork
 class TestProcessesPlacement:
     """Acceptance: the paper workload runs on >= 4 real worker processes."""
