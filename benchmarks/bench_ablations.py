@@ -18,9 +18,7 @@ from repro.runtime.network import NetworkParameters
 
 
 def _time(workload, machines, **config):
-    report = workload.compiler.compile_tree_parallel(
-        workload.tree, machines, CompilerConfiguration(**config)
-    )
+    report = workload.compile_tree(machines, CompilerConfiguration(**config))
     return report
 
 
@@ -41,9 +39,8 @@ def test_split_granularity_ablation(benchmark, workload):
     def run():
         results = {}
         for scale in (0.5, 1.0, 2.0):
-            report = workload.compiler.compile_tree_parallel(
-                workload.tree, 5,
-                CompilerConfiguration(evaluator="combined", split_scale=scale),
+            report = workload.compile_tree(
+                5, CompilerConfiguration(evaluator="combined", split_scale=scale)
             )
             results[scale] = (report.evaluation_time, report.decomposition.region_count)
         return results
@@ -60,11 +57,11 @@ def test_network_sensitivity_ablation(benchmark, workload):
     def run():
         fast = NetworkParameters(bandwidth_bytes_per_second=10e6, message_latency=0.5e-3)
         slow = NetworkParameters(bandwidth_bytes_per_second=0.3e6, message_latency=10e-3)
-        fast_time = workload.compiler.compile_tree_parallel(
-            workload.tree, 5, CompilerConfiguration(evaluator="combined", network=fast)
+        fast_time = workload.compile_tree(
+            5, CompilerConfiguration(evaluator="combined", network=fast)
         ).evaluation_time
-        slow_time = workload.compiler.compile_tree_parallel(
-            workload.tree, 5, CompilerConfiguration(evaluator="combined", network=slow)
+        slow_time = workload.compile_tree(
+            5, CompilerConfiguration(evaluator="combined", network=slow)
         ).evaluation_time
         return fast_time, slow_time
 

@@ -41,7 +41,7 @@ def parallel_compiler(workload):
 def test_backend_sequential(benchmark, workload):
     """Baseline: one in-process evaluator over the whole tree (threads, 1 region)."""
     report = benchmark(
-        lambda: workload.compiler.compile_tree_parallel(workload.tree, 1, backend="threads")
+        lambda: workload.compile_tree(1, backend="threads")
     )
     assert report.decomposition.region_count == 1
     assert report.wall_evaluation_seconds > 0
@@ -69,9 +69,7 @@ def test_backend_wall_clock_table(benchmark, workload, parallel_compiler, capsys
 
     def sweep():
         rows = {}
-        rows["sequential"] = workload.compiler.compile_tree_parallel(
-            workload.tree, 1, backend="threads"
-        )
+        rows["sequential"] = workload.compile_tree(1, backend="threads")
         rows["threads"] = parallel_compiler.compile_tree(
             workload.tree, MACHINES, backend="threads"
         )

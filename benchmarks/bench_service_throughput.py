@@ -26,11 +26,14 @@ from repro.distributed.compiler import ParallelCompiler
 from repro.exprlang.evaluator import random_expression_source
 from repro.exprlang.frontend import parse_expression
 from repro.exprlang.grammar import expression_grammar
+from repro.pascal import generate_program
+from repro.pascal.grammar import pascal_grammar
 from repro.service import CompilationJob, CompilationService
 
 MACHINES = 8
 JOBS = 32
 PROCESS_JOBS = 6  # per-compilation forking is slow; a short stream shows the gap
+MIXED_MACHINES = 4
 
 
 def _fork_available() -> bool:
@@ -114,6 +117,105 @@ def test_pooled_processes_throughput(benchmark, expr_setup):
     ephemeral, pooled = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # Fork + grammar shipping amortised across the stream: the pool must win big.
     assert pooled > ephemeral
+
+
+@pytest.mark.skipif(not _fork_available(), reason="needs the fork start method")
+def test_mixed_language_bundle_cache(benchmark, capsys):
+    """Name-keyed bundles vs per-call-site engines on a mixed-language stream.
+
+    Before the language registry, every call site built its own
+    :class:`ParallelCompiler` — re-running the grammar analyses and, on the pooled
+    processes substrate, re-pickling and re-shipping a fresh grammar+plan bundle to
+    the workers (the worker cache dedups by object identity, which a fresh plan
+    defeats).  Registry jobs (``CompilationJob(language=..., source=...)``) share
+    one name-keyed engine per language instead: the analyses run once per process
+    and each language's bundle crosses to each pooled worker once ever.  The same
+    mixed Pascal + exprlang stream runs through one service either way; the
+    registry arm must win, and the substrate's shared-object cache must show
+    exactly one named entry per language against the per-call arm's pile of
+    identity-keyed entries.
+    """
+    from repro.api.language import get_language
+
+    expr_sources = [
+        random_expression_source(16, seed=seed, nesting=5) for seed in range(8)
+    ]
+    pascal_sources = [
+        generate_program(procedures=2, statements_per_procedure=2, seed=seed)
+        for seed in range(3)
+    ]
+    parse_pascal = get_language("pascal").parse
+
+    def percall_jobs():
+        # One fresh engine per job: grammar analyses + bundle pickling per call site.
+        jobs = [
+            CompilationJob(
+                ParallelCompiler(expression_grammar()),
+                source=source,
+                parse=parse_expression,
+                machines=MIXED_MACHINES,
+            )
+            for source in expr_sources
+        ]
+        jobs += [
+            CompilationJob(
+                ParallelCompiler(pascal_grammar()),
+                source=source,
+                parse=parse_pascal,
+                machines=MIXED_MACHINES,
+            )
+            for source in pascal_sources
+        ]
+        return jobs
+
+    def registry_jobs():
+        jobs = [
+            CompilationJob(language="exprlang", source=source, machines=MIXED_MACHINES)
+            for source in expr_sources
+        ]
+        jobs += [
+            CompilationJob(language="pascal", source=source, machines=MIXED_MACHINES)
+            for source in pascal_sources
+        ]
+        return jobs
+
+    def run_stream(pool, make_jobs) -> float:
+        with CompilationService(pool, max_in_flight=2) as service:
+            service.compile_many(make_jobs()[:2])  # warm: fork workers
+            # Job construction is inside the timed window: building the engine
+            # (grammar analyses included) is precisely the per-call-site cost the
+            # registry amortises away.
+            started = time.perf_counter()
+            jobs = make_jobs()
+            service.compile_many(jobs)
+            return len(jobs) / (time.perf_counter() - started)
+
+    def sweep():
+        with ProcessesSubstrate() as pool:
+            percall = run_stream(pool, percall_jobs)
+            percall_entries = len(pool._shared_ids)
+        with ProcessesSubstrate() as pool:
+            named = run_stream(pool, registry_jobs)
+            named_entries = [
+                ident for ident in pool._shared_ids if ident and ident[0] == "named"
+            ]
+            assert len(named_entries) == 2  # one bundle per language, ever
+            assert len(pool._shared_ids) == 2
+        # The per-call arm registered a fresh bundle per engine (plus warmup).
+        assert percall_entries > len(named_entries)
+        return percall, named
+
+    percall, named = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            f"mixed Pascal+exprlang stream, {len(expr_sources) + len(pascal_sources)} "
+            f"jobs on {MIXED_MACHINES} machines (processes substrate):"
+        )
+        print(f"  per-call-site engines   {percall:8.2f} compiles/s")
+        print(f"  registry (name-keyed)   {named:8.2f} compiles/s")
+        print(f"  registry/per-call speedup: {named / percall:.2f}x")
+    assert named > percall
 
 
 def test_throughput_comparison_table(benchmark, expr_setup, capsys):

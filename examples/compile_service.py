@@ -1,16 +1,18 @@
 """One pooled compilation service, a mixed Pascal + expression-language workload.
 
-Spins up a single :class:`repro.service.CompilationService` on a persistent worker
-pool, pushes a heterogeneous job stream through it concurrently (Pascal programs and
-expression-language trees interleaved on the same long-lived workers), and compares
-sustained compiles/sec against the ephemeral baseline that builds and tears down a
-backend for every compilation.
+Opens a single :class:`repro.Session` on a persistent worker pool, pushes a
+heterogeneous ``(language, source)`` job stream through its
+:class:`~repro.service.CompilationService` (Pascal programs and expression-language
+sources interleaved on the same long-lived workers), and compares sustained
+compiles/sec against the ephemeral baseline that builds and tears down a backend
+for every compilation.
 
-On the ``processes`` substrate the difference is dramatic: the ephemeral path forks a
-fresh set of OS processes per compilation, while the pool forks once, ships each
-grammar bundle to each worker once, and then streams jobs to warm workers — and
-because forked workers evaluate without a shared GIL, in-flight jobs genuinely
-overlap.  (Falls back to ``threads`` on platforms without ``fork``.)
+On the ``processes`` substrate the difference is dramatic: the ephemeral path forks
+a fresh set of OS processes per compilation, while the pool forks once, ships each
+language's grammar bundle to each worker once (keyed by registry name), and then
+streams jobs to warm workers — and because forked workers evaluate without a shared
+GIL, in-flight jobs genuinely overlap.  (Falls back to ``threads`` on platforms
+without ``fork``.)
 
 Run with::
 
@@ -22,10 +24,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 
-from repro import CompilationJob, CompilationService, ParallelCompiler, create_substrate
-from repro.exprlang import parse_expression, random_expression_source
-from repro.exprlang.grammar import expression_grammar
-from repro.pascal import PascalCompiler, generate_program
+from repro import CompilationJob, Session, get_language
+from repro.exprlang import random_expression_source
+from repro.pascal import generate_program
 
 
 def pick_backend() -> str:
@@ -38,27 +39,22 @@ def pick_backend() -> str:
 
 def build_workload():
     """A mixed stream of small compilations: 24 expression + 6 Pascal jobs."""
-    grammar = expression_grammar(min_split_size=8)
-    expr_compiler = ParallelCompiler(grammar)
     jobs = [
         CompilationJob(
-            expr_compiler,
-            tree=parse_expression(
-                random_expression_source(16, seed=seed, nesting=5), grammar
-            ),
+            language="exprlang",
+            source=random_expression_source(16, seed=seed, nesting=5),
             machines=4,
             label=f"expr-{seed}",
         )
         for seed in range(24)
     ]
-    pascal = PascalCompiler()
-    pascal_compiler = ParallelCompiler(pascal.grammar, plan=pascal.plan)
     for seed in range(6):
-        source = generate_program(procedures=2, statements_per_procedure=2, seed=seed)
         jobs.append(
             CompilationJob(
-                pascal_compiler,
-                tree=pascal.parse(source),
+                language="pascal",
+                source=generate_program(
+                    procedures=2, statements_per_procedure=2, seed=seed
+                ),
                 machines=4,
                 label=f"pascal-{seed}",
             )
@@ -70,37 +66,45 @@ def ephemeral_baseline(jobs, backend: str) -> float:
     """Compile the stream serially, one fresh backend (spawn + teardown) per job."""
     started = time.perf_counter()
     for job in jobs:
-        job.compiler.compile_tree(job.resolve_tree(), job.machines, backend=backend)
+        engine, tree = job.resolve()
+        engine.compile_tree(tree, job.machines, backend=backend)
     elapsed = time.perf_counter() - started
     return len(jobs) / elapsed
 
 
 def pooled_serial(jobs, backend: str) -> float:
     """The same stream, same serial order, on one persistent pool."""
-    with create_substrate(backend) as pool:
+    with Session(backend=backend) as session:
         job = jobs[0]  # warm the pool (fork workers, ship grammar bundles)
-        job.compiler.compile_tree(job.resolve_tree(), job.machines, substrate=pool)
+        engine, tree = job.resolve()
+        engine.compile_tree(tree, job.machines, substrate=session.substrate)
         started = time.perf_counter()
         for job in jobs:
-            job.compiler.compile_tree(job.resolve_tree(), job.machines, substrate=pool)
+            engine, tree = job.resolve()
+            engine.compile_tree(tree, job.machines, substrate=session.substrate)
         elapsed = time.perf_counter() - started
     return len(jobs) / elapsed
 
 
 def pooled_service(jobs, backend: str) -> float:
     """The stream through one pooled service, four jobs in flight."""
-    with CompilationService(backend, max_in_flight=4) as service:
-        service.compile_many(jobs[:4])  # warm the pool before timing
-        started = time.perf_counter()
-        reports = service.compile_many(jobs)
-        elapsed = time.perf_counter() - started
-        print(f"  {service.stats().summary()}")
-        kinds = {}
-        for job, report in zip(jobs, reports):
-            kind = job.label.split("-")[0]
-            kinds[kind] = kinds.get(kind, 0) + 1
-        mix = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
-        print(f"  job mix on one pool: {mix}")
+    with Session(backend=backend) as session:
+        with session.service(max_in_flight=4) as service:
+            service.compile_many(jobs[:4])  # warm the pool before timing
+            started = time.perf_counter()
+            reports = service.compile_many(jobs)
+            elapsed = time.perf_counter() - started
+            print(f"  {service.stats().summary()}")
+            kinds = {}
+            for job, report in zip(jobs, reports):
+                kind = job.label.split("-")[0]
+                kinds[kind] = kinds.get(kind, 0) + 1
+            mix = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+            print(f"  job mix on one pool: {mix}")
+            # Every report still carries its language's payload:
+            value = get_language("exprlang").result(reports[0])
+            code = get_language("pascal").result(reports[-1])
+            print(f"  spot check: expr-0 = {value}, pascal-5 emitted {len(code)} bytes")
     return len(jobs) / elapsed
 
 

@@ -6,7 +6,7 @@ Run with::
     python examples/pascal_compiler.py
 """
 
-from repro.distributed.compiler import CompilerConfiguration
+from repro import Compiler
 from repro.pascal import PascalCompiler, SAMPLE_PROGRAMS
 
 
@@ -27,13 +27,11 @@ def main() -> None:
     for message in diagnostics.errors:
         print(f"  error: {message}")
 
-    # Parallel compilation of the sorting sample on a simulated 4-machine cluster.
-    report = compiler.compile_parallel(
-        SAMPLE_PROGRAMS["sorting"], machines=4,
-        configuration=CompilerConfiguration(evaluator="combined"),
-    )
+    # Parallel compilation of the sorting sample on a simulated 4-machine cluster,
+    # through the front door (the 'pascal' language is registered at import).
+    result = Compiler("pascal", machines=4).compile(SAMPLE_PROGRAMS["sorting"])
     print("\n=== sorting.p on 4 simulated machines ===")
-    print(report.summary())
+    print(result.report.summary())
 
 
 if __name__ == "__main__":

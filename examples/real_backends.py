@@ -33,9 +33,7 @@ def main() -> None:
 
     reports = {}
     for backend in backends:
-        reports[backend] = workload.compiler.compile_tree_parallel(
-            workload.tree, MACHINES, backend=backend
-        )
+        reports[backend] = workload.compile_tree(MACHINES, backend=backend)
 
     print()
     header = f"{'backend':<10} {'workers':>7} {'evaluation':>12} {'wall total':>11} {'messages':>9}"

@@ -7,10 +7,16 @@ real OS-thread and OS-process substrates), tree partitioning, a distributed para
 compiler driver with string-librarian result propagation, and a Pascal-subset compiler
 used as the headline workload.
 
-Quick start::
+The front door is :mod:`repro.api` — a language registry plus a unified
+``Compiler``/``Session`` API over every workload and substrate::
 
-    from repro import evaluate_expression
-    assert evaluate_expression("let x = 3 in 1 + 2 * x ni") == 7
+    from repro import Session
+
+    with Session(backend="threads") as s:
+        assert s.compile("exprlang", "let x = 3 in 1 + 2 * x ni").value == 7
+
+New languages plug in by registration (:class:`GrammarLanguage` +
+:func:`register_language`) — see ``examples/register_language.py``.
 
 See ``README.md`` at the repository root for the architecture overview and a tour of
 the packages, examples and benchmarks.
@@ -37,7 +43,13 @@ from repro.evaluation import (
     EvaluationStatistics,
     StaticEvaluator,
 )
-from repro.backends import BACKEND_NAMES, Substrate, create_backend, create_substrate
+from repro.backends import (
+    BACKEND_NAMES,
+    SharedBundle,
+    Substrate,
+    create_backend,
+    create_substrate,
+)
 from repro.distributed.compiler import (
     CompilationReport,
     CompilerConfiguration,
@@ -53,8 +65,21 @@ from repro.exprlang import (
     expression_grammar,
     parse_expression,
 )
+from repro.api import (
+    Compiler,
+    CompileResult,
+    DuplicateLanguageError,
+    GrammarLanguage,
+    Language,
+    LanguageError,
+    Session,
+    UnknownLanguageError,
+    available_languages,
+    get_language,
+    register_language,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributeGrammar",
@@ -73,6 +98,7 @@ __all__ = [
     "EvaluationStatistics",
     "StaticEvaluator",
     "BACKEND_NAMES",
+    "SharedBundle",
     "Substrate",
     "create_backend",
     "create_substrate",
@@ -97,5 +123,16 @@ __all__ = [
     "evaluate_expression_parallel",
     "expression_grammar",
     "parse_expression",
+    "Compiler",
+    "CompileResult",
+    "DuplicateLanguageError",
+    "GrammarLanguage",
+    "Language",
+    "LanguageError",
+    "Session",
+    "UnknownLanguageError",
+    "available_languages",
+    "get_language",
+    "register_language",
     "__version__",
 ]

@@ -1,0 +1,57 @@
+"""``repro.api`` — the one front door over every workload and substrate.
+
+The paper's system is workload-agnostic: any attributed tree can be partitioned and
+evaluated in parallel.  This package makes the public API match:
+
+* :class:`Language` / :class:`GrammarLanguage` + ``register_language`` /
+  ``get_language`` / ``available_languages`` — a process-wide registry where new
+  languages plug in without touching ``repro`` internals (``pascal`` and
+  ``exprlang`` are registered at import);
+* :class:`Compiler` — one ``compile(source)`` facade whose :class:`CompileResult`
+  (value/code, errors, :class:`CompilationReport`, per-phase wall-clock) is uniform
+  across the simulated, threads and processes substrates;
+* :class:`Session` — a context manager owning substrate lifecycle, so
+  ``with Session(backend="processes") as s: s.compiler("pascal").compile(src)``
+  replaces the manual ``create_substrate``/``finally``-``shutdown`` dance.
+
+Registration also names each language's grammar+plan bundle, so the pooled
+processes substrate ships it to each worker once ever — not once per call site.
+"""
+
+from repro.api.builtin import ExprLanguage, PascalLanguage, register_builtin_languages
+from repro.api.compiler import Compiler, CompileResult
+from repro.api.language import (
+    DuplicateLanguageError,
+    GrammarLanguage,
+    Language,
+    LanguageError,
+    UnknownLanguageError,
+    attribute_value,
+    available_languages,
+    engine_for,
+    get_language,
+    register_language,
+    unregister_language,
+)
+from repro.api.session import Session
+
+register_builtin_languages()
+
+__all__ = [
+    "Compiler",
+    "CompileResult",
+    "DuplicateLanguageError",
+    "ExprLanguage",
+    "GrammarLanguage",
+    "Language",
+    "LanguageError",
+    "PascalLanguage",
+    "Session",
+    "UnknownLanguageError",
+    "attribute_value",
+    "available_languages",
+    "engine_for",
+    "get_language",
+    "register_language",
+    "unregister_language",
+]

@@ -1,0 +1,74 @@
+"""The two built-in languages, registered when :mod:`repro.api` is imported.
+
+* ``pascal`` — the paper's headline workload: the Pascal-subset compiler.  The
+  compile result is the generated VAX-style assembly text (librarian-assembled when
+  the librarian ran), errors come from the root ``errs`` attribute.  The language
+  reuses the per-process caches the original entry points built — the lru-cached
+  grammar, the shared LALR parser and the shared ordered-evaluation plan — so
+  mixing old and new API in one process never duplicates the grammar analyses (and
+  never double-ships a Pascal bundle to pooled workers).
+* ``exprlang`` — the appendix expression language; the compile result is the
+  integer value of the expression.  Built as a :class:`GrammarLanguage`, which
+  caches its grammar and parse table once per registration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.language import GrammarLanguage, Language, attribute_value, register_language
+from repro.distributed.compiler import CompilationReport
+from repro.grammar.grammar import AttributeGrammar
+from repro.tree.node import ParseTreeNode
+
+
+class PascalLanguage(Language):
+    """The Pascal-subset compiler as a registry language (result = generated code)."""
+
+    name = "pascal"
+
+    def grammar(self) -> AttributeGrammar:
+        from repro.pascal.grammar import pascal_grammar
+
+        return pascal_grammar()  # lru-cached: one instance per process
+
+    def plan(self):
+        from repro.pascal.compiler import _shared_plan
+
+        return _shared_plan()  # the same cached plan the sequential compiler uses
+
+    def parse(self, source: str) -> ParseTreeNode:
+        from repro.pascal.compiler import _shared_parser
+        from repro.pascal.lexer import tokenize_pascal
+
+        return _shared_parser().parse(tokenize_pascal(source))
+
+    def result(self, report: CompilationReport) -> Any:
+        return attribute_value(report, "code")
+
+
+class ExprLanguage(GrammarLanguage):
+    """The appendix expression language (result = the expression's integer value)."""
+
+    def __init__(self):
+        from repro.exprlang.frontend import tokenize_expression
+        from repro.exprlang.grammar import expression_grammar
+
+        super().__init__(
+            "exprlang",
+            expression_grammar,
+            tokenize=tokenize_expression,
+            result_attribute="value",
+            error_attribute=None,
+        )
+
+
+def register_builtin_languages() -> None:
+    """Register ``pascal`` and ``exprlang`` (idempotent across re-imports)."""
+    from repro.api.language import available_languages
+
+    registered = available_languages()
+    if "pascal" not in registered:
+        register_language(PascalLanguage())
+    if "exprlang" not in registered:
+        register_language(ExprLanguage())

@@ -29,6 +29,7 @@ from repro.backends.base import (
     Compute,
     Mailbox,
     Receive,
+    SharedBundle,
     Substrate,
     WorkerJob,
 )
@@ -103,6 +104,7 @@ __all__ = [
     "ProcessesBackend",
     "ProcessesSubstrate",
     "Receive",
+    "SharedBundle",
     "SimulatedBackend",
     "SimulatedSubstrate",
     "Substrate",

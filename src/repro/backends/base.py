@@ -86,6 +86,24 @@ class Mailbox:
 
 
 @dataclass(frozen=True)
+class SharedBundle:
+    """A shared object carrying an explicit, stable cache key.
+
+    By default pooled substrates deduplicate shared objects by *identity*, which only
+    helps callers that keep one object alive across jobs.  Wrapping the payload in a
+    :class:`SharedBundle` keys the worker-side cache on ``key`` instead — e.g. the
+    language registry uses ``language:<name>#<generation>/<evaluator>`` so that every
+    compiler created for a registered language maps to one cache entry and the
+    grammar+plan payload crosses to each pooled worker once ever, no matter how many
+    caller-side compiler instances exist.  Keys must be globally unique per payload:
+    the first payload seen under a key is the one every worker receives.
+    """
+
+    key: str
+    payload: Any
+
+
+@dataclass(frozen=True)
 class WorkerJob:
     """A substrate-neutral description of a worker process body.
 
@@ -98,8 +116,9 @@ class WorkerJob:
     automatically, including inside dicts/lists/tuples).
 
     ``shared`` holds large immutable objects (grammars, evaluation plans) that pooled
-    workers cache by identity: each worker receives the pickled bundle once and reuses
-    it for every later job that shares it.
+    workers cache and reuse: each worker receives the pickled payload once and reuses
+    it for every later job that shares it.  Values are cached by identity, or by
+    explicit name when wrapped in a :class:`SharedBundle`.
     """
 
     factory: Callable[..., Generator]
@@ -108,7 +127,11 @@ class WorkerJob:
 
     def materialize(self, transport: Any) -> Generator:
         """Build the process body in-process (non-pooled and in-memory substrates)."""
-        return self.factory(transport, **dict(self.kwargs), **dict(self.shared))
+        shared = {
+            name: value.payload if isinstance(value, SharedBundle) else value
+            for name, value in self.shared.items()
+        }
+        return self.factory(transport, **dict(self.kwargs), **shared)
 
 
 @dataclass
@@ -286,6 +309,14 @@ class Substrate(abc.ABC):
     def sessions_opened(self) -> int:
         """How many run sessions this substrate has handed out so far."""
         return self._sessions_opened
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (idempotent), matching the session vocabulary.
+
+        A ``with`` block followed by an explicit ``close()``/``shutdown()`` — or the
+        reverse — is safe on every substrate.
+        """
+        self.shutdown()
 
     def __enter__(self) -> "Substrate":
         return self.start()

@@ -47,6 +47,7 @@ from repro.backends.base import (
     BackendError,
     BackendTelemetry,
     Mailbox,
+    SharedBundle,
     Substrate,
     WorkerJob,
     drive,
@@ -395,22 +396,31 @@ class ProcessesSubstrate(Substrate):
                 self._free_mailboxes.append(mailbox.index)
 
     def _shared_entry(self, obj: Any) -> int:
-        # Key tuples by their components' identities: grammar bundles are rebuilt as
-        # fresh (grammar, plan) tuples by every thin-client compiler instance, but the
-        # grammar and plan objects themselves are stable — dedup on those so each
-        # worker receives a given grammar exactly once.  The objects stay pinned for
-        # the substrate's lifetime (identity is the cache key); their pickled blobs
-        # are evicted once every live worker has received them and re-pickled only if
-        # the pool later grows.
-        ident = (
-            tuple(id(part) for part in obj) if isinstance(obj, tuple) else (id(obj),)
-        )
+        # Two dedup regimes.  A SharedBundle carries an explicit stable name (the
+        # language registry's bundle key), so every caller-side compiler for one
+        # registered language maps to one cache entry — the payload crosses to each
+        # worker once ever, even when callers rebuild grammar/plan objects per call
+        # site.  Everything else is keyed by component identity: grammar bundles are
+        # rebuilt as fresh (grammar, plan) tuples by every thin-client compiler
+        # instance, but the grammar and plan objects themselves are stable — dedup on
+        # those so each worker receives a given grammar exactly once.  The payloads
+        # stay pinned for the substrate's lifetime (the ident is the cache key); their
+        # pickled blobs are evicted once every live worker has received them and
+        # re-pickled only if the pool later grows.
+        if isinstance(obj, SharedBundle):
+            ident: Tuple = ("named", obj.key)
+            payload = obj.payload
+        else:
+            ident = (
+                tuple(id(part) for part in obj) if isinstance(obj, tuple) else (id(obj),)
+            )
+            payload = obj
         key = self._shared_ids.get(ident)
         if key is None:
             key = self._next_shared_key
             self._next_shared_key += 1
             self._shared_ids[ident] = key
-            self._shared_objects[key] = obj
+            self._shared_objects[key] = payload
         return key
 
     def _shared_blob(self, key: int) -> bytes:

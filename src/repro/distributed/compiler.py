@@ -30,7 +30,14 @@ from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequ
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
 from repro.backends import Backend, Substrate, create_backend
-from repro.backends.base import BackendError, Compute, Mailbox, Receive, WorkerJob
+from repro.backends.base import (
+    BackendError,
+    Compute,
+    Mailbox,
+    Receive,
+    SharedBundle,
+    WorkerJob,
+)
 from repro.distributed.evaluator_node import (
     EvaluatorNode,
     EvaluatorReport,
@@ -124,6 +131,12 @@ class CompilationReport:
     wall_time_seconds: float = 0.0
     wall_evaluation_seconds: float = 0.0
     worker_count: int = 0
+    #: Wall-clock seconds the caller spent parsing the source into the tree this
+    #: compilation ran on.  ``compile_tree`` cannot measure it (it receives a parsed
+    #: tree), so the front door (:class:`repro.api.Compiler`, the service layer and
+    #: the deprecated per-workload shims) stamps it after the run; stays 0.0 when the
+    #: caller never parsed (e.g. a pre-built tree swept over machine counts).
+    wall_parse_seconds: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -183,8 +196,13 @@ class CompilationReport:
                 f"(+ modelled parse {self.parse_time:.3f}s)",
                 f"  regions: {self.decomposition.region_count}, "
                 f"dynamic fraction: {self.dynamic_fraction * 100:.1f}%",
-                f"  wall clock: {self.wall_time_seconds:.3f}s total, "
-                f"{self.wall_evaluation_seconds:.3f}s evaluating",
+                f"  wall clock: {self.wall_time_seconds:.3f}s total"
+                + (
+                    f" (+ parse {self.wall_parse_seconds:.3f}s)"
+                    if self.wall_parse_seconds > 0
+                    else ""
+                )
+                + f", {self.wall_evaluation_seconds:.3f}s evaluating",
                 f"  workers: {self.worker_count} real {self.backend} worker(s), "
                 f"{self.network_messages} messages, {self.network_bytes} bytes",
             ]
@@ -193,6 +211,12 @@ class CompilationReport:
 
 class ParallelCompiler:
     """Generate-once, compile-many driver for a single attribute grammar.
+
+    This is the *engine* underneath the public front door: prefer
+    :class:`repro.api.Compiler` / :class:`repro.api.Session`, which add language
+    registration, uniform results and substrate lifecycle on top and share
+    name-keyed engines across call sites.  Construct a raw ``ParallelCompiler``
+    only for grammars that are not (and should not be) registered as languages.
 
     By default every :meth:`compile_tree` call builds a one-shot backend (spawn
     workers, run, tear down).  Pass a started :class:`~repro.backends.base.Substrate`
@@ -208,6 +232,7 @@ class ParallelCompiler:
         plan: Optional[OrderedEvaluationPlan] = None,
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
+        bundle_key: Optional[str] = None,
     ):
         self.grammar = grammar
         self.configuration = configuration or CompilerConfiguration()
@@ -224,7 +249,13 @@ class ParallelCompiler:
         # One stable (grammar, plan) tuple for every job this compiler ever submits:
         # pooled process workers cache the shipped bundle by identity, so reusing the
         # same object means the grammar crosses to each worker exactly once.
-        self._grammar_bundle = (self.grammar, self.plan)
+        # ``bundle_key`` (the language registry's name-derived key) goes further:
+        # *every* compiler sharing the key maps to one worker-side cache entry, so the
+        # bundle ships once per worker no matter how many compiler instances exist.
+        if bundle_key is not None:
+            self._grammar_bundle: Any = SharedBundle(bundle_key, (self.grammar, self.plan))
+        else:
+            self._grammar_bundle = (self.grammar, self.plan)
 
     # -------------------------------------------------------------------- API
 

@@ -42,8 +42,6 @@ def run_dynamic_fraction(
     configuration = CompilerConfiguration(evaluator="combined")
     result = DynamicFractionResult()
     for machines in machine_counts:
-        report = workload.compiler.compile_tree_parallel(
-            workload.tree, machines, configuration
-        )
+        report = workload.compile_tree(machines, configuration)
         result.fractions[machines] = report.dynamic_fraction
     return result

@@ -58,9 +58,7 @@ def run_figure5(
     for evaluator in evaluators:
         configuration = CompilerConfiguration(evaluator=evaluator)
         for machines in machine_counts:
-            report = workload.compiler.compile_tree_parallel(
-                workload.tree, machines, configuration
-            )
+            report = workload.compile_tree(machines, configuration)
             if evaluator == "combined":
                 result.combined_times[machines] = report.evaluation_time
             else:

@@ -64,9 +64,7 @@ def run_figure6(
 ) -> Figure6Result:
     """Run one parallel compilation and extract the per-machine activity trace."""
     workload = workload or default_workload()
-    report = workload.compiler.compile_tree_parallel(
-        workload.tree, machines, CompilerConfiguration(evaluator=evaluator)
-    )
+    report = workload.compile_tree(machines, CompilerConfiguration(evaluator=evaluator))
     phase_totals: Dict[str, float] = {}
     for intervals in report.timeline.values():
         for interval in intervals:

@@ -47,11 +47,11 @@ def run_librarian_comparison(
     machines: int = 5,
 ) -> LibrarianResult:
     workload = workload or default_workload()
-    with_report = workload.compiler.compile_tree_parallel(
-        workload.tree, machines, CompilerConfiguration(evaluator="combined", use_librarian=True)
+    with_report = workload.compile_tree(
+        machines, CompilerConfiguration(evaluator="combined", use_librarian=True)
     )
-    without_report = workload.compiler.compile_tree_parallel(
-        workload.tree, machines, CompilerConfiguration(evaluator="combined", use_librarian=False)
+    without_report = workload.compile_tree(
+        machines, CompilerConfiguration(evaluator="combined", use_librarian=False)
     )
     return LibrarianResult(
         machines=machines,

@@ -40,9 +40,7 @@ def run_pipeline_baseline(
 
     from repro.distributed.compiler import CompilerConfiguration
 
-    parallel = workload.compiler.compile_tree_parallel(
-        workload.tree, 5, CompilerConfiguration(evaluator="combined")
-    )
+    parallel = workload.compile_tree(5, CompilerConfiguration(evaluator="combined"))
     ag_speedup = sequential.combined_time / parallel.evaluation_time
     return PipelineBaselineResult(
         chunks=chunks,

@@ -48,12 +48,8 @@ class SequentialResult:
 
 def run_sequential_comparison(workload: Optional[WorkloadBundle] = None) -> SequentialResult:
     workload = workload or default_workload()
-    combined = workload.compiler.compile_tree_parallel(
-        workload.tree, 1, CompilerConfiguration(evaluator="combined")
-    )
-    dynamic = workload.compiler.compile_tree_parallel(
-        workload.tree, 1, CompilerConfiguration(evaluator="dynamic")
-    )
+    combined = workload.compile_tree(1, CompilerConfiguration(evaluator="combined"))
+    dynamic = workload.compile_tree(1, CompilerConfiguration(evaluator="dynamic"))
     return SequentialResult(
         combined_time=combined.evaluation_time,
         dynamic_time=dynamic.evaluation_time,

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
+from repro.distributed.compiler import CompilationReport, CompilerConfiguration
 from repro.pascal.compiler import PascalCompiler
 from repro.pascal.programs import generate_program
 from repro.tree.node import ParseTreeNode
@@ -30,6 +32,27 @@ class WorkloadBundle:
     @property
     def source_lines(self) -> int:
         return self.source.count("\n") + 1
+
+    def compile_tree(
+        self,
+        machines: int,
+        configuration: Optional[CompilerConfiguration] = None,
+        backend: Optional[str] = None,
+        substrate: Optional["object"] = None,
+    ) -> CompilationReport:
+        """Compile the cached tree on the registry's ``pascal`` engine.
+
+        Every figure sweeps machine counts or configurations over this one tree;
+        routing through :func:`repro.api.engine_for` shares the registry-cached
+        grammar analyses with the rest of the front door.  When no explicit
+        ``configuration`` is given, the bundle compiler's own configuration is
+        honoured (it is the knob callers customise when building a workload).
+        """
+        from repro.api import engine_for
+
+        return engine_for(
+            "pascal", configuration=configuration or self.compiler.configuration
+        ).compile_tree(self.tree, machines, backend=backend, substrate=substrate)
 
 
 @lru_cache(maxsize=4)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from functools import lru_cache
+import warnings
 from typing import Optional
 
 from repro.backends.base import Substrate
@@ -42,21 +42,6 @@ def evaluate_expression(
     return tree.get_attribute("value")
 
 
-@lru_cache(maxsize=None)
-def _default_parallel_compiler(evaluator: str):
-    """One shared compiler (grammar + plan built once) per evaluator kind.
-
-    Keeping the compiler — and hence the grammar bundle — stable across calls is
-    what lets a pooled processes substrate ship the grammar to each worker once
-    instead of once per expression.
-    """
-    from repro.distributed.compiler import CompilerConfiguration, ParallelCompiler
-
-    return ParallelCompiler(
-        expression_grammar(), CompilerConfiguration(evaluator=evaluator)
-    )
-
-
 def evaluate_expression_parallel(
     source: str,
     machines: int = 2,
@@ -65,22 +50,35 @@ def evaluate_expression_parallel(
     backend: Optional[str] = None,
     substrate: Optional[Substrate] = None,
 ) -> int:
-    """Parse and evaluate an expression on the distributed compiler.
+    """Deprecated: use ``repro.api.Compiler("exprlang")`` (this delegates to it).
 
-    A thin client of :class:`~repro.distributed.compiler.ParallelCompiler`: pass a
-    started :class:`~repro.backends.base.Substrate` to borrow a persistent worker
-    pool, or a ``backend`` name for a one-shot run (``"simulated"`` by default).
-    With the default grammar, the compiler (grammar analyses and all) is built once
-    and reused across calls.
+    Pass a started :class:`~repro.backends.base.Substrate` to borrow a persistent
+    worker pool, or a ``backend`` name for a one-shot run (``"simulated"`` by
+    default).  With the default grammar the call goes through the language
+    registry's shared engine (grammar analyses built once per process, bundle
+    shipped to each pooled worker once); a custom ``grammar`` builds a one-off
+    engine the old way.
     """
+    warnings.warn(
+        "evaluate_expression_parallel is deprecated; use "
+        "repro.api.Compiler('exprlang', ...).compile(source).value "
+        "(or Session(...).compile('exprlang', source))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if grammar is None:
+        from repro.api import Compiler  # local import: repro.api builds on exprlang
+
+        return Compiler(
+            "exprlang",
+            machines=machines,
+            evaluator=evaluator,
+            backend=backend,
+            substrate=substrate,
+        ).compile(source).value
     from repro.distributed.compiler import CompilerConfiguration, ParallelCompiler
 
-    if grammar is None:
-        compiler = _default_parallel_compiler(evaluator)
-    else:
-        compiler = ParallelCompiler(
-            grammar, CompilerConfiguration(evaluator=evaluator)
-        )
+    compiler = ParallelCompiler(grammar, CompilerConfiguration(evaluator=evaluator))
     tree = parse_expression(source, compiler.grammar)
     report = compiler.compile_tree(
         tree, machines, backend=backend, substrate=substrate

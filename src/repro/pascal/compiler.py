@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
@@ -108,7 +109,7 @@ class PascalCompiler:
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
     ) -> CompilationReport:
-        """Compile on the parallel compiler's execution substrate.
+        """Deprecated: use ``repro.api.Compiler("pascal")`` (this delegates to it).
 
         ``backend`` selects a one-shot substrate (``"simulated"`` by default, or
         ``"threads"``/``"processes"`` for real concurrency); pass a started
@@ -116,10 +117,16 @@ class PascalCompiler:
         per-compilation spawn cost.  Returns the full :class:`CompilationReport`
         (timings, timeline, decomposition, message statistics and the generated code).
         """
-        config = configuration or self.configuration
-        tree = self.parse(source)
-        parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
-        return parallel.compile_tree(tree, machines, substrate=substrate)
+        warnings.warn(
+            "PascalCompiler.compile_parallel is deprecated; use "
+            "repro.api.Compiler('pascal', ...).compile(source) "
+            "(or Session(...).compiler('pascal'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._facade(configuration, backend, substrate, machines).compile(
+            source
+        ).report
 
     def compile_tree_parallel(
         self,
@@ -129,8 +136,33 @@ class PascalCompiler:
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
     ) -> CompilationReport:
-        """Like :meth:`compile_parallel` but reuses an already-parsed tree (useful when
-        sweeping machine counts over the same program, as the figures do)."""
-        config = configuration or self.configuration
-        parallel = ParallelCompiler(self.grammar, config, plan=self.plan, backend=backend)
-        return parallel.compile_tree(tree, machines, substrate=substrate)
+        """Deprecated: like :meth:`compile_parallel` but for an already-parsed tree
+        (useful when sweeping machine counts over one program, as the figures do);
+        use ``repro.api.Compiler("pascal").compile_tree(tree)`` instead."""
+        warnings.warn(
+            "PascalCompiler.compile_tree_parallel is deprecated; use "
+            "repro.api.Compiler('pascal', ...).compile_tree(tree)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._facade(configuration, backend, substrate, machines).compile_tree(
+            tree
+        ).report
+
+    def _facade(
+        self,
+        configuration: Optional[CompilerConfiguration],
+        backend: Optional[str],
+        substrate: Optional[Substrate],
+        machines: int,
+    ):
+        """The front-door :class:`repro.api.Compiler` these shims delegate to."""
+        from repro.api import Compiler  # local import: repro.api builds on this module
+
+        return Compiler(
+            "pascal",
+            machines=machines,
+            backend=backend,
+            substrate=substrate,
+            configuration=configuration or self.configuration,
+        )

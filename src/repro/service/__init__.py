@@ -2,10 +2,12 @@
 
 The paper's generator runs its grammar-time analyses once and then compiles many
 programs; :class:`CompilationService` is the runtime counterpart — it owns a pooled
-execution substrate, accepts a stream of compilation jobs (parse → partition →
-evaluate) with configurable in-flight concurrency, returns futures resolving to full
+execution substrate, accepts a stream of compilation jobs (``(language, source)``
+pairs resolved through the :mod:`repro.api` registry, or explicit compiler+tree
+jobs) with configurable in-flight concurrency, returns futures resolving to full
 :class:`~repro.distributed.compiler.CompilationReport` objects, and tracks aggregate
-service statistics (jobs, throughput, latency percentiles).
+service statistics (jobs, throughput, latency percentiles decomposed by parse vs
+compile phase).
 """
 
 from repro.service.service import (

@@ -6,18 +6,20 @@ served workload.  A :class:`CompilationService` owns (or borrows) a pooled
 running concurrently on it, and measures what a server operator would measure:
 compiles per second and latency percentiles.
 
-Jobs are heterogeneous: each :class:`CompilationJob` carries its own compiler (and
-hence grammar), so one service can interleave Pascal and expression-language
-compilations on the same worker pool — pooled process workers cache each grammar
-bundle the first time they see it.
+Jobs are heterogeneous: a :class:`CompilationJob` names a registered language (the
+service parses the source and compiles on the registry's shared, name-key-bundled
+engine) or carries its own compiler, so one service interleaves Pascal and
+expression-language compilations on the same worker pool — pooled process workers
+receive each language's grammar bundle once ever.
 
 Typical use::
 
     from repro.service import CompilationService, CompilationJob
 
     with CompilationService("threads", max_in_flight=4) as service:
-        futures = [service.submit(CompilationJob(compiler, tree=t, machines=4))
-                   for t in trees]
+        futures = [service.submit(CompilationJob(language="pascal", source=src,
+                                                 machines=4))
+                   for src in sources]
         reports = [f.result() for f in futures]
         print(service.stats().summary())
 """
@@ -29,7 +31,7 @@ import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.backends import Substrate, create_substrate
 from repro.distributed.compiler import CompilationReport, ParallelCompiler
@@ -47,19 +49,50 @@ class ServiceError(RuntimeError):
 class CompilationJob:
     """One unit of work for the service: a program plus how to compile it.
 
-    Provide either an already-parsed ``tree`` or a ``source`` string together with a
-    ``parse`` callable (the service then performs parse → partition → evaluate).
-    ``compiler`` is any configured :class:`ParallelCompiler`; jobs with different
-    compilers/grammars can share one service.
+    The front-door form names a registered ``language`` and provides ``source``:
+    the service parses with the language's front end and compiles on the registry's
+    shared engine, whose grammar bundle is keyed by language name — so the pooled
+    processes substrate ships each language's grammar+plan to a worker once ever.
+    Jobs of different languages stream through one service.
+
+    The explicit form instead provides a configured ``compiler``
+    (:class:`ParallelCompiler`) plus an already-parsed ``tree``, or a ``source``
+    with a ``parse`` callable.  When both ``language`` and ``compiler`` are given,
+    the compiler wins and the language only supplies the parser.
     """
 
-    compiler: ParallelCompiler
+    compiler: Optional[ParallelCompiler] = None
     tree: Optional[ParseTreeNode] = None
     source: Optional[str] = None
     parse: Optional[Callable[[str], ParseTreeNode]] = None
     machines: int = 2
     root_inherited: Optional[Dict[str, Any]] = None
     label: str = ""
+    language: Optional[str] = None
+    evaluator: str = "combined"
+
+    def resolve(self) -> Tuple[ParallelCompiler, ParseTreeNode]:
+        """The engine and parsed tree this job runs on (parsing if needed)."""
+        if self.language is not None:
+            # Local import: repro.api builds on the service layer, not the reverse.
+            from repro.api.language import engine_for, get_language
+
+            lang = get_language(self.language)
+            engine = self.compiler or engine_for(lang, self.evaluator)
+            if self.tree is not None:
+                return engine, self.tree
+            if self.source is None:
+                raise ServiceError(
+                    f"job {self.label!r} names language {self.language!r} "
+                    "but has neither a tree nor a source"
+                )
+            parse = self.parse or lang.parse
+            return engine, parse(self.source)
+        if self.compiler is None:
+            raise ServiceError(
+                f"job {self.label!r} needs a language name or a compiler"
+            )
+        return self.compiler, self.resolve_tree()
 
     def resolve_tree(self) -> ParseTreeNode:
         if self.tree is not None:
@@ -75,7 +108,14 @@ class CompilationJob:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """A point-in-time snapshot of one service's aggregate behaviour."""
+    """A point-in-time snapshot of one service's aggregate behaviour.
+
+    Whole-job latency percentiles are decomposed by phase: ``parse_*`` covers
+    scanning + parsing for jobs submitted as source text (jobs submitted with a
+    pre-built tree contribute nothing there) and ``compile_*`` covers the
+    partition + parallel-evaluation run on the substrate, for every job.  All
+    figures are wall-clock seconds over the completed-job window.
+    """
 
     jobs_submitted: int
     jobs_completed: int
@@ -88,6 +128,10 @@ class ServiceStats:
     latency_p95: float
     backend: str
     sessions_opened: int
+    parse_p50: float = 0.0
+    parse_p95: float = 0.0
+    compile_p50: float = 0.0
+    compile_p95: float = 0.0
 
     def summary(self) -> str:
         return (
@@ -95,7 +139,9 @@ class ServiceStats:
             f"{self.jobs_in_flight} in flight on the {self.backend} pool: "
             f"{self.throughput:.2f} compiles/s over {self.uptime_seconds:.2f}s, "
             f"latency mean {self.latency_mean * 1000:.1f}ms, "
-            f"p50 {self.latency_p50 * 1000:.1f}ms, p95 {self.latency_p95 * 1000:.1f}ms"
+            f"p50 {self.latency_p50 * 1000:.1f}ms, p95 {self.latency_p95 * 1000:.1f}ms "
+            f"(parse p50 {self.parse_p50 * 1000:.1f}ms / "
+            f"compile p50 {self.compile_p50 * 1000:.1f}ms)"
         )
 
 
@@ -143,6 +189,8 @@ class CompilationService:
         self._completed = 0
         self._failed = 0
         self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._parse_latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._compile_latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._started_at: Optional[float] = None
         self._closed = False
 
@@ -221,6 +269,8 @@ class CompilationService:
                 else 0.0
             )
             latencies = sorted(self._latencies)
+            parse_latencies = sorted(self._parse_latencies)
+            compile_latencies = sorted(self._compile_latencies)
             completed = self._completed
             failed = self._failed
             submitted = self._submitted
@@ -236,15 +286,21 @@ class CompilationService:
             latency_p95=_percentile(latencies, 0.95),
             backend=self._substrate.name,
             sessions_opened=self._substrate.sessions_opened,
+            parse_p50=_percentile(parse_latencies, 0.50),
+            parse_p95=_percentile(parse_latencies, 0.95),
+            compile_p50=_percentile(compile_latencies, 0.50),
+            compile_p95=_percentile(compile_latencies, 0.95),
         )
 
     # ---------------------------------------------------------------- internals
 
     def _execute(self, job: CompilationJob) -> CompilationReport:
         started = time.perf_counter()
+        did_parse = job.tree is None  # pre-built trees involve no parse phase
         try:
-            tree = job.resolve_tree()
-            report = job.compiler.compile_tree(
+            engine, tree = job.resolve()
+            parsed = time.perf_counter()
+            report = engine.compile_tree(
                 tree,
                 job.machines,
                 root_inherited=job.root_inherited,
@@ -254,7 +310,13 @@ class CompilationService:
             with self._lock:
                 self._failed += 1
             raise
+        finished = time.perf_counter()
+        if did_parse:
+            report.wall_parse_seconds = parsed - started
         with self._lock:
             self._completed += 1
-            self._latencies.append(time.perf_counter() - started)
+            self._latencies.append(finished - started)
+            if did_parse:
+                self._parse_latencies.append(parsed - started)
+            self._compile_latencies.append(finished - parsed)
         return report
