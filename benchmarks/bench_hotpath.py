@@ -1,0 +1,182 @@
+"""End-to-end hot-path benchmark: p50/p95 wall clock per substrate, per phase.
+
+Measures the per-compile fast path the packed-codec / precompiled-tables /
+poll-free-mailbox / single-pass-lexer work targets, on the Pascal workload:
+
+* **lex** — tokenizing the source (single-pass combined-regex scanner);
+* **parse** — full front end (lex + LALR parse) via the registered language;
+* **ship** — the parser coordinator encoding and sending region subtrees
+  (``CompilationReport.wall_ship_seconds``; packed array-of-ints codec on the
+  processes substrate);
+* **evaluate** — the backend run (``wall_evaluation_seconds``);
+* **end_to_end** — one whole ``Compiler.compile(source)`` call.
+
+Emits ``BENCH_hotpath.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI smoke
+
+``--check-baseline benchmarks/BENCH_hotpath_baseline.json`` exits non-zero when the
+processes-substrate end-to-end p50 regressed more than 2x against the committed
+baseline (the CI perf-smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+from typing import Dict, List
+
+from repro.api import Session, get_language
+from repro.pascal import generate_program
+from repro.pascal.lexer import tokenize_pascal
+
+#: Regression gate for --check-baseline: fail when p50 exceeds baseline by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = (len(ordered) - 1) * q
+    lower = int(index)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = index - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def _stats(samples: List[float]) -> Dict[str, float]:
+    return {
+        "p50": _percentile(samples, 0.50),
+        "p95": _percentile(samples, 0.95),
+        "samples": len(samples),
+    }
+
+
+def bench_substrate(
+    backend: str, source: str, machines: int, iterations: int
+) -> Dict[str, Dict[str, float]]:
+    """One substrate's numbers: end-to-end plus the per-phase decomposition."""
+    phases: Dict[str, List[float]] = {
+        "lex": [],
+        "parse": [],
+        "ship": [],
+        "evaluate": [],
+        "end_to_end": [],
+    }
+    with Session(backend=backend, machines=machines) as session:
+        compiler = session.compiler("pascal")
+        compiler.compile(source)  # warm the pool, the parse tables and the caches
+        for _ in range(iterations):
+            started = time.perf_counter()
+            tokenize_pascal(source)
+            phases["lex"].append(time.perf_counter() - started)
+
+            started = time.perf_counter()
+            result = compiler.compile(source)
+            phases["end_to_end"].append(time.perf_counter() - started)
+            phases["parse"].append(result.wall_parse_seconds)
+            phases["ship"].append(result.report.wall_ship_seconds)
+            phases["evaluate"].append(result.report.wall_evaluation_seconds)
+    return {phase: _stats(samples) for phase, samples in phases.items()}
+
+
+def run(args: argparse.Namespace) -> Dict:
+    if args.quick:
+        procedures, statements, iterations = 10, 4, 3
+    else:
+        procedures, statements, iterations = 24, 6, 10
+    source = generate_program(
+        procedures=procedures, statements_per_procedure=statements, seed=7
+    )
+    get_language("pascal")  # fail fast if the registry is broken
+
+    substrates = ["simulated", "threads"]
+    if _fork_available():
+        substrates.append("processes")
+
+    results: Dict[str, Dict] = {}
+    for backend in substrates:
+        print(f"benchmarking {backend} substrate ({iterations} iterations)...")
+        results[backend] = bench_substrate(backend, source, args.machines, iterations)
+        end = results[backend]["end_to_end"]
+        print(f"  end-to-end p50 {end['p50'] * 1000:.1f}ms  p95 {end['p95'] * 1000:.1f}ms")
+
+    return {
+        "benchmark": "hotpath",
+        "workload": {
+            "language": "pascal",
+            "procedures": procedures,
+            "statements_per_procedure": statements,
+            "seed": 7,
+            "source_chars": len(source),
+            "machines": args.machines,
+            "iterations": iterations,
+            "quick": args.quick,
+        },
+        "substrates": results,
+    }
+
+
+def check_baseline(payload: Dict, baseline_path: str) -> int:
+    """Compare the processes-substrate end-to-end p50 against the committed baseline."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    shape = ("procedures", "statements_per_procedure", "machines", "quick")
+    current_shape = tuple(payload["workload"].get(k) for k in shape)
+    baseline_shape = tuple(baseline["workload"].get(k) for k in shape)
+    if current_shape != baseline_shape:
+        print(
+            f"baseline check skipped: workload shape {current_shape} does not match "
+            f"baseline {baseline_shape}"
+        )
+        return 0
+    current = payload["substrates"].get("processes")
+    reference = baseline["substrates"].get("processes")
+    if current is None or reference is None:
+        print("baseline check skipped: processes substrate unavailable")
+        return 0
+    current_p50 = current["end_to_end"]["p50"]
+    reference_p50 = reference["end_to_end"]["p50"]
+    limit = reference_p50 * REGRESSION_FACTOR
+    verdict = "OK" if current_p50 <= limit else "REGRESSION"
+    print(
+        f"baseline check [{verdict}]: processes end-to-end p50 {current_p50 * 1000:.1f}ms "
+        f"vs baseline {reference_p50 * 1000:.1f}ms (limit {limit * 1000:.1f}ms)"
+    )
+    return 0 if current_p50 <= limit else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small program, few iterations (CI smoke)")
+    parser.add_argument("--machines", type=int, default=4, help="evaluator machines per compile")
+    parser.add_argument("--output", default="BENCH_hotpath.json", help="where to write the JSON report")
+    parser.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        help=f"fail (exit 1) if processes p50 regressed >{REGRESSION_FACTOR}x over this baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check_baseline:
+        return check_baseline(payload, args.check_baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

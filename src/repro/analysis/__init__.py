@@ -13,7 +13,9 @@ This package implements:
 * :mod:`repro.analysis.cycles` — the non-circularity test over induced dependencies;
 * :mod:`repro.analysis.ordered` — attribute partitions and visit numbers;
 * :mod:`repro.analysis.visit_sequences` — per-production visit sequences consumed by the
-  static and combined evaluators.
+  static and combined evaluators;
+* :mod:`repro.analysis.tables` — precompiled per-grammar rule/argument index tables
+  (cached alongside the evaluation plan) that the evaluators' hot loops run on.
 """
 
 from repro.analysis.dependencies import (
@@ -26,6 +28,13 @@ from repro.analysis.ordered import (
     NotOrderedError,
     AttributePartition,
     compute_partitions,
+)
+from repro.analysis.tables import (
+    EvaluationTables,
+    ProductionTables,
+    RuleTable,
+    SymbolTables,
+    evaluation_tables,
 )
 from repro.analysis.visit_sequences import (
     VisitInstruction,
@@ -51,4 +60,9 @@ __all__ = [
     "VisitSequence",
     "OrderedEvaluationPlan",
     "build_evaluation_plan",
+    "EvaluationTables",
+    "ProductionTables",
+    "RuleTable",
+    "SymbolTables",
+    "evaluation_tables",
 ]

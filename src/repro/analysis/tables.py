@@ -1,0 +1,140 @@
+"""Precompiled per-grammar evaluation tables.
+
+The evaluators' inner loops — building an instance dependency graph and firing
+semantic rules — spend most of their time on lookups that depend only on the grammar:
+scanning ``production.rules`` for the rule defining an occurrence (a linear scan with
+``AttributeRef`` equality per probe), resolving ``AttributeRef`` objects against tree
+nodes, and re-deriving each attribute's kind and priority from declaration objects.
+All of that is precompiled here, once per grammar per process, into index-keyed
+tables: rules are addressed by ``(position, name)`` pairs or by their index in the
+production, and every rule carries flat ``(position, name, is_terminal)`` fetch specs
+so argument gathering is an integer child-index walk plus a dict probe on the node's
+attribute store.
+
+The tables are pure derived data — they reference the grammar's own rule and symbol
+objects, never copies — and are cached weakly per grammar, so a pooled worker builds
+them exactly once per shipped grammar bundle, right next to the cached
+:class:`~repro.analysis.visit_sequences.OrderedEvaluationPlan`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.grammar.attributes import AttributeKind
+from repro.grammar.grammar import AttributeGrammar
+from repro.grammar.productions import SemanticRule
+from repro.grammar.symbols import Nonterminal, Terminal
+from repro.tree.node import ParseTreeNode
+
+
+class RuleTable:
+    """Precompiled form of one semantic rule of one production.
+
+    ``arg_fetch`` holds one ``(position, name, is_terminal)`` triple per rule
+    argument, in call order; ``nonterminal_args`` is the subset that creates
+    dependency edges (terminal arguments are always available).  ``function`` and
+    ``cost`` are hoisted off the rule so the firing loop touches one object.
+    """
+
+    __slots__ = (
+        "rule",
+        "function",
+        "cost",
+        "target_position",
+        "target_name",
+        "arg_fetch",
+        "nonterminal_args",
+    )
+
+    def __init__(self, rule: SemanticRule, production) -> None:
+        self.rule = rule
+        self.function = rule.function
+        self.cost = rule.cost
+        self.target_position = rule.target.position
+        self.target_name = rule.target.name
+        fetch: List[Tuple[int, str, bool]] = []
+        nonterminal_args: List[Tuple[int, str]] = []
+        for ref in rule.arguments:
+            symbol = production.symbol_at(ref.position)
+            is_terminal = isinstance(symbol, Terminal)
+            fetch.append((ref.position, ref.name, is_terminal))
+            if not is_terminal:
+                nonterminal_args.append((ref.position, ref.name))
+        self.arg_fetch = tuple(fetch)
+        self.nonterminal_args = tuple(nonterminal_args)
+
+    def fetch_arguments(self, node: ParseTreeNode) -> List[Any]:
+        """Gather argument values relative to the rule-owning ``node``.
+
+        The scheduler guarantees availability before firing; a missing value
+        surfaces as ``KeyError`` exactly like ``ParseTreeNode.get_attribute``.
+        """
+        values: List[Any] = []
+        children = node.children
+        for position, name, is_terminal in self.arg_fetch:
+            source = node if position == 0 else children[position - 1]
+            if is_terminal:
+                values.append(source.token_value)
+            else:
+                values.append(source.attributes[name])
+        return values
+
+
+class ProductionTables:
+    """All precompiled rules of one production, by index and by target occurrence."""
+
+    __slots__ = ("rules", "by_target")
+
+    def __init__(self, production) -> None:
+        self.rules: Tuple[RuleTable, ...] = tuple(
+            RuleTable(rule, production) for rule in production.rules
+        )
+        self.by_target: Dict[Tuple[int, str], RuleTable] = {
+            (table.target_position, table.target_name): table for table in self.rules
+        }
+
+
+class SymbolTables:
+    """Flat attribute metadata of one nonterminal: ``(name, is_synthesized, priority)``."""
+
+    __slots__ = ("attrs", "priority_of")
+
+    def __init__(self, nonterminal: Nonterminal) -> None:
+        self.attrs: Tuple[Tuple[str, bool, bool], ...] = tuple(
+            (decl.name, decl.kind is AttributeKind.SYNTHESIZED, decl.priority)
+            for decl in nonterminal.attributes.values()
+        )
+        self.priority_of: Dict[str, bool] = {
+            name: priority for name, _synth, priority in self.attrs
+        }
+
+
+class EvaluationTables:
+    """The full precompiled table set of one grammar."""
+
+    __slots__ = ("productions", "nonterminals")
+
+    def __init__(self, grammar: AttributeGrammar) -> None:
+        self.productions: List[ProductionTables] = [
+            ProductionTables(production) for production in grammar.productions
+        ]
+        self.nonterminals: Dict[str, SymbolTables] = {
+            name: SymbolTables(nonterminal)
+            for name, nonterminal in grammar.nonterminals.items()
+        }
+
+
+_tables_cache: "weakref.WeakKeyDictionary[AttributeGrammar, EvaluationTables]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def evaluation_tables(grammar: AttributeGrammar) -> EvaluationTables:
+    """The cached :class:`EvaluationTables` of ``grammar`` (built on first use)."""
+    tables = _tables_cache.get(grammar)
+    if tables is None:
+        tables = EvaluationTables(grammar)
+        _tables_cache[grammar] = tables
+    return tables

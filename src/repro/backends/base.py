@@ -325,28 +325,94 @@ class Substrate(abc.ABC):
         self.shutdown()
 
 
-def poll_receive(fifo: Any, timeout: float, failed: Any, who: str, mailbox_name: str) -> Any:
-    """Blocking queue read with cooperative failure detection for real substrates.
+class WakeToken:
+    """Control message injected into a mailbox to rouse a blocked receiver.
 
-    Polls ``fifo`` (a ``queue.Queue`` or ``multiprocessing.Queue``) in short slices so
-    that a failure flagged by another worker (``failed``, a ``threading.Event``)
-    unwinds this reader promptly instead of deadlocking the whole run; gives up with a
-    diagnostic after ``timeout`` seconds.
+    Real substrates sleep inside a genuinely blocking ``queue.get`` — there is no
+    polling loop left to notice a failure flag.  Whoever flips a session's failure
+    (or abort) flag therefore also puts a ``WakeToken`` into every mailbox the
+    session owns; receivers discard the token, re-check their flag, and either abort
+    or go back to sleep for the remainder of their deadline.  Tokens are never part
+    of the compilation protocol, so a stale one (failure already handled, or a wake
+    raced with a normal message) is simply dropped.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"WakeToken({self.reason!r})"
+
+
+def deadline_get(fifo: Any, deadline: float, timeout: float, who: str, mailbox_name: str) -> Any:
+    """One blocking read against an absolute deadline, with the shared diagnostic.
+
+    The single implementation of "sleep until a message or the deadline" used by
+    every real-substrate receive loop; callers keep their own reaction to
+    :class:`WakeToken`\\ s and abort flags around it.
     """
     import queue as queue_module
 
+    remaining = deadline - time.monotonic()
+    if remaining > 0:
+        try:
+            return fifo.get(timeout=remaining)
+        except queue_module.Empty:
+            pass
+    raise BackendError(
+        f"{who} timed out after {timeout:.0f}s waiting on "
+        f"mailbox {mailbox_name!r} (protocol deadlock?)"
+    )
+
+
+def blocking_receive(fifo: Any, timeout: float, failed: Any, who: str, mailbox_name: str) -> Any:
+    """Blocking queue read with a real deadline and token-based failure wake-up.
+
+    The reader sleeps in the OS until a message lands in ``fifo`` (a ``queue.Queue``
+    or ``multiprocessing.Queue``) — no polling slices, so message latency is bounded
+    by the transport, not by a tick interval.  A failure flagged by another worker
+    (``failed``, a ``threading.Event``) is delivered as a :class:`WakeToken`; gives
+    up with a diagnostic after ``timeout`` seconds.
+    """
     deadline = time.monotonic() + timeout
     while True:
         if failed.is_set():
             raise BackendError(f"{who} aborted: another worker failed")
+        message = deadline_get(fifo, deadline, timeout, who, mailbox_name)
+        if isinstance(message, WakeToken):
+            continue
+        return message
+
+
+#: Backwards-compatible alias for the pre-token polling primitive (same signature).
+poll_receive = blocking_receive
+
+
+def drain_fifo(fifo: Any, settle_timeout: float = 0.0) -> int:
+    """Empty a queue, optionally waiting once for in-flight feeders to land.
+
+    The fast path never blocks: ``get_nowait`` until empty.  With a ``settle_timeout``
+    (used after failed runs, where another process may still be mid-``put``), a single
+    bounded blocking read replaces repeated short polling ticks; every message that
+    arrives within the window resets it.  Returns the number of messages discarded.
+    """
+    import queue as queue_module
+
+    drained = 0
+    while True:
         try:
-            return fifo.get(timeout=0.05)
+            fifo.get_nowait()
+            drained += 1
         except queue_module.Empty:
-            if time.monotonic() > deadline:
-                raise BackendError(
-                    f"{who} timed out after {timeout:.0f}s waiting on "
-                    f"mailbox {mailbox_name!r} (protocol deadlock?)"
-                ) from None
+            if settle_timeout <= 0:
+                return drained
+            try:
+                fifo.get(timeout=settle_timeout)
+                drained += 1
+            except queue_module.Empty:
+                return drained
 
 
 def drive(body: Generator, receive: Any) -> None:

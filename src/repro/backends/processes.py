@@ -33,6 +33,7 @@ construction raises :class:`BackendError` — use the threads backend there.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import pickle
 import queue as queue_module
 import sys
@@ -49,9 +50,12 @@ from repro.backends.base import (
     Mailbox,
     SharedBundle,
     Substrate,
+    WakeToken,
     WorkerJob,
+    blocking_receive,
+    deadline_get,
+    drain_fifo,
     drive,
-    poll_receive,
 )
 from repro.backends.threads import QueueMailbox
 
@@ -145,18 +149,19 @@ class _ChildTransport:
         return time.perf_counter() - self._started
 
     def receive(self, mailbox: QueueMailbox) -> Any:
+        # Genuinely blocking: the worker sleeps in the OS until a message (or a
+        # WakeToken injected by the parent's abort path) lands in the mailbox, so the
+        # per-message latency floor is the queue transport itself, not a poll tick.
         deadline = time.monotonic() + self._timeout
         while True:
             if self._abort.is_set():
                 raise _JobAborted()
-            try:
-                return mailbox.queue.get(timeout=0.05)
-            except queue_module.Empty:
-                if time.monotonic() > deadline:
-                    raise BackendError(
-                        f"pooled worker timed out after {self._timeout:.0f}s waiting on "
-                        f"mailbox {mailbox.name!r} (protocol deadlock?)"
-                    ) from None
+            message = deadline_get(
+                mailbox.queue, deadline, self._timeout, "pooled worker", mailbox.name
+            )
+            if isinstance(message, WakeToken):
+                continue
+            return message
 
 
 def _pool_worker_main(
@@ -304,13 +309,19 @@ class ProcessesSubstrate(Substrate):
             session._failed.set()
             session._jobs_event.set()
         for worker in workers:
+            # Abort flags must be set BEFORE the mailboxes are woken: a worker roused
+            # by a token re-checks its abort event and must find it already flipped,
+            # or it would go straight back to sleep with no second wake coming.
             if worker.process.is_alive():
-                # Unblock a worker wedged in a receive (it polls the abort event)
-                # so the poison pill below is seen promptly instead of after the
-                # full receive timeout.
                 worker.abort_event.set()
+        for session in sessions:
+            session._wake_mailboxes("processes substrate shut down")
+        for worker in workers:
+            if worker.process.is_alive():
                 worker.job_queue.put(None)
         if self._dispatcher is not None:
+            if self._control is not None:
+                self._control.put(None)  # rouse the dispatcher's blocking get
             self._dispatcher.join(timeout=5.0)
         for worker in workers:
             worker.process.join(timeout=5.0)
@@ -381,16 +392,10 @@ class ProcessesSubstrate(Substrate):
         """Drain and return leased registry slots so the next lease starts empty.
 
         ``settle`` waits out in-flight queue feeders after a failed run; a clean run
-        leaves its mailboxes empty by protocol, so the fast path is a no-op.
+        leaves its mailboxes empty by protocol, so the fast path never blocks at all.
         """
         for mailbox in leased:
-            empty_streak = 0
-            while empty_streak < (2 if settle else 1):
-                try:
-                    mailbox.queue.get(timeout=0.05) if settle else mailbox.queue.get_nowait()
-                    empty_streak = 0
-                except queue_module.Empty:
-                    empty_streak += 1
+            drain_fifo(mailbox.queue, settle_timeout=0.1 if settle else 0.0)
         with self._lock:
             for mailbox in leased:
                 self._free_mailboxes.append(mailbox.index)
@@ -510,23 +515,34 @@ class ProcessesSubstrate(Substrate):
             self._evict_delivered_blobs_locked()
 
     def _abort_session(self, session: "ProcessesSession") -> None:
-        """Flag every pooled worker still running a job of ``session`` to unwind."""
+        """Flag every pooled worker still running a job of ``session`` to unwind.
+
+        The abort event alone is not enough with blocking receives — a worker asleep
+        in ``queue.get`` never looks at it — so the session's mailboxes are also woken
+        with tokens; the roused worker re-checks the event and unwinds.
+        """
         with self._lock:
             for worker in self._workers:
                 if worker.current is not None and worker.current[0] == session.session_id:
                     worker.abort_event.set()
+        session._wake_mailboxes("session aborted")
 
     # ----------------------------------------------------------------- dispatcher
 
     def _dispatch_loop(self) -> None:
-        """Drain the control queue and watch worker liveness until shutdown."""
+        """Drain the control queue and watch worker liveness until shutdown.
+
+        Blocks on the control queue, so completion/report records are routed the
+        moment they arrive; the timeout only paces the liveness sweep for workers
+        that die without a record.  ``shutdown()`` wakes the loop with a ``None``.
+        """
         last_liveness = 0.0
         while True:
             with self._lock:
                 if self._stopped:
                     return
             try:
-                record = self._control.get(timeout=0.05)
+                record = self._control.get(timeout=0.2)
             except queue_module.Empty:
                 record = None
             if record is not None:
@@ -719,6 +735,12 @@ class ProcessesSession(Backend):
 
     # ---------------------------------------------------------------- internals
 
+    def _wake_mailboxes(self, reason: str) -> None:
+        """Rouse every receiver (pooled worker or coordinator) blocked on a mailbox
+        this session leased.  Stray tokens are drained with the mailbox at release."""
+        for mailbox in self._leased:
+            mailbox.queue.put(WakeToken(reason))
+
     def _account_unsubmitted(self, count: int) -> None:
         """Settle completion accounting for jobs that never reached a worker."""
         with self._lock:
@@ -754,7 +776,7 @@ class ProcessesSession(Backend):
             self._substrate._abort_session(self)
 
     def _coordinator_receive(self, mailbox: QueueMailbox, who: str) -> Any:
-        return poll_receive(
+        return blocking_receive(
             mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
         )
 
@@ -797,11 +819,15 @@ class ProcessesBackend(Backend):
         self._in_child = False
         self._children: List[Any] = []
         self._closed = False
+        self._mailboxes: List[QueueMailbox] = []
+        self._live_coordinators = 0
 
     # ----------------------------------------------------------------- plumbing
 
     def mailbox(self, name: str) -> QueueMailbox:
-        return QueueMailbox(name, self._context.Queue())
+        mailbox = QueueMailbox(name, self._context.Queue())
+        self._mailboxes.append(mailbox)
+        return mailbox
 
     def spawn(
         self,
@@ -852,6 +878,7 @@ class ProcessesBackend(Backend):
         self._children = children
         for child in children:
             child.start()
+        self._live_coordinators = len(self._coordinators)
         coordinator_threads = [
             threading.Thread(
                 target=self._run_coordinator, args=(body, name), name=name, daemon=True
@@ -862,9 +889,14 @@ class ProcessesBackend(Backend):
             thread.start()
 
         pending_children = {child.name: child for child in children}
+        # The monitor sleeps until something actually happens: a control record
+        # arrives (the queue's reader pipe becomes readable) or a child process
+        # exits (its sentinel fires); finishing coordinators enqueue a wake record.
+        # The timeout is only a safety net, not the detection mechanism.
+        control_reader = getattr(self._control, "_reader", None)
         try:
             while True:
-                self._drain_control(timeout=0.05)
+                self._drain_control_nowait()
                 for name, child in list(pending_children.items()):
                     if not child.is_alive():
                         child.join()
@@ -874,14 +906,22 @@ class ProcessesBackend(Backend):
                                     self._errors.append(
                                         (name, f"worker process exited with code {child.exitcode}")
                                     )
-                            self._failed.set()
+                            self._fail()
                         del pending_children[name]
                 if self._failed.is_set():
                     break
-                if not pending_children and all(
-                    not thread.is_alive() for thread in coordinator_threads
-                ):
+                with self._lock:
+                    coordinators_done = self._live_coordinators == 0
+                if not pending_children and coordinators_done:
                     break
+                if control_reader is not None:
+                    multiprocessing.connection.wait(
+                        [control_reader]
+                        + [child.sentinel for child in pending_children.values()],
+                        timeout=0.5,
+                    )
+                else:  # pragma: no cover — transport without a reader pipe
+                    time.sleep(0.05)
         finally:
             # Also terminate on exceptions that bypass the error plumbing (e.g. a
             # KeyboardInterrupt in this monitor loop) — otherwise healthy children
@@ -898,17 +938,19 @@ class ProcessesBackend(Backend):
             # Each child enqueues its report and then its network-counter record just
             # before exiting, and the queue's feeder pipe can lag the join: keep
             # draining until both have landed for every worker (bounded, in case a
-            # child died before publishing).
+            # child died before publishing).  Each read blocks only until the next
+            # record arrives — nothing waits out a fixed window once the counts are in.
             drain_deadline = time.monotonic() + 5.0
-            self._drain_control(timeout=0.2)
+            self._drain_control_nowait()
             while (
                 (len(self._reports) < self._worker_count
                  or self._net_records_seen < self._worker_count)
                 and not self._errors
                 and not aborting
-                and time.monotonic() < drain_deadline
             ):
-                self._drain_control(timeout=0.1)
+                remaining = drain_deadline - time.monotonic()
+                if remaining <= 0 or not self._drain_one(remaining):
+                    break
 
         if self._errors:
             name, detail = self._errors[0]
@@ -935,6 +977,12 @@ class ProcessesBackend(Backend):
             return
         self._closed = True
         self._failed.set()
+        with self._lock:
+            coordinators_blocked = self._live_coordinators > 0
+        if coordinators_blocked:
+            # Only a run abandoned mid-flight can still have a coordinator asleep in
+            # a receive; a cleanly finished run must not get garbage wake tokens.
+            self._fail()
         for child in self._children:
             if child.is_alive():
                 child.terminate()
@@ -942,6 +990,14 @@ class ProcessesBackend(Backend):
             child.join(timeout=5.0)
 
     # ---------------------------------------------------------------- internals
+
+    def _fail(self) -> None:
+        """Flag the run failed and wake every receiver blocked on one of its
+        mailboxes (coordinator threads; children also get terminated by ``run``)."""
+        self._failed.set()
+        if not self._in_child:
+            for mailbox in self._mailboxes:
+                mailbox.queue.put(WakeToken("run failed"))
 
     def _child_main(self, body: Generator, name: str) -> None:
         """Entry point of a forked worker process."""
@@ -955,13 +1011,14 @@ class ProcessesBackend(Backend):
             raise
 
     def _child_receive(self, mailbox: QueueMailbox, who: str) -> Any:
-        try:
-            return mailbox.queue.get(timeout=self.receive_timeout)
-        except queue_module.Empty:
-            raise BackendError(
-                f"{who} timed out after {self.receive_timeout:.0f}s waiting on "
-                f"mailbox {mailbox.name!r} (protocol deadlock?)"
-            ) from None
+        deadline = time.monotonic() + self.receive_timeout
+        while True:
+            message = deadline_get(
+                mailbox.queue, deadline, self.receive_timeout, who, mailbox.name
+            )
+            if isinstance(message, WakeToken):
+                continue  # parent-side wake for a failure we learn about via terminate
+            return message
 
     def _run_coordinator(self, body: Generator, name: str) -> None:
         try:
@@ -969,38 +1026,51 @@ class ProcessesBackend(Backend):
         except BaseException as error:  # noqa: BLE001 — reported via run()
             with self._lock:
                 self._errors.append((name, repr(error)))
-            self._failed.set()
+            self._fail()
+        finally:
+            with self._lock:
+                self._live_coordinators -= 1
+            # Wake the monitor loop so coordinator completion is seen immediately.
+            self._control.put(None)
 
     def _coordinator_receive(self, mailbox: QueueMailbox, who: str) -> Any:
-        return poll_receive(
+        return blocking_receive(
             mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
         )
 
-    def _drain_control(self, timeout: float) -> None:
-        """Absorb report/telemetry/error records sent by worker processes."""
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            try:
-                record = self._control.get(timeout=max(remaining, 0.0) or 0.01)
-            except queue_module.Empty:
-                return
-            tag = record[0]
-            if tag == "report":
-                self._reports[record[1]] = record[2]
-            elif tag == "net":
-                with self._lock:
-                    self._messages += record[1]
-                    self._bytes += record[2]
-                    self._net_records_seen += 1
-            elif tag == "error":
-                with self._lock:
-                    # A child's traceback beats the bare exit-code diagnostic that the
-                    # liveness check may already have recorded for the same worker.
-                    self._errors = [
-                        entry
-                        for entry in self._errors
-                        if not (entry[0] == record[1] and "exited with code" in entry[1])
-                    ]
-                    self._errors.insert(0, (record[1], record[2]))
-                self._failed.set()
+    def _drain_control_nowait(self) -> None:
+        """Absorb every already-queued report/telemetry/error record, never blocking."""
+        while self._drain_one(0.0):
+            pass
+
+    def _drain_one(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds for one control record; False when none came."""
+        try:
+            if timeout <= 0:
+                record = self._control.get_nowait()
+            else:
+                record = self._control.get(timeout=timeout)
+        except queue_module.Empty:
+            return False
+        if record is None:  # wake record from a finishing coordinator thread
+            return True
+        tag = record[0]
+        if tag == "report":
+            self._reports[record[1]] = record[2]
+        elif tag == "net":
+            with self._lock:
+                self._messages += record[1]
+                self._bytes += record[2]
+                self._net_records_seen += 1
+        elif tag == "error":
+            with self._lock:
+                # A child's traceback beats the bare exit-code diagnostic that the
+                # liveness check may already have recorded for the same worker.
+                self._errors = [
+                    entry
+                    for entry in self._errors
+                    if not (entry[0] == record[1] and "exited with code" in entry[1])
+                ]
+                self._errors.insert(0, (record[1], record[2]))
+            self._fail()
+        return True

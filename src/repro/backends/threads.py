@@ -17,10 +17,12 @@ Two lifecycles share the implementation:
 * :class:`ThreadsBackend` — the legacy one-shot API: a single run session bound to a
   private pool that is started lazily and retired when the run finishes.
 
-Failure handling: any body that raises flips the owning *session's* failure flag;
-every other body of that session polls the flag inside blocking receives so the
-session unwinds promptly instead of deadlocking, while unrelated sessions on the same
-pool keep running.  :meth:`ThreadsSession.run` re-raises the first error.
+Failure handling: any body that raises flips the owning *session's* failure flag and
+injects a :class:`~repro.backends.base.WakeToken` into every mailbox of the session;
+the other bodies sleep in genuinely blocking receives (no polling ticks) and the
+token rouses them so the session unwinds promptly instead of deadlocking, while
+unrelated sessions on the same pool keep running.  :meth:`ThreadsSession.run`
+re-raises the first error.
 """
 
 from __future__ import annotations
@@ -37,9 +39,10 @@ from repro.backends.base import (
     BackendTelemetry,
     Mailbox,
     Substrate,
+    WakeToken,
     WorkerJob,
+    blocking_receive,
     drive,
-    poll_receive,
 )
 
 
@@ -98,12 +101,12 @@ class ThreadsSubstrate(Substrate):
             count = len(self._threads)
             threads = list(self._threads)
             sessions = list(self._active)
-        # Unwind any compilation still in flight: its blocked receives poll the
-        # session failure flag, so the pool threads come back promptly instead of
-        # sitting out the full receive timeout.
+        # Unwind any compilation still in flight: its blocked receives sleep inside a
+        # real queue.get, so flip the failure flag AND wake every mailbox — the pool
+        # threads come back promptly instead of sitting out the full receive timeout.
         for session in sessions:
             if not session._done.is_set():
-                session._failed.set()
+                session._fail("threads substrate shut down mid-run")
         for _ in range(count):
             self._jobs.put(None)
         for thread in threads:
@@ -184,8 +187,13 @@ class ThreadsSubstrate(Substrate):
             try:
                 session._run_body(body, name)
             finally:
+                # Release the pool slot BEFORE signalling the session's completion
+                # event: a caller woken by run() may immediately dispatch its next
+                # batch, and must see this thread as available again — otherwise the
+                # pool grows by one idle thread per back-to-back compilation.
                 with self._lock:
                     self._busy -= 1
+                session._body_finished()
 
 
 class ThreadsSession(Backend):
@@ -208,11 +216,14 @@ class ThreadsSession(Backend):
         self._done = threading.Event()
         self._ran = False
         self._closed = False
+        self._mailboxes: List[QueueMailbox] = []
 
     # ----------------------------------------------------------------- plumbing
 
     def mailbox(self, name: str) -> QueueMailbox:
-        return QueueMailbox(name, queue.Queue())
+        mailbox = QueueMailbox(name, queue.Queue())
+        self._mailboxes.append(mailbox)
+        return mailbox
 
     def spawn(
         self,
@@ -283,12 +294,18 @@ class ThreadsSession(Backend):
             return
         self._closed = True
         if self._ran and not self._done.is_set():
-            # Unwind any of this session's bodies still blocked in a receive; they poll
-            # the failure flag in short slices, so the pool threads come back quickly.
-            self._failed.set()
+            # Unwind any of this session's bodies still blocked in a receive: flip the
+            # failure flag and wake every mailbox so sleeping readers return at once.
+            self._fail("session closed mid-run")
             self._done.wait(timeout=10.0)
 
     # ---------------------------------------------------------------- internals
+
+    def _fail(self, reason: str) -> None:
+        """Flag the session failed and wake every blocked receiver it owns."""
+        self._failed.set()
+        for mailbox in self._mailboxes:
+            mailbox.queue.put(WakeToken(reason))
 
     def _run_body(self, body: Generator, name: str) -> None:
         try:
@@ -296,23 +313,26 @@ class ThreadsSession(Backend):
         except BaseException as error:  # noqa: BLE001 — reported via run()
             with self._lock:
                 self._errors.append((name, error))
-            self._failed.set()
-        finally:
-            with self._lock:
-                self._remaining -= 1
-                if self._remaining == 0:
-                    self._done.set()
+            self._fail(f"worker {name!r} failed")
+
+    def _body_finished(self) -> None:
+        """Completion accounting, called by the pool after the slot is released."""
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
 
     def _receive(self, mailbox: QueueMailbox, who: str) -> Any:
-        return poll_receive(
+        return blocking_receive(
             mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
         )
 
     def _body_never_ran(self, name: str, error: BaseException) -> None:
         """Settle accounting for a dispatched body no pool worker will ever run."""
-        self._failed.set()
         with self._lock:
             self._errors.append((name, error))
+        self._fail("substrate shut down before body ran")
+        with self._lock:
             self._remaining -= 1
             if self._remaining == 0:
                 self._done.set()

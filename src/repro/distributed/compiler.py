@@ -60,9 +60,8 @@ from repro.runtime.cost import CostModel
 from repro.runtime.machine import ActivityInterval, ActivityKind
 from repro.runtime.network import NetworkParameters
 from repro.strings.rope import Rope
-from repro.tree.linearize import linearize
+from repro.tree.linearize import linearize, pack
 from repro.tree.node import ParseTreeNode
-from repro.tree.stats import tree_statistics
 
 
 @dataclass
@@ -77,6 +76,9 @@ class CompilerConfiguration:
     :param librarian_attributes: names of root/split synthesized attributes treated as
         code strings by the librarian protocol.
     :param use_priority: honour priority-attribute declarations when scheduling.
+    :param use_precompiled_tables: evaluate through the precompiled per-grammar rule
+        tables (:mod:`repro.analysis.tables`); ``False`` selects the seed
+        dict/``AttributeRef`` paths, kept as the parity-test reference.
     :param min_split_size: explicit decomposition threshold (abstract bytes); by default
         the threshold is derived from the tree size and machine count.
     :param split_scale: multiplier on the automatically derived threshold (the paper's
@@ -90,6 +92,7 @@ class CompilerConfiguration:
     use_librarian: bool = True
     librarian_attributes: Tuple[str, ...] = ("code",)
     use_priority: bool = True
+    use_precompiled_tables: bool = True
     root_inherited: Dict[str, Any] = field(default_factory=dict)
     cost_model: CostModel = field(default_factory=CostModel)
     network: NetworkParameters = field(default_factory=NetworkParameters)
@@ -131,6 +134,10 @@ class CompilationReport:
     wall_time_seconds: float = 0.0
     wall_evaluation_seconds: float = 0.0
     worker_count: int = 0
+    #: Wall-clock seconds the parser spent encoding and sending region subtrees to
+    #: their evaluators (the "ship" phase of the hot path); 0.0 until the parser has
+    #: distributed all regions.
+    wall_ship_seconds: float = 0.0
     #: Wall-clock seconds the caller spent parsing the source into the tree this
     #: compilation ran on.  ``compile_tree`` cannot measure it (it receives a parsed
     #: tree), so the front door (:class:`repro.api.Compiler`, the service layer and
@@ -274,8 +281,10 @@ class ParallelCompiler:
         """
         config = self.configuration
         wall_started = time.perf_counter()
-        stats = tree_statistics(tree)
-        parse_time = config.cost_model.parse_cost(stats.node_count)
+        # Only the node count feeds the modelled parse cost; the full per-symbol
+        # statistics walk is an order of magnitude more expensive and not needed here.
+        tree_nodes = tree.subtree_size()
+        parse_time = config.cost_model.parse_cost(tree_nodes)
 
         decomposition = plan_decomposition(
             tree,
@@ -309,7 +318,7 @@ class ParallelCompiler:
                 decomposition,
                 root_inherited,
                 parse_time,
-                stats.node_count,
+                tree_nodes,
                 wall_started,
             )
         finally:
@@ -378,6 +387,7 @@ class ParallelCompiler:
                         config.librarian_attributes if librarian_active else ()
                     ),
                     use_priority=config.use_priority,
+                    use_tables=config.use_precompiled_tables,
                     attribute_phase=config.attribute_phase,
                 ),
                 shared={"grammar_bundle": self._grammar_bundle},
@@ -404,6 +414,7 @@ class ParallelCompiler:
             "root_attributes": {},
             "assembled": {},
             "finish_time": 0.0,
+            "ship_wall": 0.0,
         }
         session.spawn(
             self._parser_process(
@@ -468,6 +479,7 @@ class ParallelCompiler:
             wall_time_seconds=time.perf_counter() - wall_started,
             wall_evaluation_seconds=wall_evaluation,
             worker_count=session.worker_count,
+            wall_ship_seconds=outcome["ship_wall"],
         )
 
     def _root_librarian_attributes(self) -> Tuple[str, ...]:
@@ -493,20 +505,29 @@ class ParallelCompiler:
         outcome: Dict[str, Any],
     ) -> Generator:
         config = self.configuration
+        # Regions cross a pickling process boundary on the processes substrate, so
+        # they ship in the packed array-of-ints codec there; everywhere else the
+        # readable linearized records are used (the simulated substrate must stay
+        # byte-identical, and in-process transports never serialise).
+        use_packed = substrate.name == "processes"
+        ship_started = time.perf_counter()
         # Ship remote regions first (they must cross the network), then hand the root
         # region to the co-located evaluator.
         for region in decomposition.regions[1:]:
             holes = decomposition.holes_of(region.region_id)
-            linearized = linearize(region.root, holes)
+            if use_packed:
+                encoded: Any = pack(self.grammar, region.root, holes)
+            else:
+                encoded = linearize(region.root, holes)
             cost = (
-                config.cost_model.linearize_cost(linearized.size_bytes())
+                config.cost_model.linearize_cost(encoded.size_bytes())
                 + config.cost_model.message_cpu_cost
             )
             yield Compute(cost, ActivityKind.PARSE, f"ship region {region.label}")
             message = SubtreeMessage(
                 region_id=region.region_id,
                 parent_region=region.parent_region,
-                tree=linearized,
+                tree=encoded,
                 unique_base=base_for_region(region.region_id),
                 label=region.label,
             )
@@ -519,16 +540,21 @@ class ParallelCompiler:
             )
 
         root_region = decomposition.regions[0]
-        root_linearized = linearize(root_region.root, decomposition.holes_of(0))
+        root_holes = decomposition.holes_of(0)
+        if use_packed:
+            root_encoded: Any = pack(self.grammar, root_region.root, root_holes)
+        else:
+            root_encoded = linearize(root_region.root, root_holes)
         root_message = SubtreeMessage(
             region_id=0,
             parent_region=None,
-            tree=root_linearized,
+            tree=root_encoded,
             unique_base=base_for_region(0),
             root_inherited=dict(root_inherited),
             label=root_region.label,
         )
         substrate.send(parser_machine, parser_machine, root_message, 0, mailbox=mailboxes[0])
+        outcome["ship_wall"] = time.perf_counter() - ship_started
 
         expected_messages = 1 + expected_assemblies
         received = 0

@@ -42,7 +42,7 @@ from repro.strings.descriptors import (
     StringDescriptor,
 )
 from repro.strings.rope import Rope
-from repro.tree.linearize import delinearize
+from repro.tree.linearize import rebuild
 from repro.tree.node import ParseTreeNode
 
 
@@ -72,6 +72,7 @@ def evaluator_body(
     librarian_mailbox: Optional[Mailbox] = None,
     librarian_attributes: Sequence[str] = (),
     use_priority: bool = True,
+    use_tables: bool = True,
     attribute_phase: Callable[[str], "ActivityKind"] = None,
 ) -> Generator:
     """Build one evaluator process body (the :class:`~repro.backends.base.WorkerJob`
@@ -100,6 +101,7 @@ def evaluator_body(
         librarian_mailbox=librarian_mailbox,
         librarian_attributes=librarian_attributes,
         use_priority=use_priority,
+        use_tables=use_tables,
         attribute_phase=attribute_phase or default_attribute_phase,
     )
     return node.run()
@@ -140,6 +142,7 @@ class EvaluatorNode:
         librarian_mailbox: Optional[Mailbox] = None,
         librarian_attributes: Sequence[str] = (),
         use_priority: bool = True,
+        use_tables: bool = True,
         attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase,
     ):
         if evaluator_kind not in ("combined", "dynamic"):
@@ -160,6 +163,7 @@ class EvaluatorNode:
         self.librarian_mailbox = librarian_mailbox
         self.librarian_attributes = tuple(librarian_attributes)
         self.use_priority = use_priority
+        self.use_tables = use_tables
         self.attribute_phase = attribute_phase
 
         self.report = EvaluatorReport(region_id, f"machine-{machine_index}")
@@ -188,7 +192,7 @@ class EvaluatorNode:
         unpack_cost = self.cost_model.delinearize_cost(message.tree.size_bytes())
         if message.parent_region is not None:
             yield Compute(unpack_cost, ActivityKind.UNPACK, "delinearize")
-        root, holes = delinearize(self.grammar, message.tree)
+        root, holes = rebuild(self.grammar, message.tree)
         self._root = root
         self._holes = holes
         self._hole_regions = {node.node_id: region for region, node in holes.items()}
@@ -236,6 +240,7 @@ class EvaluatorNode:
                 hole_nodes=hole_nodes,
                 plan=self.plan,
                 use_priority=self.use_priority,
+                use_tables=self.use_tables,
             )
         else:
             scheduler = DynamicScheduler(
@@ -244,6 +249,7 @@ class EvaluatorNode:
                 root_inherited=root_inherited,
                 hole_nodes=hole_nodes,
                 use_priority=self.use_priority,
+                use_tables=self.use_tables,
             )
         statistics = scheduler.statistics()
         build_cost = self.cost_model.graph_build_cost(statistics)

@@ -19,16 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.tree.linearize import LinearizedTree
-
 
 @dataclass
 class SubtreeMessage:
-    """Parser → evaluator: here is your region."""
+    """Parser → evaluator: here is your region.
+
+    ``tree`` is either a :class:`~repro.tree.linearize.LinearizedTree` (simulated and
+    in-process substrates) or a :class:`~repro.tree.linearize.PackedTree` (the
+    processes substrate, where the subtree crosses a pickling boundary).
+    """
 
     region_id: int
     parent_region: Optional[int]
-    tree: LinearizedTree
+    tree: Any                               # LinearizedTree or PackedTree
     unique_base: int
     root_inherited: Dict[str, Any] = field(default_factory=dict)
     label: str = ""

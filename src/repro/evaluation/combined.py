@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.tables import EvaluationTables, RuleTable, evaluation_tables
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
 from repro.evaluation.base import (
     ComputedAttribute,
@@ -50,14 +51,15 @@ class _Instance:
 
 
 class _Task:
-    __slots__ = ("kind", "node", "rule", "rule_node", "visit_number", "pending",
-                 "produces", "priority", "executed")
+    __slots__ = ("kind", "node", "rule", "rule_node", "table", "visit_number",
+                 "pending", "produces", "priority", "executed")
 
     def __init__(self, kind: str, node: ParseTreeNode):
         self.kind = kind                       # "eval" or "visit"
         self.node = node
         self.rule: Optional[SemanticRule] = None
         self.rule_node: Optional[ParseTreeNode] = None
+        self.table: Optional[RuleTable] = None  # precompiled fast path
         self.visit_number = 0
         self.pending = 0
         self.produces: List[_InstanceKey] = []
@@ -83,12 +85,18 @@ class CombinedScheduler(Scheduler):
         hole_nodes: Optional[Iterable[ParseTreeNode]] = None,
         plan: Optional[OrderedEvaluationPlan] = None,
         use_priority: bool = True,
+        use_tables: bool = True,
     ):
         self.grammar = grammar
         self.root = root
         self.use_priority = use_priority
         self.plan = plan or build_evaluation_plan(grammar)
-        self._static = StaticEvaluator(grammar, self.plan)
+        # Precompiled per-grammar tables are the default; ``use_tables=False`` keeps
+        # the seed dict/AttributeRef path alive as the parity-test reference.
+        self._tables: Optional[EvaluationTables] = (
+            evaluation_tables(grammar) if use_tables else None
+        )
+        self._static = StaticEvaluator(grammar, self.plan, use_tables=use_tables)
         self._holes: List[ParseTreeNode] = list(hole_nodes or [])
         self._hole_ids: Set[int] = {node.node_id for node in self._holes}
 
@@ -193,6 +201,26 @@ class CombinedScheduler(Scheduler):
                 raise EvaluationError(
                     f"spine node {node.node_id} ({node.symbol.name}) has no production"
                 )
+            if self._tables is not None:
+                children = node.children
+                for table in self._tables.productions[node.production.index].rules:
+                    position = table.target_position
+                    target_node = node if position == 0 else children[position - 1]
+                    key = (target_node.node_id, table.target_name)
+                    instance = self._instances.get(key)
+                    if instance is None or instance.external:
+                        continue
+                    task = _Task("eval", target_node)
+                    task.rule = table.rule
+                    task.rule_node = node
+                    task.table = table
+                    task.produces = [key]
+                    task.priority = instance.priority
+                    task_id = self._add_task(task)
+                    for arg_position, arg_name in table.nonterminal_args:
+                        source = node if arg_position == 0 else children[arg_position - 1]
+                        self._depend(task_id, source, arg_name)
+                continue
             for rule in node.production.rules:
                 target_node = node.resolve(rule.target)
                 key = (target_node.node_id, rule.target.name)
@@ -221,13 +249,18 @@ class CombinedScheduler(Scheduler):
                 symbol = child.symbol
                 assert isinstance(symbol, Nonterminal)
                 partition = self.plan.partition_of(symbol.name)
+                priority_of = (
+                    self._tables.nonterminals[symbol.name].priority_of
+                    if self._tables is not None
+                    else {name: decl.priority for name, decl in symbol.attributes.items()}
+                )
                 previous_task: Optional[_TaskId] = None
                 for visit in partition.visits:
                     task = _Task("visit", child)
                     task.visit_number = visit.number
                     task.produces = [(child.node_id, name) for name in visit.synthesized]
                     task.priority = any(
-                        symbol.attribute(name).priority for name in visit.synthesized
+                        priority_of[name] for name in visit.synthesized
                     )
                     task_id = self._add_task(task)
                     for name in partition.inherited_up_to(visit.number):
@@ -253,6 +286,10 @@ class CombinedScheduler(Scheduler):
     def _declare_node_instances(self, node: ParseTreeNode) -> None:
         symbol = node.symbol
         if not isinstance(symbol, Nonterminal):
+            return
+        if self._tables is not None:
+            for name, _synthesized, priority in self._tables.nonterminals[symbol.name].attrs:
+                self._declare_instance(node, name, priority)
             return
         for decl in symbol.attributes.values():
             self._declare_instance(node, decl.name, decl.priority)
@@ -290,11 +327,14 @@ class CombinedScheduler(Scheduler):
 
     def _run_eval(self, task: _Task) -> TaskResult:
         assert task.rule is not None and task.rule_node is not None
-        arguments = []
-        for ref in task.rule.arguments:
-            source = task.rule_node.resolve(ref)
-            arguments.append(source.get_attribute(ref.name))
-        value = task.rule.evaluate(arguments)
+        if task.table is not None:
+            value = task.table.function(*task.table.fetch_arguments(task.rule_node))
+        else:
+            arguments = []
+            for ref in task.rule.arguments:
+                source = task.rule_node.resolve(ref)
+                arguments.append(source.get_attribute(ref.name))
+            value = task.rule.evaluate(arguments)
         target = task.rule_node.resolve(task.rule.target)
         target.set_attribute(task.rule.target.name, value)
         self._stats.rules_evaluated += 1

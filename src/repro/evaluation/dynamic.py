@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.tables import EvaluationTables, RuleTable, evaluation_tables
 from repro.evaluation.base import (
     ComputedAttribute,
     EvaluationError,
@@ -39,7 +40,7 @@ _InstanceKey = Tuple[int, str]
 class _InstanceInfo:
     """Book-keeping for one attribute instance in the dynamic dependency graph."""
 
-    __slots__ = ("node", "name", "rule", "rule_node", "pending", "dependents",
+    __slots__ = ("node", "name", "rule", "rule_node", "table", "pending", "dependents",
                  "external", "available", "priority")
 
     def __init__(self, node: ParseTreeNode, name: str, priority: bool):
@@ -47,6 +48,7 @@ class _InstanceInfo:
         self.name = name
         self.rule: Optional[SemanticRule] = None
         self.rule_node: Optional[ParseTreeNode] = None  # node owning the defining production
+        self.table: Optional[RuleTable] = None          # precompiled fast path
         self.pending = 0                   # unsatisfied prerequisite count
         self.dependents: List[_InstanceKey] = []
         self.external = False              # value arrives from outside this scheduler
@@ -75,10 +77,17 @@ class DynamicScheduler(Scheduler):
         root_inherited: Optional[Dict[str, Any]] = None,
         hole_nodes: Optional[Iterable[ParseTreeNode]] = None,
         use_priority: bool = True,
+        use_tables: bool = True,
     ):
         self.grammar = grammar
         self.root = root
         self.use_priority = use_priority
+        # The precompiled per-grammar tables are the default build path; the seed
+        # dict/AttributeRef path is kept as the reference implementation
+        # (``use_tables=False``) that the parity tests compare against.
+        self._tables: Optional[EvaluationTables] = (
+            evaluation_tables(grammar) if use_tables else None
+        )
         self._instances: Dict[_InstanceKey, _InstanceInfo] = {}
         self._ready_priority: deque = deque()
         self._ready_normal: deque = deque()
@@ -100,6 +109,87 @@ class DynamicScheduler(Scheduler):
         )
 
     def _build_graph(self, root_inherited: Optional[Dict[str, Any]]) -> None:
+        if self._tables is not None:
+            self._build_passes_tables(root_inherited)
+        else:
+            self._build_passes_reference(root_inherited)
+
+        # Pass 3: seed ready queues and preset values.
+        for key, info in self._instances.items():
+            if info.external:
+                continue
+            if info.pending == 0:
+                self._enqueue(key)
+        if root_inherited:
+            for name, value in root_inherited.items():
+                self.supply(self.root, name, value)
+
+    def _build_passes_tables(self, root_inherited: Optional[Dict[str, Any]]) -> None:
+        """Graph build against the precompiled tables: the per-node work is index
+        walks over flat tuples — no ``AttributeRef`` construction, no linear rule
+        scans, no declaration-object probing."""
+        tables = self._tables
+        nonterminal_tables = tables.nonterminals
+        production_tables = tables.productions
+        instances = self._instances
+        root = self.root
+        edges = 0
+
+        nodes = [node for node in root.walk() if not node.is_terminal]
+
+        # Pass 1: create instance records for every attribute of every nonterminal node.
+        for node in nodes:
+            node_id = node.node_id
+            for name, _synthesized, priority in nonterminal_tables[node.symbol.name].attrs:
+                instances[(node_id, name)] = _InstanceInfo(node, name, priority)
+                self._remaining += 1
+        self._stats.dependency_vertices = len(instances)
+
+        # Pass 2: attach defining rules / mark externals, and record dependency edges.
+        for node in nodes:
+            node_id = node.node_id
+            is_hole = self._is_hole(node)
+            for name, synthesized, _priority in nonterminal_tables[node.symbol.name].attrs:
+                key = (node_id, name)
+                info = instances[key]
+                if synthesized:
+                    if is_hole:
+                        info.external = True
+                        continue
+                    defining_node = node
+                    target = (0, name)
+                else:  # inherited
+                    if node is root:
+                        info.external = True
+                        continue
+                    defining_node = node.parent
+                    assert defining_node is not None and node.child_index is not None
+                    target = (node.child_index, name)
+                assert defining_node.production is not None
+                table = production_tables[defining_node.production.index].by_target.get(target)
+                if table is None:
+                    raise EvaluationError(
+                        f"no semantic rule defines {AttributeRef(*target)!r} in production "
+                        f"{defining_node.production.label!r}"
+                    )
+                info.rule = table.rule
+                info.rule_node = defining_node
+                info.table = table
+                pending = 0
+                defining_children = defining_node.children
+                for position, argument_name in table.nonterminal_args:
+                    source_node = (
+                        defining_node if position == 0 else defining_children[position - 1]
+                    )
+                    instances[(source_node.node_id, argument_name)].dependents.append(key)
+                    pending += 1
+                info.pending = pending
+                edges += pending
+        self._stats.dependency_edges += edges
+
+    def _build_passes_reference(self, root_inherited: Optional[Dict[str, Any]]) -> None:
+        """The seed dict/``AttributeRef`` build path, kept verbatim as the reference
+        implementation the precompiled-tables parity tests run against."""
         # Pass 1: create instance records for every attribute of every nonterminal node.
         for node in self.root.walk():
             if node.is_terminal:
@@ -158,16 +248,6 @@ class DynamicScheduler(Scheduler):
                     info.pending += 1
                     self._stats.dependency_edges += 1
 
-        # Pass 3: seed ready queues and preset values.
-        for key, info in self._instances.items():
-            if info.external:
-                continue
-            if info.pending == 0:
-                self._enqueue(key)
-        if root_inherited:
-            for name, value in root_inherited.items():
-                self.supply(self.root, name, value)
-
     # ----------------------------------------------------------------- plumbing
 
     def _enqueue(self, key: _InstanceKey) -> None:
@@ -195,11 +275,14 @@ class DynamicScheduler(Scheduler):
             raise EvaluationError(
                 f"attribute instance {info.node.symbol.name}.{info.name} has no defining rule"
             )
-        arguments = []
-        for ref in info.rule.arguments:
-            source = info.rule_node.resolve(ref)
-            arguments.append(source.get_attribute(ref.name))
-        value = info.rule.evaluate(arguments)
+        if info.table is not None:
+            value = info.table.function(*info.table.fetch_arguments(info.rule_node))
+        else:
+            arguments = []
+            for ref in info.rule.arguments:
+                source = info.rule_node.resolve(ref)
+                arguments.append(source.get_attribute(ref.name))
+            value = info.rule.evaluate(arguments)
         info.node.set_attribute(info.name, value)
         result = TaskResult(
             computed=[ComputedAttribute(info.node, info.name, value)],

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.tables import EvaluationTables, evaluation_tables
 from repro.analysis.visit_sequences import (
     EvalInstruction,
     OrderedEvaluationPlan,
@@ -41,9 +42,15 @@ class StaticEvaluator:
         self,
         grammar: AttributeGrammar,
         plan: Optional[OrderedEvaluationPlan] = None,
+        use_tables: bool = True,
     ):
         self.grammar = grammar
         self.plan = plan or build_evaluation_plan(grammar)
+        # Precompiled argument-fetch tables (default); ``use_tables=False`` keeps the
+        # seed ``AttributeRef``/``get_attribute`` path as the parity-test reference.
+        self._tables: Optional[EvaluationTables] = (
+            evaluation_tables(grammar) if use_tables else None
+        )
 
     # ------------------------------------------------------------------ driving
 
@@ -122,6 +129,22 @@ class StaticEvaluator:
         statistics: EvaluationStatistics,
     ) -> Any:
         assert node.production is not None
+        if self._tables is not None:
+            table = self._tables.productions[node.production.index].rules[rule_index]
+            try:
+                arguments = table.fetch_arguments(node)
+            except KeyError as error:
+                raise EvaluationError(
+                    f"static evaluation order violation at {node.production.label!r}: "
+                    f"{table.rule.target!r} argument not yet available ({error})"
+                ) from None
+            value = table.function(*arguments)
+            target_position = table.target_position
+            target = node if target_position == 0 else node.children[target_position - 1]
+            target.set_attribute(table.target_name, value)
+            statistics.rules_evaluated += 1
+            statistics.rule_extra_cost += table.cost
+            return value
         rule = node.production.rules[rule_index]
         arguments = []
         for ref in rule.arguments:

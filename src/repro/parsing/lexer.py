@@ -55,6 +55,13 @@ class Lexer:
 
     Rules are tried in order at each position; the first match wins (so keywords given
     as literal rules must precede a generic identifier rule, or use ``keywords``).
+
+    All rules are additionally compiled into one alternation regex, so the common case
+    is a *single-pass* scan: one C-level ``match`` per token instead of one Python
+    loop iteration per rule per position.  Alternation order equals rule order, which
+    preserves first-match-wins semantics; the only case the combined pattern cannot
+    express — a rule matching the empty string, which the per-rule loop skips in
+    favour of later rules — falls back to the original loop at that position.
     """
 
     def __init__(
@@ -69,6 +76,36 @@ class Lexer:
         self._compiled = [(spec, re.compile(spec.pattern)) for spec in self._specs]
         self._keywords = dict(keywords or {})
         self._keyword_source = keyword_source
+        self._combined: Optional[re.Pattern] = None
+        self._spec_by_group: List[Optional[TokenSpec]] = []
+        self._compile_combined()
+
+    def _compile_combined(self) -> None:
+        """Build the single-pass alternation ``(rule1)|(rule2)|...``.
+
+        Each rule becomes one outer capturing group; rules may contain their own
+        groups, so the winning rule is identified by mapping ``match.lastindex``
+        (the highest group number that matched) back to the enclosing outer group.
+        Rules whose pattern does not compose (e.g. inline flags) disable the
+        combined scan and the per-rule loop handles everything, exactly as before.
+        """
+        pieces = []
+        spec_by_group: List[Optional[TokenSpec]] = [None]  # group numbers are 1-based
+        for spec, compiled in self._compiled:
+            if re.search(r"\\\d", spec.pattern):
+                return  # numeric backreferences would renumber under composition
+            pieces.append(f"({spec.pattern})")
+            # The outer group and every inner group of this rule map back to it, so
+            # ``match.lastindex`` resolves the winning rule in one list index.
+            spec_by_group.extend([spec] * (1 + compiled.groups))
+        try:
+            combined = re.compile("|".join(pieces))
+        except re.error:
+            return
+        if combined.groups != len(spec_by_group) - 1:
+            return  # a pattern's group count changed under composition; stay safe
+        self._combined = combined
+        self._spec_by_group = spec_by_group
 
     def tokenize(self, text: str) -> List[Token]:
         """Scan the whole input and return the token list (no EOF token appended)."""
@@ -79,7 +116,33 @@ class Lexer:
         line = 1
         line_start = 0
         length = len(text)
+        combined = self._combined
+        keywords = self._keywords
+        keyword_source = self._keyword_source
         while position < length:
+            if combined is not None:
+                match = combined.match(text, position)
+                if match is not None and match.end() > position:
+                    lexeme = match.group(0)
+                    spec = self._spec_by_group[match.lastindex or 1]
+                    if not spec.skip:
+                        kind = spec.name
+                        if kind == keyword_source and lexeme.lower() in keywords:
+                            kind = keywords[lexeme.lower()]
+                        yield Token(kind, lexeme, line, position - line_start + 1)
+                    newlines = lexeme.count("\n")
+                    if newlines:
+                        line += newlines
+                        line_start = position + lexeme.rfind("\n") + 1
+                    position = match.end()
+                    continue
+                if match is None:
+                    column = position - line_start + 1
+                    raise LexerError(
+                        f"unexpected character {text[position]!r}", line, column
+                    )
+                # Zero-width combined match: only the per-rule loop can express
+                # "skip this rule and try the next one at the same position".
             for spec, pattern in self._compiled:
                 match = pattern.match(text, position)
                 if match is None or match.end() == position:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.grammar.symbols import Nonterminal
-from repro.tree.node import ParseTreeNode
+from repro.tree.node import ParseTreeNode, node_wire_size
 
 
 @dataclass
@@ -120,7 +120,29 @@ def plan_decomposition(
     """
     if machines < 1:
         raise ValueError("machines must be >= 1")
-    total_size = root.linearized_size()
+
+    # One bottom-up pass computes every node's linearized size (own header plus the
+    # children's totals); calling ``node.linearized_size()`` per candidate would walk
+    # each subtree again and make planning quadratic in the tree size.
+    post_order: List[ParseTreeNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        post_order.append(node)
+        stack.extend(node.children)
+    post_order.reverse()
+    subtree_size: Dict[int, int] = {}
+    subtree_nodes: Dict[int, int] = {}
+    for node in post_order:
+        total = node_wire_size(node)
+        count = 1
+        for child in node.children:
+            total += subtree_size[child.node_id]
+            count += subtree_nodes[child.node_id]
+        subtree_size[node.node_id] = total
+        subtree_nodes[node.node_id] = count
+
+    total_size = subtree_size[root.node_id]
     if min_size is not None:
         threshold = int(min_size)
     else:
@@ -136,15 +158,7 @@ def plan_decomposition(
     detached_size: Dict[int, int] = {}
 
     def effective_size(node: ParseTreeNode) -> int:
-        return node.linearized_size() - detached_size.get(node.node_id, 0)
-
-    post_order: List[ParseTreeNode] = []
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        post_order.append(node)
-        stack.extend(node.children)
-    post_order.reverse()
+        return subtree_size[node.node_id] - detached_size.get(node.node_id, 0)
 
     chosen: Set[int] = set()
     for node in post_order:
@@ -189,21 +203,14 @@ def plan_decomposition(
         region.parent_region = parent_id
         regions[parent_id].child_regions.append(region.region_id)
 
-    for region in regions:
-        size = 0
-        nodes = 0
-        stack = [region.root]
-        while stack:
-            node = stack.pop()
-            if node is not region.root and node.node_id in region_of_root_node:
-                continue
-            nodes += 1
-            if node.is_terminal:
-                value = node.token_value
-                size += 4 + (len(value) if isinstance(value, str) else 4)
-            else:
-                size += 8
-            stack.extend(node.children)
+    # A region owns its root's subtree minus the subtrees detached into child
+    # regions, so its size and node count fall out of the precomputed totals.
+    for region in reversed(regions):
+        size = subtree_size[region.root.node_id]
+        nodes = subtree_nodes[region.root.node_id]
+        for child_id in region.child_regions:
+            size -= subtree_size[regions[child_id].root.node_id]
+            nodes -= subtree_nodes[regions[child_id].root.node_id]
         region.size = size
         region.node_count = nodes
 

@@ -142,6 +142,18 @@ class Rope:
         """Abstract size in bytes when sent over the network (text plus leaf headers)."""
         return self._length + 4 * self._leaf_count
 
+    def __reduce__(self):
+        """Pickle as the flattened text, not as the concat tree.
+
+        Code ropes accumulate one node per emitted fragment, and pickling tens of
+        thousands of two-field objects dominates the wire cost of the processes
+        substrate.  The flat string *is* the rope's value (ropes are immutable and
+        compare by text), so the receiver rebuilds a single-leaf rope in O(length) —
+        the concat structure is a sender-side optimization that never needs to cross
+        a process boundary.
+        """
+        return (Rope, (self.flatten(),))
+
     def __str__(self) -> str:
         return self.flatten()
 

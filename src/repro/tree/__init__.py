@@ -1,7 +1,19 @@
 """Parse trees and attribute instance storage."""
 
 from repro.tree.node import ParseTreeNode, AttributeInstance, make_terminal, make_node
-from repro.tree.linearize import linearize, delinearize, LinearizedTree
+from repro.tree.linearize import (
+    GrammarCodec,
+    LinearizedTree,
+    PackedTree,
+    codec_for,
+    delinearize,
+    linearize,
+    pack,
+    pack_linearized,
+    rebuild,
+    unpack,
+    unpack_linearized,
+)
 from repro.tree.stats import TreeStatistics, tree_statistics
 
 __all__ = [
@@ -12,6 +24,14 @@ __all__ = [
     "linearize",
     "delinearize",
     "LinearizedTree",
+    "GrammarCodec",
+    "PackedTree",
+    "codec_for",
+    "pack",
+    "pack_linearized",
+    "rebuild",
+    "unpack",
+    "unpack_linearized",
     "TreeStatistics",
     "tree_statistics",
 ]

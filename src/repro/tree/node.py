@@ -18,6 +18,20 @@ from repro.grammar.symbols import Nonterminal, Symbol, Terminal
 _node_counter = itertools.count(1)
 
 
+def node_wire_size(node: "ParseTreeNode") -> int:
+    """Abstract transmission size of one node in a linearized subtree.
+
+    Terminals are charged for their token text, nonterminal nodes for a small fixed
+    header.  This is the single definition of the size model shared by
+    :meth:`ParseTreeNode.linearized_size`, the decomposition planner and the packed
+    codec (hole records, which replace whole subtrees, are charged separately).
+    """
+    if node.symbol.is_terminal:
+        value = node.token_value
+        return 4 + (len(value) if isinstance(value, str) else 4)
+    return 8
+
+
 class AttributeInstance:
     """Identifier of one attribute instance: attribute ``name`` at node ``node_id``."""
 
@@ -80,13 +94,16 @@ class ParseTreeNode:
             child.parent = self
             child.child_index = index
         if production is not None:
-            if len(self.children) != len(production.rhs):
+            rhs = production.rhs
+            if len(self.children) != len(rhs):
                 raise ValueError(
-                    f"node for {production.label!r} needs {len(production.rhs)} children, "
+                    f"node for {production.label!r} needs {len(rhs)} children, "
                     f"got {len(self.children)}"
                 )
-            for child, expected in zip(self.children, production.rhs):
-                if child.symbol != expected:
+            for child, expected in zip(self.children, rhs):
+                # Trees built from a grammar share its symbol singletons, so the
+                # identity test short-circuits the (much slower) structural __eq__.
+                if child.symbol is not expected and child.symbol != expected:
                     raise ValueError(
                         f"node for {production.label!r}: child {child.symbol.name!r} does "
                         f"not match expected symbol {expected.name!r}"
@@ -161,14 +178,7 @@ class ParseTreeNode:
         Terminals are charged for their token text, nonterminal nodes for a small fixed
         header, roughly mirroring a compact network representation of the tree.
         """
-        total = 0
-        for node in self.walk():
-            if node.is_terminal:
-                text = node.token_value
-                total += 4 + (len(text) if isinstance(text, str) else 4)
-            else:
-                total += 8
-        return total
+        return sum(node_wire_size(node) for node in self.walk())
 
     def path_to_root(self) -> List["ParseTreeNode"]:
         path = [self]

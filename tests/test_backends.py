@@ -128,6 +128,65 @@ class TestBackendParity:
         assert report.timeline
 
 
+class TestPrecompiledTablesParity:
+    """The precompiled evaluation tables must reproduce the seed dict-based path
+    exactly — same attribute values, same statistics — on every substrate."""
+
+    ALL_BACKENDS = ["simulated"] + REAL_BACKENDS
+
+    @pytest.fixture(scope="class")
+    def pascal_reference(self):
+        """The seed path: dict/AttributeRef lookups, simulated substrate."""
+        from repro.pascal import generate_program
+        from repro.pascal.grammar import pascal_grammar
+
+        grammar = pascal_grammar()
+        compiler = ParallelCompiler(
+            grammar, CompilerConfiguration(use_precompiled_tables=False)
+        )
+        from repro.pascal.compiler import PascalCompiler
+
+        tree = PascalCompiler().parse(
+            generate_program(procedures=10, statements_per_procedure=3, seed=3)
+        )
+        report = compiler.compile_tree(tree, 4)
+        return grammar, tree, report
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_pascal_report_matches_reference(self, pascal_reference, backend):
+        grammar, tree, reference = pascal_reference
+        compiler = ParallelCompiler(grammar)  # tables on by default
+        report = compiler.compile_tree(tree, 4, backend=backend)
+        assert report.code_text("code") == reference.code_text("code")
+        assert report.root_attributes["errs"] == reference.root_attributes["errs"]
+        assert set(report.root_attributes) == set(reference.root_attributes)
+        assert vars(report.statistics) == vars(reference.statistics)
+        by_region = {entry.region_id: entry for entry in report.evaluator_reports}
+        for expected in reference.evaluator_reports:
+            assert vars(by_region[expected.region_id].statistics) == vars(
+                expected.statistics
+            )
+        if backend == "simulated":
+            # Modelled time must be bit-identical: the tables change how the
+            # evaluators compute, never what or in which order.
+            assert report.evaluation_time == reference.evaluation_time
+            assert report.network_bytes == reference.network_bytes
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_dynamic_evaluator_matches_reference(
+        self, split_grammar, big_expression, backend
+    ):
+        reference = ParallelCompiler(
+            split_grammar,
+            CompilerConfiguration(evaluator="dynamic", use_precompiled_tables=False),
+        ).compile_tree(big_expression, 3)
+        report = ParallelCompiler(
+            split_grammar, CompilerConfiguration(evaluator="dynamic")
+        ).compile_tree(big_expression, 3, backend=backend)
+        assert report.root_attributes["value"] == reference.root_attributes["value"]
+        assert vars(report.statistics) == vars(reference.statistics)
+
+
 class TestReportSummary:
     """summary() reports what the backend actually measured, never modelled zeros."""
 
@@ -237,6 +296,41 @@ class TestProtocolPickling:
 
 
 class TestBackendRobustness:
+    def test_blocked_receive_wakes_promptly_on_failure(self):
+        """A sleeping receiver is woken by the failure token, not by its timeout."""
+        import time as time_module
+
+        backend = create_backend("threads", machines=1, receive_timeout=30)
+        mailbox = backend.mailbox("never-written")
+
+        def waiting_body():
+            yield Receive(mailbox)
+
+        def failing_body():
+            raise RuntimeError("boom")
+            yield Compute(0.0)  # pragma: no cover — makes this a generator
+
+        backend.spawn(waiting_body(), name="waiter")
+        backend.spawn(failing_body(), name="bad-worker")
+        started = time_module.monotonic()
+        with pytest.raises(BackendError):
+            backend.run()
+        # Well under the 30s receive timeout: the wake token did its job.
+        assert time_module.monotonic() - started < 5
+
+    def test_drain_fifo_empties_and_settles(self):
+        import queue as plain_queue
+
+        from repro.backends.base import drain_fifo
+
+        fifo = plain_queue.Queue()
+        for item in range(5):
+            fifo.put(item)
+        assert drain_fifo(fifo) == 5
+        assert drain_fifo(fifo) == 0
+        fifo.put("late")
+        assert drain_fifo(fifo, settle_timeout=0.05) == 1
+
     def test_threads_backend_surfaces_worker_failure(self):
         backend = create_backend("threads", machines=1, receive_timeout=5)
 

@@ -1,0 +1,198 @@
+"""Round-trip parity of the packed array-of-ints tree codec with the record form."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.exprlang.evaluator import random_expression_source
+from repro.exprlang.frontend import parse_expression
+from repro.exprlang.grammar import expression_grammar
+from repro.partition.decomposition import plan_decomposition
+from repro.pascal import PascalCompiler
+from repro.pascal.programs import (
+    FACTORIAL,
+    HELLO,
+    NESTED,
+    RECORDS,
+    SORTING,
+    SUMMATION,
+    generate_program,
+)
+from repro.tree.linearize import (
+    PackedTree,
+    codec_for,
+    delinearize,
+    linearize,
+    pack,
+    pack_linearized,
+    rebuild,
+    unpack,
+    unpack_linearized,
+)
+
+PASCAL_EXAMPLES = {
+    "hello": HELLO,
+    "factorial": FACTORIAL,
+    "summation": SUMMATION,
+    "sorting": SORTING,
+    "records": RECORDS,
+    "nested": NESTED,
+}
+
+
+@pytest.fixture(scope="module")
+def pascal():
+    return PascalCompiler()
+
+
+def _strip_node_ids(records):
+    """Hole records carry the sender's node ids, which fresh trees cannot reproduce."""
+    return [
+        (record[0], record[1], record[2]) if record[0] == "H" else record
+        for record in records
+    ]
+
+
+def _relinearize(grammar, root, holes_by_region):
+    """Linearize a rebuilt tree, re-detaching its holes at their new node ids."""
+    return linearize(
+        root, {node.node_id: region for region, node in holes_by_region.items()}
+    )
+
+
+def assert_codec_parity(grammar, root, holes=None):
+    """The packed codec and the record form must encode and rebuild identically."""
+    linearized = linearize(root, holes)
+    packed = pack(grammar, root, holes)
+    # Identical record sequences and identical abstract transmission size.
+    assert len(packed) == len(linearized)
+    assert packed.size_bytes() == linearized.size_bytes()
+    assert packed.root_symbol == linearized.root_symbol
+    assert unpack_linearized(grammar, packed).records == linearized.records
+    converted = pack_linearized(grammar, linearized)
+    assert converted.codes == packed.codes
+    assert converted.values == packed.values
+    assert converted.hole_meta == packed.hole_meta
+    assert converted.size_bytes() == packed.size_bytes()
+    # Identical rebuilt trees (modulo fresh node ids).
+    rebuilt_ref, holes_ref = delinearize(grammar, linearized)
+    rebuilt_packed, holes_packed = unpack(grammar, packed)
+    assert sorted(holes_ref) == sorted(holes_packed)
+    assert _strip_node_ids(
+        _relinearize(grammar, rebuilt_ref, holes_ref).records
+    ) == _strip_node_ids(_relinearize(grammar, rebuilt_packed, holes_packed).records)
+    # The dispatch helper picks the right decoder for either form.
+    for wire in (linearized, packed):
+        root_again, holes_again = rebuild(grammar, wire)
+        assert sorted(holes_again) == sorted(holes_ref)
+        assert root_again.symbol.name == root.symbol.name
+
+
+class TestPascalExamplePrograms:
+    @pytest.mark.parametrize("name", sorted(PASCAL_EXAMPLES))
+    def test_whole_tree_round_trip(self, pascal, name):
+        tree = pascal.parse(PASCAL_EXAMPLES[name])
+        assert_codec_parity(pascal.grammar, tree)
+
+    @pytest.mark.parametrize("name", sorted(PASCAL_EXAMPLES))
+    def test_regions_with_holes_round_trip(self, pascal, name):
+        """Every region of every example decomposition, including hole records."""
+        tree = pascal.parse(PASCAL_EXAMPLES[name])
+        decomposition = plan_decomposition(tree, 4)
+        for region in decomposition.regions:
+            holes = decomposition.holes_of(region.region_id)
+            assert_codec_parity(pascal.grammar, region.root, holes)
+
+    def test_generated_program_with_holes(self, pascal):
+        tree = pascal.parse(
+            generate_program(procedures=12, statements_per_procedure=4, seed=3)
+        )
+        decomposition = plan_decomposition(tree, 6)
+        assert decomposition.region_count > 1
+        saw_hole = False
+        for region in decomposition.regions:
+            holes = decomposition.holes_of(region.region_id)
+            saw_hole = saw_hole or bool(holes)
+            assert_codec_parity(pascal.grammar, region.root, holes)
+        assert saw_hole, "decomposition produced no holes; the test lost its point"
+
+
+class TestRandomizedFuzz:
+    def test_random_trees_round_trip(self):
+        """Randomized trees with randomized hole choices survive the codec."""
+        grammar = expression_grammar(min_split_size=1)
+        rng = random.Random(20260729)
+        for round_number in range(25):
+            source = random_expression_source(
+                rng.randint(3, 60), seed=rng.randint(0, 10_000), nesting=rng.randint(1, 7)
+            )
+            tree = parse_expression(source, grammar)
+            candidates = [
+                node
+                for node in tree.walk()
+                if node is not tree
+                and node.symbol.is_nonterminal
+                and node.symbol.splittable
+            ]
+            rng.shuffle(candidates)
+            holes = {}
+            taken = set()
+            for region, node in enumerate(candidates[: rng.randint(0, 3)], start=1):
+                # Nested holes are legal only if no ancestor is already detached.
+                ancestor, nested = node.parent, False
+                while ancestor is not None:
+                    if ancestor.node_id in taken:
+                        nested = True
+                        break
+                    ancestor = ancestor.parent
+                if nested:
+                    continue
+                holes[node.node_id] = region
+                taken.add(node.node_id)
+            assert_codec_parity(grammar, tree, holes)
+
+    def test_packed_tree_pickle_round_trip(self):
+        grammar = expression_grammar(min_split_size=1)
+        tree = parse_expression("let x = 3 in 1 + 2 * x ni", grammar)
+        packed = pack(grammar, tree)
+        clone = pickle.loads(pickle.dumps(packed))
+        assert isinstance(clone, PackedTree)
+        assert clone.codes == packed.codes
+        assert clone.values == packed.values
+        assert clone.hole_meta == packed.hole_meta
+        assert clone.root_symbol == packed.root_symbol
+        assert clone.size_bytes() == packed.size_bytes()
+        assert unpack_linearized(grammar, clone).records == linearize(tree).records
+
+
+class TestCodecTables:
+    def test_codec_is_cached_per_grammar(self):
+        grammar = expression_grammar()
+        assert codec_for(grammar) is codec_for(grammar)
+
+    def test_truncated_packed_tree_rejected(self):
+        grammar = expression_grammar()
+        tree = parse_expression("1 + 2", grammar)
+        packed = pack(grammar, tree)
+        broken = PackedTree(
+            packed.codes[:-1], packed.values, packed.hole_meta, packed.root_symbol, 0
+        )
+        with pytest.raises(ValueError):
+            unpack(grammar, broken)
+
+    def test_trailing_records_rejected(self):
+        grammar = expression_grammar()
+        tree = parse_expression("1", grammar)
+        packed = pack(grammar, tree)
+        broken = PackedTree(
+            packed.codes + packed.codes,
+            packed.values + packed.values,
+            packed.hole_meta,
+            packed.root_symbol,
+            0,
+        )
+        with pytest.raises(ValueError):
+            unpack(grammar, broken)
