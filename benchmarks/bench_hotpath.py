@@ -17,8 +17,12 @@ Emits ``BENCH_hotpath.json``.  Run standalone::
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI smoke
 
 ``--check-baseline benchmarks/BENCH_hotpath_baseline.json`` exits non-zero when the
-processes-substrate end-to-end p50 regressed more than 2x against the committed
-baseline (the CI perf-smoke gate).
+processes-substrate end-to-end p50 regressed beyond the tolerance against the
+committed baseline (the CI perf-smoke gate).  The tolerance factor defaults to 2.0
+and is configurable per run — ``--tolerance 3.0`` or the ``BENCH_HOTPATH_TOLERANCE``
+environment variable (the flag wins) — so noisy CI runners can widen the gate
+without editing the workflow.  See ``benchmarks/README.md`` for the
+baseline-regeneration workflow.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import sys
 import time
 from typing import Dict, List
@@ -34,8 +39,25 @@ from repro.api import Session, get_language
 from repro.pascal import generate_program
 from repro.pascal.lexer import tokenize_pascal
 
-#: Regression gate for --check-baseline: fail when p50 exceeds baseline by this factor.
+#: Default regression gate for --check-baseline: fail when p50 exceeds baseline by
+#: this factor.  Override per run with --tolerance or BENCH_HOTPATH_TOLERANCE.
 REGRESSION_FACTOR = 2.0
+
+
+def default_tolerance() -> float:
+    """The tolerance factor from the environment, or the built-in default."""
+    raw = os.environ.get("BENCH_HOTPATH_TOLERANCE")
+    if not raw:
+        return REGRESSION_FACTOR
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"BENCH_HOTPATH_TOLERANCE={raw!r} is not a number"
+        ) from None
+    if value <= 0:
+        raise SystemExit(f"BENCH_HOTPATH_TOLERANCE={raw!r} must be positive")
+    return value
 
 
 def _fork_available() -> bool:
@@ -126,7 +148,7 @@ def run(args: argparse.Namespace) -> Dict:
     }
 
 
-def check_baseline(payload: Dict, baseline_path: str) -> int:
+def check_baseline(payload: Dict, baseline_path: str, tolerance: float) -> int:
     """Compare the processes-substrate end-to-end p50 against the committed baseline."""
     with open(baseline_path) as handle:
         baseline = json.load(handle)
@@ -146,11 +168,12 @@ def check_baseline(payload: Dict, baseline_path: str) -> int:
         return 0
     current_p50 = current["end_to_end"]["p50"]
     reference_p50 = reference["end_to_end"]["p50"]
-    limit = reference_p50 * REGRESSION_FACTOR
+    limit = reference_p50 * tolerance
     verdict = "OK" if current_p50 <= limit else "REGRESSION"
     print(
         f"baseline check [{verdict}]: processes end-to-end p50 {current_p50 * 1000:.1f}ms "
-        f"vs baseline {reference_p50 * 1000:.1f}ms (limit {limit * 1000:.1f}ms)"
+        f"vs baseline {reference_p50 * 1000:.1f}ms "
+        f"(limit {limit * 1000:.1f}ms, tolerance {tolerance:g}x)"
     )
     return 0 if current_p50 <= limit else 1
 
@@ -163,9 +186,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check-baseline",
         metavar="PATH",
-        help=f"fail (exit 1) if processes p50 regressed >{REGRESSION_FACTOR}x over this baseline JSON",
+        help="fail (exit 1) if processes p50 regressed beyond the tolerance over this baseline JSON",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "regression tolerance factor for --check-baseline "
+            f"(default {REGRESSION_FACTOR:g}, or BENCH_HOTPATH_TOLERANCE)"
+        ),
     )
     args = parser.parse_args(argv)
+    tolerance = args.tolerance if args.tolerance is not None else default_tolerance()
+    if tolerance <= 0:
+        parser.error("--tolerance must be positive")
 
     payload = run(args)
     with open(args.output, "w") as handle:
@@ -174,7 +210,7 @@ def main(argv=None) -> int:
     print(f"wrote {args.output}")
 
     if args.check_baseline:
-        return check_baseline(payload, args.check_baseline)
+        return check_baseline(payload, args.check_baseline, tolerance)
     return 0
 
 

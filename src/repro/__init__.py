@@ -66,10 +66,13 @@ from repro.exprlang import (
     parse_expression,
 )
 from repro.api import (
+    ArtifactCache,
     Compiler,
     CompileResult,
+    Document,
     DuplicateLanguageError,
     GrammarLanguage,
+    IncrementalReport,
     Language,
     LanguageError,
     Session,
@@ -123,10 +126,13 @@ __all__ = [
     "evaluate_expression_parallel",
     "expression_grammar",
     "parse_expression",
+    "ArtifactCache",
     "Compiler",
     "CompileResult",
+    "Document",
     "DuplicateLanguageError",
     "GrammarLanguage",
+    "IncrementalReport",
     "Language",
     "LanguageError",
     "Session",

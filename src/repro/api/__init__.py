@@ -34,15 +34,19 @@ from repro.api.language import (
     unregister_language,
 )
 from repro.api.session import Session
+from repro.incremental import ArtifactCache, Document, IncrementalReport
 
 register_builtin_languages()
 
 __all__ = [
+    "ArtifactCache",
     "Compiler",
     "CompileResult",
+    "Document",
     "DuplicateLanguageError",
     "ExprLanguage",
     "GrammarLanguage",
+    "IncrementalReport",
     "Language",
     "LanguageError",
     "PascalLanguage",

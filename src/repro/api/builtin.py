@@ -43,6 +43,12 @@ class PascalLanguage(Language):
 
         return _shared_parser().parse(tokenize_pascal(source))
 
+    def frontend(self):
+        from repro.pascal.compiler import _shared_parser
+        from repro.pascal.lexer import _LEXER
+
+        return _LEXER, _shared_parser()
+
     def result(self, report: CompilationReport) -> Any:
         return attribute_value(report, "code")
 
@@ -51,7 +57,7 @@ class ExprLanguage(GrammarLanguage):
     """The appendix expression language (result = the expression's integer value)."""
 
     def __init__(self):
-        from repro.exprlang.frontend import tokenize_expression
+        from repro.exprlang.frontend import _LEXER, tokenize_expression
         from repro.exprlang.grammar import expression_grammar
 
         super().__init__(
@@ -60,6 +66,7 @@ class ExprLanguage(GrammarLanguage):
             tokenize=tokenize_expression,
             result_attribute="value",
             error_attribute=None,
+            lexer=_LEXER,
         )
 
 

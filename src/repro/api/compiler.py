@@ -49,6 +49,11 @@ class CompileResult:
     report: CompilationReport
     wall_parse_seconds: float
     wall_compile_seconds: float
+    #: Reuse accounting when this result came from an incremental recompilation
+    #: (:class:`repro.incremental.Document`): which regions were replayed from the
+    #: artifact cache vs evaluated, validation rounds and the front-end mode.
+    #: ``None`` for plain one-shot compilations.
+    incremental: Optional["Any"] = None
 
     @property
     def ok(self) -> bool:

@@ -98,6 +98,18 @@ class Language(abc.ABC):
         """
         return None
 
+    def frontend(self) -> Optional[Tuple[Any, Any]]:
+        """Optional hook: the language's ``(lexer, parser)`` pair.
+
+        Incremental documents (:class:`repro.incremental.Document`) use the pair
+        for damage-bounded re-lexing and subtree reparsing; languages that return
+        ``None`` (the default) still get region-level artifact reuse, but pay a
+        full ``parse()`` per recompile.  The lexer must be a
+        :class:`repro.parsing.lexer.Lexer` and the parser a
+        :class:`repro.parsing.parser.Parser` over :meth:`grammar`.
+        """
+        return None
+
     def result(self, report: CompilationReport) -> Any:
         """Extract the language's payload from a finished compilation."""
         return dict(report.root_attributes)
@@ -124,6 +136,16 @@ class GrammarLanguage(Language):
         ``None`` the result is the full root-attribute dict.
     :param error_attribute: root attribute holding the error list, or ``None`` for
         a language without one.
+    :param lexer: optional :class:`repro.parsing.lexer.Lexer` behind ``tokenize``;
+        providing it enables the incremental document front end (damage-bounded
+        re-lexing and subtree reparsing) for this language.  Constraint: every
+        token rule's matches must be determined by the lexeme text alone — no
+        lookahead past the lexeme, and no delimited rule (block comment, string)
+        whose *opening* delimiter can appear as ordinary adjacent tokens in a
+        parseable program (an edit that later closes such a delimiter would
+        retroactively change how the untouched prefix lexes).  Both built-in
+        languages satisfy this; when in doubt, omit ``lexer`` — documents then
+        re-lex in full but still reuse region evaluations.
     """
 
     def __init__(
@@ -134,12 +156,14 @@ class GrammarLanguage(Language):
         tokenize: Callable[[str], Any],
         result_attribute: Optional[str] = None,
         error_attribute: Optional[str] = "errs",
+        lexer: Optional[Any] = None,
     ):
         if not name:
             raise LanguageError("a language needs a non-empty name")
         self.name = name
         self._grammar_source = grammar
         self._tokenize = tokenize
+        self._lexer = lexer
         self.result_attribute = result_attribute
         self.error_attribute = error_attribute
         self._grammar: Optional[AttributeGrammar] = None
@@ -154,12 +178,19 @@ class GrammarLanguage(Language):
             return self._grammar
 
     def parse(self, source: str) -> ParseTreeNode:
+        return self._shared_parser().parse(self._tokenize(source))
+
+    def frontend(self) -> Optional[Tuple[Any, Any]]:
+        if self._lexer is None:
+            return None
+        return self._lexer, self._shared_parser()
+
+    def _shared_parser(self) -> Parser:
         grammar = self.grammar()
         with self._lock:
             if self._parser is None:
                 self._parser = Parser(grammar)
-            parser = self._parser
-        return parser.parse(self._tokenize(source))
+            return self._parser
 
     def result(self, report: CompilationReport) -> Any:
         if self.result_attribute is None:

@@ -63,6 +63,7 @@ class Session:
         self.machines = machines
         self._lock = threading.Lock()
         self._closed = False
+        self._artifact_cache: Optional[Any] = None
 
     # ----------------------------------------------------------------- lifecycle
 
@@ -137,6 +138,51 @@ class Session:
         return self.compiler(language, machines=machines).compile(
             source, root_inherited=root_inherited
         )
+
+    def open(
+        self,
+        language: Union[str, Language],
+        source: str,
+        *,
+        machines: Optional[int] = None,
+        evaluator: Optional[str] = None,
+        configuration: Optional[CompilerConfiguration] = None,
+        root_inherited: Optional[Dict[str, Any]] = None,
+    ) -> "Any":
+        """Open an editable :class:`~repro.incremental.Document` on this session's pool.
+
+        Documents opened on one session share its artifact cache: regions with
+        identical content (and engine) are replayed from cache across documents and
+        across successive builds of the same document::
+
+            with Session(backend="processes") as s:
+                doc = s.open("pascal", source, machines=8)
+                doc.recompile()                     # cold build, artifacts recorded
+                doc.edit(120, 125, "x + 1")
+                print(doc.recompile().incremental.summary())
+        """
+        from repro.incremental.document import Document
+
+        return Document(
+            language,
+            source,
+            machines=machines or self.machines,
+            evaluator=evaluator,
+            configuration=configuration,
+            substrate=self.substrate,
+            cache=self.artifact_cache,
+            root_inherited=root_inherited,
+        )
+
+    @property
+    def artifact_cache(self) -> "Any":
+        """The session-wide region-artifact cache shared by its documents."""
+        with self._lock:
+            if self._artifact_cache is None:
+                from repro.incremental.cache import ArtifactCache
+
+                self._artifact_cache = ArtifactCache()
+            return self._artifact_cache
 
     def service(self, *, max_in_flight: int = 4) -> "Any":
         """A :class:`~repro.service.CompilationService` borrowing this session's pool.

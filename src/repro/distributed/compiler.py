@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
 from repro.backends import Backend, Substrate, create_backend
@@ -45,6 +45,8 @@ from repro.distributed.evaluator_node import (
     evaluator_body,
 )
 from repro.distributed.librarian import StringLibrarian
+from repro.distributed.recording import IncrementalSessionPlan
+from repro.distributed.replay import replay_body
 from repro.distributed.protocol import (
     AssembledCodeMessage,
     ResultMessage,
@@ -144,6 +146,12 @@ class CompilationReport:
     #: the deprecated per-workload shims) stamps it after the run; stays 0.0 when the
     #: caller never parsed (e.g. a pre-built tree swept over machine counts).
     wall_parse_seconds: float = 0.0
+    #: Region-artifact cache accounting for this compilation: how many regions were
+    #: replayed from the content-addressed cache and how many were (re-)evaluated.
+    #: Both stay 0 on plain, non-incremental compilations; the service layer
+    #: aggregates them into :class:`repro.service.ServiceStats`.
+    region_cache_hits: int = 0
+    region_cache_misses: int = 0
 
     @property
     def total_time(self) -> float:
@@ -273,11 +281,18 @@ class ParallelCompiler:
         root_inherited: Optional[Dict[str, Any]] = None,
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
+        decomposition: Optional[DecompositionPlan] = None,
+        incremental: Optional[IncrementalSessionPlan] = None,
     ) -> CompilationReport:
         """Compile an already-parsed tree on ``machines`` (simulated or real) workers.
 
         Precedence for the execution substrate: per-call ``substrate`` >
         per-call ``backend`` > the compiler's own ``substrate`` > its ``backend``.
+
+        ``decomposition`` lets a caller that already planned the region split (the
+        incremental driver fingerprints regions before compiling) reuse its plan;
+        ``incremental`` switches the session into replay-and-record mode (see
+        :class:`~repro.distributed.recording.IncrementalSessionPlan`).
         """
         config = self.configuration
         wall_started = time.perf_counter()
@@ -286,12 +301,13 @@ class ParallelCompiler:
         tree_nodes = tree.subtree_size()
         parse_time = config.cost_model.parse_cost(tree_nodes)
 
-        decomposition = plan_decomposition(
-            tree,
-            machines,
-            min_size=config.min_split_size,
-            scale=config.split_scale,
-        )
+        if decomposition is None:
+            decomposition = plan_decomposition(
+                tree,
+                machines,
+                min_size=config.min_split_size,
+                scale=config.split_scale,
+            )
         pool: Optional[Substrate] = None
         if substrate is not None:
             pool = substrate
@@ -320,6 +336,7 @@ class ParallelCompiler:
                 parse_time,
                 tree_nodes,
                 wall_started,
+                incremental=incremental,
             )
         finally:
             session.close()
@@ -336,8 +353,16 @@ class ParallelCompiler:
         parse_time: float,
         tree_nodes: int,
         wall_started: float,
+        incremental: Optional[IncrementalSessionPlan] = None,
     ) -> CompilationReport:
         config = self.configuration
+        reuse = incremental.reuse if incremental is not None else {}
+        record = incremental.record if incremental is not None else False
+        if 0 in reuse:
+            # The root region delivers the final ResultMessage and assembly requests,
+            # which are not part of the recorded boundary traffic; the incremental
+            # driver always re-evaluates it.
+            raise ValueError("the root region cannot be replayed from the cache")
         parser_machine = 0
         parser_mailbox = session.mailbox("parser.mailbox")
 
@@ -370,6 +395,35 @@ class ParallelCompiler:
         region_ids: List[int] = []
         for region in decomposition.regions:
             region_ids.append(region.region_id)
+            if region.region_id in reuse:
+                # Clean region: replay its cached boundary traffic in the driving
+                # process instead of shipping and re-evaluating the subtree.  Its
+                # only live counterpart is a dirty parent (the dirty set is
+                # ancestor-closed, so a clean region never has a dirty child).
+                artifact = reuse[region.region_id]
+                parent = region.parent_region
+                body = replay_body(
+                    session,
+                    region_id=region.region_id,
+                    machine_index=machine_of_region[region.region_id],
+                    recording=artifact.recording,
+                    base_report=artifact.report,
+                    reuse_ids=set(reuse),
+                    live_sources=(
+                        [parent] if parent is not None and parent not in reuse else []
+                    ),
+                    mailboxes=mailboxes,
+                    machines_of_regions=machine_of_region,
+                    librarian_machine=parser_machine if librarian_active else None,
+                    librarian_mailbox=librarian_mailbox,
+                )
+                session.spawn(
+                    body,
+                    name=f"replay-{region.region_id}",
+                    machine=machine_of_region[region.region_id],
+                    coordinator=True,
+                )
+                continue
             job = WorkerJob(
                 factory=evaluator_body,
                 kwargs=dict(
@@ -389,6 +443,7 @@ class ParallelCompiler:
                     use_priority=config.use_priority,
                     use_tables=config.use_precompiled_tables,
                     attribute_phase=config.attribute_phase,
+                    record=record,
                 ),
                 shared={"grammar_bundle": self._grammar_bundle},
             )
@@ -427,6 +482,7 @@ class ParallelCompiler:
                 root_inherited if root_inherited is not None else config.root_inherited,
                 expected_assemblies=len(librarian_attrs) if librarian_active else 0,
                 outcome=outcome,
+                reuse_ids=set(reuse),
             ),
             name="parser",
             machine=parser_machine,
@@ -452,6 +508,18 @@ class ParallelCompiler:
         reports = []
         for region_id in region_ids:
             report = reports_by_region[region_id]
+            if incremental is not None:
+                # Harvest the incremental bookkeeping off the reports: recordings
+                # feed the artifact cache, mismatches trigger another round, and
+                # neither belongs in the report callers see.
+                if report.recording is not None:
+                    incremental.recordings[region_id] = report.recording
+                    report.recording = None
+                if report.replay_mismatches:
+                    incremental.mismatches.extend(
+                        (region_id, key) for key in report.replay_mismatches
+                    )
+                    report.replay_mismatches = None
             aggregate.merge(report.statistics)
             memory += report.memory_bytes
             reports.append(report)
@@ -503,8 +571,10 @@ class ParallelCompiler:
         root_inherited: Dict[str, Any],
         expected_assemblies: int,
         outcome: Dict[str, Any],
+        reuse_ids: Optional[Set[int]] = None,
     ) -> Generator:
         config = self.configuration
+        reuse_ids = reuse_ids or set()
         # Regions cross a pickling process boundary on the processes substrate, so
         # they ship in the packed array-of-ints codec there; everywhere else the
         # readable linearized records are used (the simulated substrate must stay
@@ -512,8 +582,11 @@ class ParallelCompiler:
         use_packed = substrate.name == "processes"
         ship_started = time.perf_counter()
         # Ship remote regions first (they must cross the network), then hand the root
-        # region to the co-located evaluator.
+        # region to the co-located evaluator.  Replayed regions are not shipped at
+        # all — that is the "ship only dirty regions" half of incremental compiles.
         for region in decomposition.regions[1:]:
+            if region.region_id in reuse_ids:
+                continue
             holes = decomposition.holes_of(region.region_id)
             if use_packed:
                 encoded: Any = pack(self.grammar, region.root, holes)

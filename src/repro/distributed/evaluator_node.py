@@ -27,6 +27,7 @@ from repro.distributed.protocol import (
     ResultMessage,
     SubtreeMessage,
 )
+from repro.distributed.recording import RegionRecording
 from repro.distributed.unique_ids import UniqueIdGenerator, unique_id_context
 from repro.evaluation.base import ComputedAttribute, EvaluationStatistics
 from repro.evaluation.combined import CombinedScheduler
@@ -74,6 +75,7 @@ def evaluator_body(
     use_priority: bool = True,
     use_tables: bool = True,
     attribute_phase: Callable[[str], "ActivityKind"] = None,
+    record: bool = False,
 ) -> Generator:
     """Build one evaluator process body (the :class:`~repro.backends.base.WorkerJob`
     factory used by every substrate).
@@ -103,13 +105,20 @@ def evaluator_body(
         use_priority=use_priority,
         use_tables=use_tables,
         attribute_phase=attribute_phase or default_attribute_phase,
+        record=record,
     )
     return node.run()
 
 
 @dataclass
 class EvaluatorReport:
-    """Per-evaluator results gathered after the run."""
+    """Per-evaluator results gathered after the run.
+
+    ``recording`` carries the region's boundary traffic back to the driver when the
+    compilation ran with artifact recording on (the incremental layer strips it off
+    before the report reaches callers).  ``replay_mismatches`` is set only by
+    replayed regions whose live inputs differed from the cached signatures.
+    """
 
     region_id: int
     machine: str
@@ -120,6 +129,8 @@ class EvaluatorReport:
     finish_time: float = 0.0
     graph_build_time: float = 0.0
     memory_bytes: int = 0
+    recording: Optional[RegionRecording] = None
+    replay_mismatches: Optional[List[Tuple[int, str, str]]] = None
 
 
 class EvaluatorNode:
@@ -144,6 +155,7 @@ class EvaluatorNode:
         use_priority: bool = True,
         use_tables: bool = True,
         attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase,
+        record: bool = False,
     ):
         if evaluator_kind not in ("combined", "dynamic"):
             raise ValueError("evaluator_kind must be 'combined' or 'dynamic'")
@@ -167,6 +179,10 @@ class EvaluatorNode:
         self.attribute_phase = attribute_phase
 
         self.report = EvaluatorReport(region_id, f"machine-{machine_index}")
+        # Boundary-traffic recording for the incremental artifact cache; pure
+        # bookkeeping (no Compute requests, no messages), so a recorded run stays
+        # byte-identical to an unrecorded one.
+        self._recording = RegionRecording(region_id) if record else None
         self._fragment_counter = 0
         self._root: Optional[ParseTreeNode] = None
         self._holes: Dict[int, ParseTreeNode] = {}
@@ -225,6 +241,7 @@ class EvaluatorNode:
             yield from self._apply_message(incoming, scheduler)
 
         yield from self._finish(scheduler)
+        self.report.recording = self._recording
         self.transport.publish_report(self.region_id, self.report)
 
     # --------------------------------------------------------------- internals
@@ -313,6 +330,10 @@ class EvaluatorNode:
             size=size,
             priority=decl.priority,
         )
+        if self._recording is not None:
+            self._recording.record_attribute_send(
+                target_region, direction, name, wire_value, size, decl.priority
+            )
         self.transport.send(
             self.machine_index,
             self._machines_of_regions[target_region],
@@ -333,6 +354,8 @@ class EvaluatorNode:
                 f"fragment {name}",
             )
             fragment_message = CodeFragmentMessage(self.region_id, fragment_id, text, size)
+            if self._recording is not None:
+                self._recording.record_fragment_send(fragment_id, text, size)
             self.transport.send(
                 self.machine_index, self.librarian_machine, fragment_message,
                 fragment_message.size_bytes(), mailbox=self.librarian_mailbox,
@@ -353,6 +376,10 @@ class EvaluatorNode:
             size=descriptor_size,
             priority=decl.priority,
         )
+        if self._recording is not None:
+            self._recording.record_attribute_send(
+                self._parent_region, "up", name, descriptor, descriptor_size, decl.priority
+            )
         self.transport.send(
             self.machine_index,
             self._machines_of_regions[self._parent_region],
@@ -398,6 +425,10 @@ class EvaluatorNode:
                 f"evaluator {self.region_id} received unexpected message {message!r}"
             )
         self.report.messages_received += 1
+        if self._recording is not None:
+            self._recording.record_input(
+                message.source_region, message.direction, message.name, message.value
+            )
         if message.direction == "down":
             target_node = self._root
         else:

@@ -25,11 +25,13 @@ _TOKEN_SPECS = [
 
 _KEYWORDS = {"let": "LET", "in": "IN", "ni": "NI"}
 
+#: Shared compiled scanner (rule compilation is not free; the rules never change).
+_LEXER = Lexer(_TOKEN_SPECS, keywords=_KEYWORDS)
+
 
 def tokenize_expression(source: str) -> List[Token]:
     """Scan an expression-language source string into tokens."""
-    lexer = Lexer(_TOKEN_SPECS, keywords=_KEYWORDS)
-    return lexer.tokenize(source)
+    return _LEXER.tokenize(source)
 
 
 @lru_cache(maxsize=None)

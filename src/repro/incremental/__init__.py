@@ -1,0 +1,38 @@
+"""``repro.incremental`` — content-addressed region artifacts and document sessions.
+
+The paper's central move — decomposing the parse tree into regions evaluated in
+parallel — implies something the one-shot pipeline never exploited: when a source
+edit touches one region, every other region's evaluation is still valid.  This
+package turns that observation into an interactive edit-recompile workload:
+
+* :mod:`~repro.incremental.fingerprint` — stable, content-addressed region keys
+  built on the packed tree codec;
+* :mod:`~repro.incremental.cache` — the :class:`ArtifactCache` of per-region
+  boundary recordings and evaluator reports;
+* :mod:`~repro.incremental.engine` — dirty-region scheduling with
+  hole-signature validation rounds, driving :class:`repro.distributed.compiler.
+  ParallelCompiler` in replay-and-record mode;
+* :mod:`~repro.incremental.frontend` — incremental re-lexing (token prefix/suffix
+  splice) and damaged-subtree reparsing (nonterminal-rooted LALR sub-tables);
+* :mod:`~repro.incremental.document` — the :class:`Document` session API:
+  ``Session.open(language, source)`` → ``doc.edit(start, end, text)`` →
+  ``doc.recompile()``.
+
+The compile pipeline is staged into explicit artifacts — ``TokenStream →
+ParseTree → DecompositionPlan → per-region recordings → CompileResult`` — and each
+stage reuses whatever the edit left intact.  Full builds are byte-identical with
+the cache on or off, on every substrate; an edit-then-recompile equals a cold
+compile of the edited source.
+"""
+
+from repro.incremental.cache import ArtifactCache, RegionArtifact
+from repro.incremental.document import Document
+from repro.incremental.engine import IncrementalCompiler, IncrementalReport
+
+__all__ = [
+    "ArtifactCache",
+    "Document",
+    "IncrementalCompiler",
+    "IncrementalReport",
+    "RegionArtifact",
+]

@@ -1,0 +1,85 @@
+"""The content-addressed cache of per-region evaluation artifacts.
+
+One :class:`RegionArtifact` is everything needed to *stand in* for a region on a
+later compilation: the recorded boundary traffic (replayed verbatim to dirty
+neighbours and to the string librarian) and the region's evaluator report
+(statistics and memory figures, which are content properties).  Artifacts are
+keyed by the stable region fingerprints of :mod:`repro.incremental.fingerprint`,
+so the cache is shared freely across documents, services and successive builds —
+hits are decided by content, not by session identity.
+
+The cache is a thread-safe LRU: the service layer compiles jobs concurrently, and
+an editing session only ever needs the last few builds' artifacts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distributed.evaluator_node import EvaluatorReport
+from repro.distributed.recording import RegionRecording
+
+
+@dataclass
+class RegionArtifact:
+    """One region's cached evaluation: boundary recording + evaluator report."""
+
+    key: str
+    recording: RegionRecording
+    report: EvaluatorReport
+
+
+class ArtifactCache:
+    """Thread-safe LRU of :class:`RegionArtifact` keyed by region fingerprint."""
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, RegionArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[RegionArtifact]:
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return artifact
+
+    def put(self, artifact: RegionArtifact) -> None:
+        with self._lock:
+            self._entries[artifact.key] = artifact
+            self._entries.move_to_end(artifact.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache({len(self)} entries, {self.hits} hits / "
+            f"{self.misses} misses)"
+        )

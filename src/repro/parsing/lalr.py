@@ -74,11 +74,16 @@ class LALRTable:
 
 
 class _Builder:
-    def __init__(self, grammar: AttributeGrammar):
-        if grammar.start is None:
-            raise ValueError("grammar has no start symbol")
+    def __init__(self, grammar: AttributeGrammar, start: Optional[str] = None):
+        if start is not None:
+            if start not in grammar.nonterminals:
+                raise ValueError(f"start override {start!r} is not a grammar nonterminal")
+            self.start_name = start
+        else:
+            if grammar.start is None:
+                raise ValueError("grammar has no start symbol")
+            self.start_name = grammar.start.name
         self.grammar = grammar
-        self.start_name = grammar.start.name
         # Internal production 0 is the augmented start production $accept -> start $end.
         self.productions: List[Tuple[str, Tuple[_Sym, ...]]] = [
             ("$accept", ((False, self.start_name),))
@@ -361,6 +366,13 @@ class _Builder:
         return chosen, LALRConflict(state, token, "reduce/reduce", chosen, rejected)
 
 
-def build_lalr_table(grammar: AttributeGrammar) -> LALRTable:
-    """Build the LALR(1) parse table for ``grammar``'s context-free backbone."""
-    return _Builder(grammar).build()
+def build_lalr_table(grammar: AttributeGrammar, start: Optional[str] = None) -> LALRTable:
+    """Build the LALR(1) parse table for ``grammar``'s context-free backbone.
+
+    ``start`` overrides the grammar's start symbol: the table then accepts exactly
+    the sentences derivable from that nonterminal.  Incremental reparsing uses such
+    *subtree tables* to re-parse only the damaged subtree of an edited document
+    (production indices in the table are the grammar's own either way, so the
+    resulting trees plug straight back into the full parse tree).
+    """
+    return _Builder(grammar, start=start).build()

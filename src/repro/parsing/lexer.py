@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 
 class LexerError(Exception):
@@ -110,6 +110,96 @@ class Lexer:
     def tokenize(self, text: str) -> List[Token]:
         """Scan the whole input and return the token list (no EOF token appended)."""
         return list(self.iter_tokens(text))
+
+    def scan(
+        self,
+        text: str,
+        position: int = 0,
+        line: int = 1,
+        line_start: int = 0,
+        resync_offsets: Optional[Set[int]] = None,
+        resync_min: int = 0,
+    ):
+        """Scan like :meth:`tokenize` but also return per-token text spans.
+
+        Returns ``(tokens, spans, stopped_at)`` where ``spans[i] = (scan_start,
+        start, end)``: ``scan_start`` is the offset where scanning for token ``i``
+        began (the end of token ``i-1``, so skipped text — whitespace, comments —
+        between tokens belongs to the *following* token's span), ``start``/``end``
+        delimit the lexeme itself.  The span intervals tile the input, which is what
+        incremental re-lexing needs to find safe restart and resynchronisation
+        points.  ``position``/``line``/``line_start`` allow restarting a scan
+        mid-text at a known-safe boundary; when a token boundary at or past
+        ``resync_min`` lands exactly on an offset in ``resync_offsets``, scanning
+        stops there and ``stopped_at`` is that offset (``None`` when the scan ran to
+        the end of the text).
+
+        Kept separate from :meth:`iter_tokens` on purpose: the plain scan is the
+        compiler's hot path and must not pay for span bookkeeping.
+        """
+        tokens: List[Token] = []
+        spans: List[tuple] = []
+        anchor = position
+        length = len(text)
+        combined = self._combined
+        keywords = self._keywords
+        keyword_source = self._keyword_source
+        while position < length:
+            if (
+                resync_offsets is not None
+                and position == anchor
+                and position >= resync_min
+                and position in resync_offsets
+            ):
+                return tokens, spans, position
+            if combined is not None:
+                match = combined.match(text, position)
+                if match is not None and match.end() > position:
+                    lexeme = match.group(0)
+                    spec = self._spec_by_group[match.lastindex or 1]
+                    if not spec.skip:
+                        kind = spec.name
+                        if kind == keyword_source and lexeme.lower() in keywords:
+                            kind = keywords[lexeme.lower()]
+                        tokens.append(
+                            Token(kind, lexeme, line, position - line_start + 1)
+                        )
+                        spans.append((anchor, position, match.end()))
+                        anchor = match.end()
+                    newlines = lexeme.count("\n")
+                    if newlines:
+                        line += newlines
+                        line_start = position + lexeme.rfind("\n") + 1
+                    position = match.end()
+                    continue
+                if match is None:
+                    column = position - line_start + 1
+                    raise LexerError(
+                        f"unexpected character {text[position]!r}", line, column
+                    )
+            for spec, pattern in self._compiled:
+                match = pattern.match(text, position)
+                if match is None or match.end() == position:
+                    continue
+                lexeme = match.group(0)
+                column = position - line_start + 1
+                if not spec.skip:
+                    kind = spec.name
+                    if kind == self._keyword_source and lexeme.lower() in self._keywords:
+                        kind = self._keywords[lexeme.lower()]
+                    tokens.append(Token(kind, lexeme, line, column))
+                    spans.append((anchor, position, match.end()))
+                    anchor = match.end()
+                newlines = lexeme.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = position + lexeme.rfind("\n") + 1
+                position = match.end()
+                break
+            else:
+                column = position - line_start + 1
+                raise LexerError(f"unexpected character {text[position]!r}", line, column)
+        return tokens, spans, None
 
     def iter_tokens(self, text: str) -> Iterator[Token]:
         position = 0

@@ -132,9 +132,19 @@ class ServiceStats:
     parse_p95: float = 0.0
     compile_p50: float = 0.0
     compile_p95: float = 0.0
+    #: Region-artifact cache accounting summed over completed jobs: regions
+    #: replayed from the content-addressed cache vs regions evaluated.  Both stay
+    #: 0 unless the service (or the jobs' compilers) run with an artifact cache.
+    region_cache_hits: int = 0
+    region_cache_misses: int = 0
+
+    @property
+    def region_cache_hit_rate(self) -> float:
+        total = self.region_cache_hits + self.region_cache_misses
+        return self.region_cache_hits / total if total else 0.0
 
     def summary(self) -> str:
-        return (
+        lines = (
             f"{self.jobs_completed} compiled / {self.jobs_failed} failed / "
             f"{self.jobs_in_flight} in flight on the {self.backend} pool: "
             f"{self.throughput:.2f} compiles/s over {self.uptime_seconds:.2f}s, "
@@ -143,6 +153,13 @@ class ServiceStats:
             f"(parse p50 {self.parse_p50 * 1000:.1f}ms / "
             f"compile p50 {self.compile_p50 * 1000:.1f}ms)"
         )
+        if self.region_cache_hits or self.region_cache_misses:
+            lines += (
+                f", region cache {self.region_cache_hits} hit(s) / "
+                f"{self.region_cache_misses} miss(es) "
+                f"({self.region_cache_hit_rate * 100:.0f}% hit rate)"
+            )
+        return lines
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
@@ -162,6 +179,12 @@ class CompilationService:
     :param workers: initial pool size when the service creates the substrate.
     :param receive_timeout: blocking-receive bound handed to a substrate the service
         creates (ignored for borrowed substrates).
+    :param artifact_cache: enable content-addressed region caching for language
+        jobs: ``True`` creates a service-owned :class:`repro.incremental.
+        ArtifactCache`, or pass an existing cache to share it.  Jobs whose region
+        content (and engine) matches an earlier job replay those regions instead of
+        re-evaluating them — results are identical, and ``stats()`` reports the
+        hit/miss counters.
     """
 
     def __init__(
@@ -171,6 +194,7 @@ class CompilationService:
         max_in_flight: int = 4,
         workers: int = 0,
         receive_timeout: Optional[float] = None,
+        artifact_cache: Union[bool, Any] = False,
     ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
@@ -193,6 +217,18 @@ class CompilationService:
         self._compile_latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._started_at: Optional[float] = None
         self._closed = False
+        self._region_cache_hits = 0
+        self._region_cache_misses = 0
+        if artifact_cache is True:
+            from repro.incremental.cache import ArtifactCache
+
+            self._artifact_cache: Optional[Any] = ArtifactCache()
+        elif artifact_cache is False or artifact_cache is None:
+            self._artifact_cache = None
+        else:
+            # An existing cache instance is borrowed as-is (note: an empty cache is
+            # falsy — it has __len__ — so identity checks, not truthiness).
+            self._artifact_cache = artifact_cache
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -274,6 +310,8 @@ class CompilationService:
             completed = self._completed
             failed = self._failed
             submitted = self._submitted
+            region_hits = self._region_cache_hits
+            region_misses = self._region_cache_misses
         return ServiceStats(
             jobs_submitted=submitted,
             jobs_completed=completed,
@@ -290,6 +328,8 @@ class CompilationService:
             parse_p95=_percentile(parse_latencies, 0.95),
             compile_p50=_percentile(compile_latencies, 0.50),
             compile_p95=_percentile(compile_latencies, 0.95),
+            region_cache_hits=region_hits,
+            region_cache_misses=region_misses,
         )
 
     # ---------------------------------------------------------------- internals
@@ -300,12 +340,26 @@ class CompilationService:
         try:
             engine, tree = job.resolve()
             parsed = time.perf_counter()
-            report = engine.compile_tree(
-                tree,
-                job.machines,
-                root_inherited=job.root_inherited,
-                substrate=self._substrate,
-            )
+            if self._artifact_cache is not None:
+                # Content-addressed region reuse across jobs: resubmitting the same
+                # (or a slightly edited) source replays every unchanged region.
+                from repro.incremental.engine import IncrementalCompiler
+
+                report, _ = IncrementalCompiler(
+                    engine, self._artifact_cache
+                ).compile_tree(
+                    tree,
+                    job.machines,
+                    root_inherited=job.root_inherited,
+                    substrate=self._substrate,
+                )
+            else:
+                report = engine.compile_tree(
+                    tree,
+                    job.machines,
+                    root_inherited=job.root_inherited,
+                    substrate=self._substrate,
+                )
         except BaseException:
             with self._lock:
                 self._failed += 1
@@ -319,4 +373,6 @@ class CompilationService:
             if did_parse:
                 self._parse_latencies.append(parsed - started)
             self._compile_latencies.append(finished - parsed)
+            self._region_cache_hits += report.region_cache_hits
+            self._region_cache_misses += report.region_cache_misses
         return report

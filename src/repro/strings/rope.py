@@ -3,11 +3,19 @@
 Ropes are immutable (as required by the applicative attribute-grammar discipline): all
 operations return new ropes and never modify existing ones.  ``length`` is maintained on
 every node so :meth:`Rope.__len__` and the network cost model are O(1).
+
+Structural edits (:meth:`Rope.insert` / :meth:`Rope.delete` / :meth:`Rope.replace`,
+built on :meth:`Rope.split`) return new ropes that share every untouched leaf *by
+reference* with the original: only the leaves straddling the edit position are re-cut.
+That sharing is what makes document-level incremental recompilation cheap — unchanged
+stretches of source keep identical leaf objects, so repeated edits never copy the whole
+program text.  Edit results are depth-rebalanced when the tree degenerates (an editing
+session is a long chain of concatenations), again reusing the existing leaves.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 
 class Rope:
@@ -71,6 +79,119 @@ class Rope:
                 piece = cls.leaf(piece)
             result = cls.concat(result, piece)
         return result
+
+    # ---------------------------------------------------------------- editing
+
+    def split(self, position: int) -> Tuple["Rope", "Rope"]:
+        """Cut the rope at ``position`` into ``(left, right)``.
+
+        Every leaf entirely on one side of the cut is shared by reference with this
+        rope; at most one leaf (the one straddling ``position``) is re-cut into two
+        new leaves.  O(depth + cut-leaf length).
+        """
+        if position < 0 or position > self._length:
+            raise IndexError(
+                f"split position {position} out of range for rope of length {self._length}"
+            )
+        if position == 0:
+            return _EMPTY, self
+        if position == self._length:
+            return self, _EMPTY
+        if self._text is not None:
+            return Rope.leaf(self._text[:position]), Rope.leaf(self._text[position:])
+        left = self._left if self._left is not None else _EMPTY
+        right = self._right if self._right is not None else _EMPTY
+        if position < len(left):
+            head, tail = left.split(position)
+            return head, Rope.concat(tail, right)
+        if position == len(left):
+            return left, right
+        head, tail = right.split(position - len(left))
+        return Rope.concat(left, head), tail
+
+    def slice(self, start: int, end: int) -> "Rope":
+        """The sub-rope covering ``[start, end)``, sharing interior leaves."""
+        if start < 0 or end > self._length or start > end:
+            raise IndexError(
+                f"slice [{start}:{end}] out of range for rope of length {self._length}"
+            )
+        _, tail = self.split(start)
+        body, _ = tail.split(end - start)
+        return body
+
+    def insert(self, position: int, text: Union[str, "Rope"]) -> "Rope":
+        """A new rope with ``text`` inserted at ``position`` (untouched leaves shared)."""
+        return self.replace(position, position, text)
+
+    def delete(self, start: int, end: int) -> "Rope":
+        """A new rope with ``[start, end)`` removed (untouched leaves shared)."""
+        return self.replace(start, end, "")
+
+    def replace(self, start: int, end: int, text: Union[str, "Rope"]) -> "Rope":
+        """A new rope with ``[start, end)`` replaced by ``text``.
+
+        The single entry point behind :meth:`insert` and :meth:`delete`.  Leaves
+        outside the edited span are shared by reference with this rope, so unchanged
+        regions of a document keep identical fragment objects across edits; the result
+        is rebalanced when the edit chain has made the tree degenerate.
+        """
+        if start < 0 or end > self._length or start > end:
+            raise IndexError(
+                f"replace span [{start}:{end}] out of range for rope of length {self._length}"
+            )
+        if isinstance(text, str):
+            middle = Rope.leaf(text) if text else _EMPTY
+        else:
+            middle = text
+        head, tail = self.split(start)
+        _, suffix = tail.split(end - start)
+        result = Rope.concat(Rope.concat(head, middle), suffix)
+        return result._rebalanced()
+
+    def _rebalanced(self) -> "Rope":
+        """Rebuild as a balanced tree when depth is pathological; else return self.
+
+        The rebuild reuses the existing leaf objects (only internal nodes are new),
+        preserving the sharing guarantee of the edit operations.
+        """
+        leaf_count = self._leaf_count
+        if leaf_count < 8:
+            return self
+        # A perfectly balanced rope has depth ceil(log2(leaves)) + 1; allow slack so
+        # rebalancing amortises instead of firing on every edit.
+        budget = 2 * (leaf_count.bit_length() + 1)
+        if self.depth() <= budget:
+            return self
+        return Rope.balanced(list(self._leaves()))
+
+    def _leaves(self) -> Iterator["Rope"]:
+        """Yield the (non-empty) leaf nodes left to right, as objects."""
+        stack: List[Rope] = [self]
+        while stack:
+            node = stack.pop()
+            if node._text is not None:
+                if node._text:
+                    yield node
+                continue
+            if node._right is not None:
+                stack.append(node._right)
+            if node._left is not None:
+                stack.append(node._left)
+
+    @classmethod
+    def balanced(cls, leaves: List["Rope"]) -> "Rope":
+        """Build a balanced rope over existing leaf nodes (shared, not copied)."""
+        if not leaves:
+            return _EMPTY
+        while len(leaves) > 1:
+            paired = [
+                cls.concat(leaves[index], leaves[index + 1])
+                if index + 1 < len(leaves)
+                else leaves[index]
+                for index in range(0, len(leaves), 2)
+            ]
+            leaves = paired
+        return leaves[0]
 
     # ------------------------------------------------------------------ queries
 

@@ -298,14 +298,40 @@ def unpack(
         tag = code & 3
         index = code >> 2
         if tag == _TAG_PRODUCTION:
+            if not 0 <= index < len(productions):
+                raise ValueError(
+                    f"packed production index {index} out of range for a grammar with "
+                    f"{len(productions)} productions (corrupt tree or mismatched "
+                    "grammar generation)"
+                )
             if arity[index]:
                 frames.append([productions[index], []])
                 continue
             node = make_node(productions[index], [])
         elif tag == _TAG_TERMINAL:
+            if not 0 <= index < len(terminal_list):
+                raise ValueError(
+                    f"packed terminal index {index} out of range for a grammar with "
+                    f"{len(terminal_list)} terminals (corrupt tree or mismatched "
+                    "grammar generation)"
+                )
+            if value_position >= len(values):
+                raise ValueError(
+                    "packed tree is missing token values for its terminal records"
+                )
             node = make_terminal(terminal_list[index], values[value_position])
             value_position += 1
         elif tag == _TAG_HOLE:
+            if not 0 <= index < len(nonterminal_list):
+                raise ValueError(
+                    f"packed hole index {index} out of range for a grammar with "
+                    f"{len(nonterminal_list)} nonterminals (corrupt tree or mismatched "
+                    "grammar generation)"
+                )
+            if hole_position + 1 >= len(hole_meta):
+                raise ValueError(
+                    "packed tree is missing hole metadata for its hole records"
+                )
             node = ParseTreeNode(nonterminal_list[index])
             holes[hole_meta[hole_position]] = node
             hole_position += 2

@@ -1,0 +1,476 @@
+"""Tests for incremental recompilation: artifacts, dirty regions, documents.
+
+The load-bearing guarantees:
+
+* full builds are byte-identical (values, errors, simulated-time stats) with the
+  artifact cache enabled vs disabled, on every substrate;
+* an edit-then-recompile equals a cold compile of the edited source;
+* a single-region edit re-evaluates only the dirty regions (edited region plus its
+  region-tree ancestors), reported in ``CompileResult.incremental``;
+* root-context changes (e.g. a global constant edit) are caught by hole-signature
+  validation and re-evaluated, never served stale from the cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import re
+
+import pytest
+
+from repro import Compiler, Session
+from repro.api import get_language
+from repro.incremental import ArtifactCache, Document
+from repro.incremental.cache import RegionArtifact
+from repro.incremental.fingerprint import FingerprintMemo, region_keys
+from repro.incremental.frontend import (
+    EditEnvelope,
+    count_tokens,
+    incremental_reparse,
+    incremental_scan,
+)
+from repro.distributed.recording import RegionRecording
+from repro.distributed.evaluator_node import EvaluatorReport
+from repro.partition.decomposition import plan_decomposition
+from repro.pascal.compiler import _shared_parser
+from repro.pascal.grammar import pascal_grammar
+from repro.pascal.lexer import _LEXER
+from repro.pascal.programs import generate_program
+from repro.tree.linearize import linearize
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+requires_fork = pytest.mark.skipif(
+    not _fork_available(), reason="processes substrate requires the fork start method"
+)
+
+ALL_SUBSTRATES = [
+    "simulated",
+    "threads",
+    pytest.param("processes", marks=requires_fork),
+]
+
+MACHINES = 5
+
+
+@pytest.fixture(scope="module")
+def source():
+    return generate_program(procedures=8, statements_per_procedure=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def edited_source(source):
+    # A constant tweak inside the *main program body* — content of exactly one
+    # region (the root region or the detached statement_list region).
+    match = list(re.finditer(r":= (\d)[;\n]", source))[-1]
+    return source[: match.start(1)] + "7" + source[match.end(1) :], match
+
+
+# --------------------------------------------------------------- edit envelope
+
+
+class TestEditEnvelope:
+    def test_single_edit(self):
+        env = EditEnvelope()
+        env.record(10, 15, 3)
+        assert (env.old_lo, env.old_hi, env.new_lo, env.new_hi) == (10, 15, 10, 13)
+        assert env.delta == -2
+
+    def test_merge_overlapping_and_disjoint_edits(self):
+        reference = "0123456789" * 4
+        current = reference
+        env = EditEnvelope()
+        rng = random.Random(5)
+        for _ in range(6):
+            start = rng.randint(0, len(current))
+            end = rng.randint(start, min(len(current), start + 6))
+            insert = "x" * rng.randint(0, 5)
+            current = current[:start] + insert + current[end:]
+            env.record(start, end, len(insert))
+        # Everything outside the envelope must be byte-identical (shifted by delta
+        # after it) between the original and the edited text.
+        assert reference[: env.old_lo] == current[: env.new_lo]
+        assert reference[env.old_hi :] == current[env.new_hi :]
+
+    def test_reset(self):
+        env = EditEnvelope()
+        env.record(1, 2, 1)
+        env.reset()
+        assert env.empty
+
+
+# ------------------------------------------------------------ incremental scan
+
+
+class TestIncrementalScan:
+    def test_random_edits_match_full_scan(self, source):
+        rng = random.Random(29)
+        text = source
+        tokens, spans, _ = _LEXER.scan(text)
+        for _ in range(25):
+            start = rng.randint(0, len(text) - 2)
+            end = min(len(text), start + rng.randint(0, 12))
+            insert = rng.choice(["x1", "274", " ", "{c}\n", "y := 2;", ""])
+            new_text = text[:start] + insert + text[end:]
+            envelope = EditEnvelope()
+            envelope.record(start, end, len(insert))
+            try:
+                got_tokens, got_spans, *_ = incremental_scan(
+                    _LEXER, tokens, spans, text, new_text, envelope
+                )
+            except Exception:
+                # Some random edits produce unlexable text ('{' unclosed, stray
+                # chars); a full scan must fail identically.
+                with pytest.raises(Exception):
+                    _LEXER.scan(new_text)
+                continue
+            full_tokens, full_spans, _ = _LEXER.scan(new_text)
+            assert got_tokens == full_tokens
+            assert got_spans == full_spans
+            text, tokens, spans = new_text, got_tokens, got_spans
+
+    def test_prefix_and_suffix_tokens_are_shared(self, source):
+        tokens, spans, _ = _LEXER.scan(source)
+        match = list(re.finditer(r"\b\d+\b", source))[10]
+        new_text = source[: match.start()] + "55" + source[match.end() :]
+        envelope = EditEnvelope()
+        envelope.record(match.start(), match.end(), 2)
+        got_tokens, _, first_changed, old_resync, new_resync = incremental_scan(
+            _LEXER, tokens, spans, source, new_text, envelope
+        )
+        assert first_changed > 0 and old_resync < len(tokens)
+        # Prefix and (for a same-length-class edit) suffix are the same objects.
+        assert got_tokens[0] is tokens[0]
+        assert got_tokens[-1] is tokens[-1] or got_tokens[-1] == tokens[-1]
+
+
+# --------------------------------------------------------------- subtree splice
+
+
+class TestIncrementalReparse:
+    def test_splice_equals_full_parse_and_shares_siblings(self, source):
+        grammar = pascal_grammar()
+        parser = _shared_parser()
+        tokens, spans, _ = _LEXER.scan(source)
+        tree = parser.parse(tokens)
+        counts = {}
+        count_tokens(tree, counts)
+
+        match = list(re.finditer(r"\b\d+\b", source))[20]
+        new_text = source[: match.start()] + "321" + source[match.end() :]
+        envelope = EditEnvelope()
+        envelope.record(match.start(), match.end(), 3)
+        new_tokens, _, fc, orr, nrr = incremental_scan(
+            _LEXER, tokens, spans, source, new_text, envelope
+        )
+        before = {id(node) for node in tree.walk()}
+        new_tree, mode = incremental_reparse(
+            grammar, parser, tree, counts, new_tokens, fc, orr, nrr
+        )
+        assert mode == "splice"
+        reference = parser.parse(_LEXER.tokenize(new_text))
+        assert linearize(new_tree).records == linearize(reference).records
+        # The spliced tree reuses untouched nodes by reference.
+        shared = sum(1 for node in new_tree.walk() if id(node) in before)
+        assert shared > new_tree.subtree_size() // 2
+
+    def test_unchanged_tokens_reuse_the_tree(self, source):
+        grammar = pascal_grammar()
+        parser = _shared_parser()
+        tokens, spans, _ = _LEXER.scan(source)
+        tree = parser.parse(tokens)
+        counts = {}
+        count_tokens(tree, counts)
+        new_tree, mode = incremental_reparse(
+            grammar, parser, tree, counts, tokens, 5, 5, 5
+        )
+        assert mode == "reuse"
+        assert new_tree is tree
+
+
+# ------------------------------------------------------------------ fingerprints
+
+
+class TestFingerprints:
+    def test_stable_across_reparses(self, source):
+        language = get_language("pascal")
+        grammar = pascal_grammar()
+        keys_a = region_keys(
+            grammar, plan_decomposition(language.parse(source), MACHINES), "engine"
+        )
+        keys_b = region_keys(
+            grammar, plan_decomposition(language.parse(source), MACHINES), "engine"
+        )
+        assert keys_a == keys_b  # node ids differ, content does not
+
+    def test_edit_changes_only_affected_region_keys(self, source, edited_source):
+        edited, _ = edited_source
+        language = get_language("pascal")
+        grammar = pascal_grammar()
+        keys_a = region_keys(
+            grammar, plan_decomposition(language.parse(source), MACHINES), "engine"
+        )
+        keys_b = region_keys(
+            grammar, plan_decomposition(language.parse(edited), MACHINES), "engine"
+        )
+        changed = [rid for rid in keys_a if keys_a[rid] != keys_b.get(rid)]
+        assert len(changed) == 1  # the main-body edit touches one region's content
+
+    def test_engine_digest_isolates_configurations(self, source):
+        language = get_language("pascal")
+        grammar = pascal_grammar()
+        decomposition = plan_decomposition(language.parse(source), MACHINES)
+        assert region_keys(grammar, decomposition, "engine-a") != region_keys(
+            grammar, decomposition, "engine-b"
+        )
+
+    def test_memo_avoids_repacking_surviving_regions(self, source):
+        language = get_language("pascal")
+        grammar = pascal_grammar()
+        tree = language.parse(source)
+        decomposition = plan_decomposition(tree, MACHINES)
+        memo = FingerprintMemo()
+        first = region_keys(grammar, decomposition, "engine", memo)
+        assert len(memo) == decomposition.region_count
+        second = region_keys(grammar, decomposition, "engine", memo)
+        assert first == second
+
+
+# ------------------------------------------------------------------- the cache
+
+
+class TestArtifactCache:
+    def _artifact(self, key):
+        return RegionArtifact(key, RegionRecording(1), EvaluatorReport(1, "m"))
+
+    def test_hit_miss_accounting(self):
+        cache = ArtifactCache()
+        assert cache.get("a") is None
+        cache.put(self._artifact("a"))
+        assert cache.get("a") is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert 0 < cache.hit_rate < 1
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(self._artifact(key))
+        assert "a" not in cache and "b" in cache and "c" in cache
+        cache.get("b")
+        cache.put(self._artifact("d"))
+        assert "c" not in cache and "b" in cache  # b was freshened
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put(self._artifact("a"))
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------- parity matrix
+
+
+class TestParityMatrix:
+    """Cache on vs off, cold vs incremental, across all three substrates."""
+
+    @pytest.mark.parametrize("backend", ALL_SUBSTRATES)
+    def test_full_build_identical_with_cache_on_and_off(self, backend, source):
+        plain = Compiler("pascal", machines=MACHINES, backend=backend).compile(source)
+        with Session(backend=backend, machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            cached = document.recompile()
+        assert cached.value == plain.value
+        assert cached.errors == plain.errors
+        # Simulated-time stats are byte-identical: recording must not perturb the
+        # modelled run (on real substrates evaluation_time is wall clock, so only
+        # the deterministic fields are compared there).
+        assert cached.report.parse_time == plain.report.parse_time
+        if backend == "simulated":
+            assert cached.report.evaluation_time == plain.report.evaluation_time
+        assert cached.report.statistics == plain.report.statistics
+        assert cached.report.memory_bytes == plain.report.memory_bytes
+        assert (
+            cached.report.decomposition.region_count
+            == plain.report.decomposition.region_count
+        )
+
+    @pytest.mark.parametrize("backend", ALL_SUBSTRATES)
+    def test_edit_then_recompile_equals_cold_compile(
+        self, backend, source, edited_source
+    ):
+        edited, match = edited_source
+        reference = Compiler("pascal", machines=MACHINES, backend=backend).compile(
+            edited
+        )
+        with Session(backend=backend, machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            document.recompile()
+            document.edit(match.start(1), match.end(1), "7")
+            warm = document.recompile()
+        assert document.text == edited
+        assert warm.value == reference.value
+        assert warm.errors == reference.errors
+        assert warm.incremental.regions_reused > 0
+
+    def test_simulated_edit_recompile_statistics_match_cold(self, source, edited_source):
+        """On the simulated substrate even the *aggregate statistics* of an
+        incremental run match a cold run: replays publish the regions' cached
+        reports, and dirty regions re-evaluate identically."""
+        edited, match = edited_source
+        reference = Compiler("pascal", machines=MACHINES).compile(edited)
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            document.recompile()
+            document.edit(match.start(1), match.end(1), "7")
+            warm = document.recompile()
+        assert warm.report.statistics == reference.report.statistics
+
+
+# ------------------------------------------------------------ dirty scheduling
+
+
+class TestDirtyRegionScheduling:
+    def test_single_region_edit_evaluates_only_dirty_regions(
+        self, source, edited_source
+    ):
+        edited, match = edited_source
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            cold = document.recompile()
+            assert cold.incremental.frontend == "cold"
+            assert cold.incremental.regions_reused == 0
+            document.edit(match.start(1), match.end(1), "7")
+            warm = document.recompile()
+        total = warm.incremental.regions_total
+        assert total > 2
+        # The edited region plus its region-tree ancestors — never everything.
+        assert 0 < warm.incremental.regions_evaluated < total
+        assert warm.incremental.regions_reused == total - warm.incremental.regions_evaluated
+        assert warm.incremental.dirty_regions  # labels, e.g. ["a"]
+        assert warm.report.region_cache_hits == warm.incremental.regions_reused
+        assert warm.report.region_cache_misses == warm.incremental.regions_evaluated
+
+    def test_noop_recompile_reuses_everything_but_the_root(self, source):
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            cold = document.recompile()
+            again = document.recompile()
+        assert again.incremental.frontend == "reuse"
+        assert again.incremental.regions_evaluated == 1  # the root region only
+        assert again.value == cold.value
+
+    def test_root_context_change_invalidates_cached_regions(self, source):
+        """Editing a global constant changes the inherited environment of every
+        procedure region: hole-signature validation must catch it and re-evaluate
+        instead of serving stale artifacts."""
+        match = re.search(r"bias = (\d+);", source)
+        edited = source[: match.start(1)] + "23" + source[match.end(1) :]
+        reference = Compiler("pascal", machines=MACHINES).compile(edited)
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            document.recompile()
+            document.edit(match.start(1), match.end(1), "23")
+            warm = document.recompile()
+        assert warm.value == reference.value
+        assert warm.errors == reference.errors
+        assert warm.incremental.validation_rounds >= 2
+
+    def test_comment_only_edit_keeps_every_region_clean(self, source):
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            cold = document.recompile()
+            insert_at = source.index(";\n") + 1
+            document.insert(insert_at, " { a comment }")
+            warm = document.recompile()
+        # Tokens are unchanged, so every fingerprint survives: only the forced
+        # root region re-evaluates, and the output is identical.
+        assert warm.incremental.regions_evaluated == 1
+        assert warm.value == cold.value
+
+    def test_cross_document_cache_sharing(self, source):
+        with Session(backend="simulated", machines=MACHINES) as session:
+            first = session.open("pascal", source, machines=MACHINES)
+            first.recompile()
+            second = session.open("pascal", source, machines=MACHINES)
+            result = second.recompile()
+        # A fresh document over identical content hits the session's shared cache.
+        assert result.incremental.regions_reused > 0
+
+
+# ------------------------------------------------------------------- documents
+
+
+class TestDocument:
+    def test_text_and_rope_editing(self):
+        document = Document("pascal", "program p; begin writeln(1) end.")
+        document.edit(len("program p; begin writeln("), len("program p; begin writeln(") + 1, "42")
+        assert "writeln(42)" in document.text
+        document.insert(0, "{ header }\n")
+        assert document.text.startswith("{ header }")
+        assert len(document) == len(document.text)
+
+    def test_invalid_edit_surfaces_parse_error(self, source):
+        from repro.parsing.parser import ParseError
+
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = session.open("pascal", source, machines=MACHINES)
+            document.recompile()
+            document.edit(0, 7, "progrem")  # break the leading keyword
+            with pytest.raises(ParseError):
+                document.recompile()
+            # The document recovers once the text is valid again.
+            document.edit(0, 7, "program")
+            result = document.recompile()
+            assert result.ok
+
+    def test_exprlang_document_incremental(self):
+        rng = random.Random(3)
+        from repro.exprlang import random_expression_source
+
+        source = random_expression_source(240, seed=9, nesting=6)
+        with Session(backend="simulated", machines=4) as session:
+            document = session.open("exprlang", source, machines=4)
+            cold = document.recompile()
+            reference = Compiler("exprlang", machines=4).compile(source)
+            assert cold.value == reference.value
+            # Tweak one literal; value must track a cold compile of the new text.
+            match = list(re.finditer(r"\b\d+\b", source))[-1]
+            document.edit(match.start(), match.end(), "9")
+            edited = source[: match.start()] + "9" + source[match.end() :]
+            warm = document.recompile()
+            assert warm.value == Compiler("exprlang", machines=4).compile(edited).value
+
+    def test_document_without_frontend_still_reuses_regions(self, source):
+        """A language that exposes no (lexer, parser) pair falls back to full
+        parses but keeps region-level artifact reuse."""
+        language = get_language("pascal")
+
+        class NoFrontend:
+            name = language.name
+
+            def __getattr__(self, attribute):
+                return getattr(language, attribute)
+
+            def frontend(self):
+                return None
+
+        with Session(backend="simulated", machines=MACHINES) as session:
+            document = Document(
+                language,
+                source,
+                machines=MACHINES,
+                substrate=session.substrate,
+                cache=session.artifact_cache,
+            )
+            document._frontend = None  # simulate a frontend-less language
+            cold = document.recompile()
+            assert cold.incremental.frontend == "cold"
+            match = list(re.finditer(r":= (\d)[;\n]", source))[-1]
+            document.edit(match.start(1), match.end(1), "7")
+            warm = document.recompile()
+        assert warm.incremental.frontend == "full"
+        assert warm.incremental.regions_reused > 0

@@ -196,3 +196,78 @@ class TestCodecTables:
         )
         with pytest.raises(ValueError):
             unpack(grammar, broken)
+
+
+class TestCorruptPackedTrees:
+    """Corrupt or mismatched wire data must raise clear ValueErrors, never IndexErrors."""
+
+    def _packed(self, source="let x = 3 in 1 + 2 * x ni"):
+        grammar = expression_grammar()
+        tree = parse_expression(source, grammar)
+        return grammar, pack(grammar, tree)
+
+    def test_production_index_out_of_range(self):
+        grammar, packed = self._packed()
+        codes = packed.codes[:]
+        codes[0] = (len(grammar.productions) + 7) << 2  # _TAG_PRODUCTION
+        broken = PackedTree(codes, packed.values, packed.hole_meta, packed.root_symbol, 0)
+        with pytest.raises(ValueError, match="production index .* out of range"):
+            unpack(grammar, broken)
+
+    def test_terminal_index_out_of_range(self):
+        grammar, packed = self._packed()
+        codes = packed.codes[:]
+        terminal_positions = [i for i, code in enumerate(codes) if code & 3 == 1]
+        codes[terminal_positions[0]] = ((len(grammar.terminals) + 3) << 2) | 1
+        broken = PackedTree(codes, packed.values, packed.hole_meta, packed.root_symbol, 0)
+        with pytest.raises(ValueError, match="terminal index .* out of range"):
+            unpack(grammar, broken)
+
+    def test_negative_index_rejected_not_wrapped(self):
+        """A negative interned index must not silently wrap around Python lists."""
+        grammar, packed = self._packed()
+        codes = packed.codes[:]
+        codes[0] = (-2 << 2)
+        broken = PackedTree(codes, packed.values, packed.hole_meta, packed.root_symbol, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            unpack(grammar, broken)
+
+    def test_missing_token_values(self):
+        grammar, packed = self._packed()
+        broken = PackedTree(packed.codes, [], packed.hole_meta, packed.root_symbol, 0)
+        with pytest.raises(ValueError, match="missing token values"):
+            unpack(grammar, broken)
+
+    def test_missing_hole_metadata(self):
+        grammar = expression_grammar(min_split_size=1)
+        tree = parse_expression("let x = 1 in let y = 2 in x + y ni ni", grammar)
+        candidates = [
+            node
+            for node in tree.walk()
+            if node is not tree and node.symbol.is_nonterminal and node.symbol.splittable
+        ]
+        packed = pack(grammar, tree, {candidates[0].node_id: 1})
+        from array import array
+
+        broken = PackedTree(packed.codes, packed.values, array("q"), packed.root_symbol, 0)
+        with pytest.raises(ValueError, match="missing hole metadata"):
+            unpack(grammar, broken)
+
+    def test_mismatched_grammar_generation(self):
+        """Unpacking against a structurally different grammar raises, not IndexErrors.
+
+        A tree packed against the full expression grammar decodes against a toy
+        grammar with far fewer productions; every failure mode must surface as a
+        ValueError naming the problem.
+        """
+        grammar, packed = self._packed()
+        from repro.grammar.builder import GrammarBuilder
+
+        b = GrammarBuilder("tiny")
+        b.terminal("NUMBER", value_attribute="value")
+        b.nonterminal("s", synthesized=["value"])
+        b.production("s -> NUMBER")
+        b.start("s")
+        tiny = b.build(validate=False)
+        with pytest.raises(ValueError):
+            unpack(tiny, packed)

@@ -62,8 +62,11 @@ EXPECTED_REPRO_ALL = sorted([
     "expression_grammar",
     "parse_expression",
     # the repro.api front door
+    "ArtifactCache",
     "Compiler",
     "CompileResult",
+    "Document",
+    "IncrementalReport",
     "DuplicateLanguageError",
     "GrammarLanguage",
     "Language",
@@ -77,8 +80,11 @@ EXPECTED_REPRO_ALL = sorted([
 ])
 
 EXPECTED_API_ALL = sorted([
+    "ArtifactCache",
     "Compiler",
     "CompileResult",
+    "Document",
+    "IncrementalReport",
     "DuplicateLanguageError",
     "ExprLanguage",
     "GrammarLanguage",

@@ -251,6 +251,87 @@ class TestServiceStats:
 # ----------------------------------------------------------- teardown on failure
 
 
+class TestServiceArtifactCache:
+    """Content-addressed region reuse across service jobs (and its counters)."""
+
+    def _program(self):
+        from repro.pascal.programs import generate_program
+
+        return generate_program(procedures=10, statements_per_procedure=4, seed=5)
+
+    def test_repeat_submissions_hit_the_region_cache(self):
+        source = self._program()
+        with CompilationService(
+            "threads", receive_timeout=TIMEOUT, artifact_cache=True
+        ) as service:
+            first = service.submit(
+                CompilationJob(language="pascal", source=source, machines=4)
+            ).result()
+            second = service.submit(
+                CompilationJob(language="pascal", source=source, machines=4)
+            ).result()
+            stats = service.stats()
+        # Results are byte-identical; the second job replayed every non-root region.
+        assert first.code_text() == second.code_text()
+        assert first.region_cache_hits == 0
+        assert second.region_cache_hits > 0
+        assert second.region_cache_misses >= 1   # the root region always re-runs
+        assert stats.region_cache_hits == second.region_cache_hits
+        assert stats.region_cache_misses == (
+            first.region_cache_misses + second.region_cache_misses
+        )
+        assert 0.0 < stats.region_cache_hit_rate < 1.0
+        assert "region cache" in stats.summary()
+        assert "hit rate" in stats.summary()
+
+    def test_cache_off_keeps_counters_zero_and_summary_clean(self):
+        source = self._program()
+        with CompilationService("threads", receive_timeout=TIMEOUT) as service:
+            report = service.submit(
+                CompilationJob(language="pascal", source=source, machines=4)
+            ).result()
+            stats = service.stats()
+        assert report.region_cache_hits == 0
+        assert report.region_cache_misses == 0
+        assert stats.region_cache_hits == 0
+        assert stats.region_cache_misses == 0
+        assert stats.region_cache_hit_rate == 0.0
+        assert "region cache" not in stats.summary()
+
+    def test_cached_results_match_uncached(self):
+        source = self._program()
+        with CompilationService("threads", receive_timeout=TIMEOUT) as plain:
+            reference = plain.submit(
+                CompilationJob(language="pascal", source=source, machines=4)
+            ).result()
+        with CompilationService(
+            "threads", receive_timeout=TIMEOUT, artifact_cache=True
+        ) as cached:
+            jobs = [
+                CompilationJob(language="pascal", source=source, machines=4)
+                for _ in range(3)
+            ]
+            reports = cached.compile_many(jobs)
+        for report in reports:
+            assert report.code_text() == reference.code_text()
+            assert report.root_attributes.get("errs") == reference.root_attributes.get(
+                "errs"
+            )
+
+    def test_shared_cache_instance_is_borrowed(self):
+        from repro.incremental import ArtifactCache
+
+        cache = ArtifactCache()
+        source = self._program()
+        with CompilationService(
+            "threads", receive_timeout=TIMEOUT, artifact_cache=cache
+        ) as service:
+            service.submit(
+                CompilationJob(language="pascal", source=source, machines=4)
+            ).result()
+        assert len(cache) > 0  # artifacts landed in the caller's cache
+
+
 def _failing_worker_body(transport, **kwargs):
     """A WorkerJob factory whose body dies immediately (module-level: must pickle)."""
 

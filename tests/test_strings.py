@@ -75,6 +75,87 @@ class TestRope:
         assert len(left) == len(a) + len(b) + len(c)
 
 
+class TestRopeEdits:
+    def _document(self):
+        pieces = ["alpha ", "beta ", "gamma ", "delta ", "epsilon"]
+        return Rope.join(pieces), "".join(pieces)
+
+    def test_split_matches_python_slicing(self):
+        value, text = self._document()
+        for position in range(len(text) + 1):
+            left, right = value.split(position)
+            assert left.flatten() == text[:position]
+            assert right.flatten() == text[position:]
+
+    def test_split_out_of_range(self):
+        value, text = self._document()
+        with pytest.raises(IndexError):
+            value.split(-1)
+        with pytest.raises(IndexError):
+            value.split(len(text) + 1)
+
+    def test_slice_edge_cases(self):
+        value, text = self._document()
+        assert value.slice(0, 0).flatten() == ""
+        assert value.slice(0, len(text)).flatten() == text
+        assert value.slice(3, 3).flatten() == ""
+        assert value.slice(2, 9).flatten() == text[2:9]
+        with pytest.raises(IndexError):
+            value.slice(5, 2)
+        with pytest.raises(IndexError):
+            value.slice(0, len(text) + 1)
+
+    def test_insert_delete_replace_match_strings(self):
+        value, text = self._document()
+        assert value.insert(0, ">>").flatten() == ">>" + text
+        assert value.insert(len(text), "<<").flatten() == text + "<<"
+        assert value.insert(7, "X").flatten() == text[:7] + "X" + text[7:]
+        assert value.delete(0, 6).flatten() == text[6:]
+        assert value.delete(3, 3).flatten() == text
+        assert value.replace(6, 11, "BETA!").flatten() == text[:6] + "BETA!" + text[11:]
+        assert value.replace(0, len(text), "").flatten() == ""
+
+    def test_edits_preserve_untouched_leaves_by_reference(self):
+        value, _ = self._document()
+        original_leaves = list(value._leaves())
+        edited = value.replace(8, 10, "XX")  # inside the "beta " leaf
+        edited_leaves = list(edited._leaves())
+        # Every leaf not straddling the edit is the *same object*, not a copy.
+        assert original_leaves[0] in edited_leaves          # "alpha "
+        for leaf in original_leaves[2:]:                    # "gamma " onwards
+            assert leaf in edited_leaves
+        assert original_leaves[1] not in edited_leaves      # the cut leaf
+
+    def test_edit_chain_stays_shallow(self):
+        value = Rope.leaf("x" * 64)
+        for index in range(300):
+            value = value.insert(len(value) // 2, str(index % 10))
+        assert value.depth() <= 2 * (value.leaf_count.bit_length() + 1)
+
+    def test_balanced_reuses_leaf_objects(self):
+        leaves = [Rope.leaf(ch) for ch in "abcdefghij"]
+        built = Rope.balanced(list(leaves))
+        assert built.flatten() == "abcdefghij"
+        assert set(id(leaf) for leaf in built._leaves()) == set(id(leaf) for leaf in leaves)
+
+    @given(
+        st.text(max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_random_edit_sequences_match_strings(self, text, data):
+        value = rope(text)
+        reference = text
+        for _ in range(4):
+            start = data.draw(st.integers(0, len(reference)))
+            end = data.draw(st.integers(start, len(reference)))
+            insertion = data.draw(st.text(max_size=10))
+            value = value.replace(start, end, insertion)
+            reference = reference[:start] + insertion + reference[end:]
+            assert value.flatten() == reference
+            assert len(value) == len(reference)
+
+
 class TestDescriptors:
     def _library(self):
         fragments = {
