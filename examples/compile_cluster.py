@@ -1,0 +1,88 @@
+"""A loopback compile cluster that survives losing a worker mid-compile.
+
+Starts the ``sockets`` substrate — evaluator workers as *separate host
+processes* reached over TCP, exactly what ``python -m repro.cluster.worker
+--connect HOST:PORT`` would join from another machine — and compiles the
+paper-sized Pascal workload on a three-worker fleet.  Then it does it again,
+this time SIGKILLing whichever worker is busiest halfway through: the
+coordinator notices the dead connection, re-runs the orphaned regions on the
+survivors (replaying their mailbox logs), suppresses any duplicate outputs, and
+the compile finishes with **byte-identical** generated code.
+
+The same substrate drives real multi-host fleets: construct
+``SocketsSubstrate(manage_workers=False)``, print its ``address``, and start
+workers by hand on any machines that can reach it.
+
+Run with::
+
+    PYTHONPATH=src python examples/compile_cluster.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import Session
+from repro.backends.sockets import SocketsSubstrate
+from repro.pascal import generate_program
+
+MACHINES = 6
+WORKERS = 3
+
+
+def kill_one_busy_worker(pool: SocketsSubstrate, report: list) -> None:
+    """Wait until some worker is evaluating regions, then kill its OS process."""
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        busy = pool.worker_ids(with_work=True)
+        if busy and pool.kill_worker(busy[0]):
+            report.append(busy[0])
+            return
+        time.sleep(0.01)
+
+
+def main() -> int:
+    source = generate_program(procedures=24, statements_per_procedure=6, seed=7)
+    print(f"workload: {source.count(chr(10))} lines of Pascal, {MACHINES} machines")
+
+    pool = SocketsSubstrate(workers=WORKERS, receive_timeout=120.0)
+    try:
+        pool.start()
+        host, port = pool.address
+        print(f"cluster up: {WORKERS} local workers on {host}:{port}")
+        print("  (external machines would join with: "
+              f"python -m repro.cluster.worker --connect {host}:{port})")
+
+        with Session(substrate=pool) as session:
+            compiler = session.compiler("pascal", machines=MACHINES)
+
+            started = time.perf_counter()
+            healthy = compiler.compile(source)
+            print(f"\nhealthy compile: {time.perf_counter() - started:.2f}s wall, "
+                  f"{healthy.report.decomposition.region_count} regions")
+
+            killed: list = []
+            assassin = threading.Thread(
+                target=kill_one_busy_worker, args=(pool, killed), daemon=True
+            )
+            assassin.start()
+            started = time.perf_counter()
+            survivor = compiler.compile(source)
+            assassin.join(timeout=30.0)
+            print(f"compile under fire: {time.perf_counter() - started:.2f}s wall"
+                  + (f", worker {killed[0]} SIGKILLed mid-evaluation" if killed
+                     else " (workers finished before the assassin struck)"))
+
+        identical = survivor.value == healthy.value
+        print(f"\ngenerated code byte-identical after the kill: {identical}")
+        print(pool.cluster_stats().summary())
+        if not identical:
+            return 1
+    finally:
+        pool.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,8 +32,10 @@ from repro.distributed.compiler import CompilerConfiguration
 class Session:
     """One persistent worker pool, many languages, uniform lifecycle.
 
-    :param backend: substrate name — ``"simulated"``, ``"threads"`` (default) or
-        ``"processes"`` — for a substrate the session creates, starts and owns.
+    :param backend: substrate name — ``"simulated"``, ``"threads"`` (default),
+        ``"processes"`` or ``"sockets"`` (a loopback compile cluster of separate
+        worker host processes) — for a substrate the session creates, starts and
+        owns.
     :param substrate: an already-created :class:`Substrate` to borrow instead; the
         session starts it if needed but never shuts it down.
     :param workers: initial pool size for an owned substrate (pools grow on demand).

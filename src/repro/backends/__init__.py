@@ -1,12 +1,16 @@
 """Execution backends: interchangeable substrates for the parallel compiler.
 
-Three implementations of the same :class:`~repro.backends.base.Backend` interface:
+Four implementations of the same :class:`~repro.backends.base.Backend` interface:
 
 * ``"simulated"`` — the paper's modelled network multiprocessor (deterministic
   discrete-event simulation, simulated seconds);
 * ``"threads"`` — OS threads with ``queue.Queue`` mailboxes;
 * ``"processes"`` — forked OS processes with picklable protocol messages over
-  ``multiprocessing.Queue``.
+  ``multiprocessing.Queue``;
+* ``"sockets"`` — separate worker host processes over TCP (loopback by default,
+  any reachable machine in general), backed by the :mod:`repro.cluster`
+  coordinator: consistent-hash sharding, heartbeats, and region reassignment
+  that survives killing a worker mid-compile.
 
 Each comes in two lifecycles:
 
@@ -35,12 +39,13 @@ from repro.backends.base import (
 )
 from repro.backends.processes import ProcessesBackend, ProcessesSubstrate
 from repro.backends.simulated import SimulatedBackend, SimulatedSubstrate
+from repro.backends.sockets import SocketsBackend, SocketsSubstrate
 from repro.backends.threads import ThreadsBackend, ThreadsSubstrate
 from repro.runtime.cost import CostModel
 from repro.runtime.network import NetworkParameters
 
 #: Names accepted by :func:`create_backend` and the compiler's ``backend=`` knob.
-BACKEND_NAMES = ("simulated", "threads", "processes")
+BACKEND_NAMES = ("simulated", "threads", "processes", "sockets")
 
 
 def create_backend(
@@ -65,6 +70,8 @@ def create_backend(
         return ThreadsBackend() if receive_timeout is None else ThreadsBackend(receive_timeout)
     if name == "processes":
         return ProcessesBackend() if receive_timeout is None else ProcessesBackend(receive_timeout)
+    if name == "sockets":
+        return SocketsBackend(receive_timeout=receive_timeout)
     raise ValueError(f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
 
 
@@ -91,6 +98,8 @@ def create_substrate(
         return ThreadsSubstrate(workers=workers, receive_timeout=receive_timeout)
     if name == "processes":
         return ProcessesSubstrate(workers=workers, receive_timeout=receive_timeout)
+    if name == "sockets":
+        return SocketsSubstrate(workers=workers, receive_timeout=receive_timeout)
     raise ValueError(f"unknown substrate {name!r}; choose from {BACKEND_NAMES}")
 
 
@@ -107,6 +116,8 @@ __all__ = [
     "SharedBundle",
     "SimulatedBackend",
     "SimulatedSubstrate",
+    "SocketsBackend",
+    "SocketsSubstrate",
     "Substrate",
     "ThreadsBackend",
     "ThreadsSubstrate",

@@ -606,6 +606,7 @@ class ProcessesSession(Backend):
     """One compilation run on a :class:`ProcessesSubstrate` pool."""
 
     name = "processes"
+    packed_wire = True
 
     def __init__(self, substrate: ProcessesSubstrate, session_id: int, receive_timeout: float):
         super().__init__()
@@ -795,6 +796,7 @@ class ProcessesBackend(Backend):
     """
 
     name = "processes"
+    packed_wire = True
 
     def __init__(self, receive_timeout: float = 120.0):
         super().__init__()

@@ -1,0 +1,136 @@
+"""Deterministic slow workloads for cluster fault-injection tests and demos.
+
+Everything here is module-level and picklable on purpose: these grammars ship
+to real worker processes (fresh interpreters) exactly like production language
+bundles, so closures and lambdas would break at the pickling boundary.
+
+Two knobs, both read inside whatever process evaluates a region (workers
+inherit the spawning environment, so tests set them via ``os.environ`` before
+creating the substrate):
+
+* ``REPRO_CLUSTER_TEST_SLEEP`` — seconds each semantic function sleeps.  Slows
+  evaluation down deterministically (the values computed never change) so a
+  test or demo has time to kill a worker mid-evaluation.
+* ``REPRO_CLUSTER_TEST_STALL_FILE`` — path of a sentinel file.  While the file
+  exists, semantic functions stall (checking twice a second, bounded); deleting
+  the file releases them.  This is how the coordinator-timeout test makes a
+  *first* attempt overrun ``job_timeout`` and the *retry* run fast: the test
+  removes the file once it has observed the timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.grammar.attributes import AttributeConverter
+from repro.grammar.builder import GrammarBuilder, Rule
+from repro.grammar.grammar import AttributeGrammar
+from repro.symtab.symbol_table import SymbolTable, st_add, st_create, st_get, st_lookup, st_put
+
+SLEEP_ENV = "REPRO_CLUSTER_TEST_SLEEP"
+STALL_FILE_ENV = "REPRO_CLUSTER_TEST_STALL_FILE"
+
+#: Upper bound on one stall (seconds) so a forgotten sentinel cannot hang CI.
+MAX_STALL = 30.0
+
+
+def _dawdle() -> None:
+    delay = float(os.environ.get(SLEEP_ENV, "0") or "0")
+    if delay > 0:
+        time.sleep(delay)
+    stall_file = os.environ.get(STALL_FILE_ENV)
+    if stall_file:
+        deadline = time.monotonic() + MAX_STALL
+        while os.path.exists(stall_file) and time.monotonic() < deadline:
+            time.sleep(0.05)
+
+
+def slow_number(text: str) -> int:
+    _dawdle()
+    return int(text)
+
+
+def slow_add(left: int, right: int) -> int:
+    _dawdle()
+    return left + right
+
+
+def slow_multiply(left: int, right: int) -> int:
+    _dawdle()
+    return left * right
+
+
+def _stab_size(table: Any) -> int:
+    return table.transmission_size() if isinstance(table, SymbolTable) else 8
+
+
+def sleepy_grammar(min_split_size: int = 40) -> AttributeGrammar:
+    """The appendix expression grammar with throttled semantic functions.
+
+    Identical values to :func:`repro.exprlang.expression_grammar` on every
+    input; only evaluation *speed* is environment-controlled.  The low split
+    threshold makes even small sources decompose into several regions, so a
+    multi-worker cluster genuinely shards the compile.
+    """
+    builder = GrammarBuilder("cluster-sleepy")
+    builder.name_terminals("IDENTIFIER", "NUMBER", value_attribute="string")
+    builder.keywords("LET", "IN", "NI", "+", "*", "=", "(", ")")
+    stab = AttributeConverter(put=st_put, get=st_get, size_of=_stab_size)
+    builder.nonterminal("main_expr", synthesized=["value"])
+    builder.nonterminal(
+        "expr", synthesized=["value"], inherited=["stab"], converters={"stab": stab}
+    )
+    builder.nonterminal(
+        "block",
+        synthesized=["value"],
+        inherited=["stab"],
+        split=True,
+        min_split_size=min_split_size,
+        converters={"stab": stab},
+    )
+    builder.left("+")
+    builder.left("*")
+    builder.production(
+        "main_expr -> expr",
+        Rule("$$.value", ["$1.value"]),
+        Rule("$1.stab", [], st_create, name="st_create"),
+    )
+    builder.production(
+        "expr -> expr + expr",
+        Rule("$$.value", ["$1.value", "$3.value"], slow_add, name="slow_add"),
+        Rule("$1.stab", ["$$.stab"]),
+        Rule("$3.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> expr * expr",
+        Rule("$$.value", ["$1.value", "$3.value"], slow_multiply, name="slow_multiply"),
+        Rule("$1.stab", ["$$.stab"]),
+        Rule("$3.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> ( expr )",
+        Rule("$$.value", ["$2.value"]),
+        Rule("$2.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "expr -> IDENTIFIER",
+        Rule("$$.value", ["$$.stab", "$1.string"], st_lookup, name="st_lookup"),
+    )
+    builder.production(
+        "expr -> NUMBER",
+        Rule("$$.value", ["$1.string"], slow_number, name="slow_number"),
+    )
+    builder.production(
+        "expr -> block",
+        Rule("$$.value", ["$1.value"]),
+        Rule("$1.stab", ["$$.stab"]),
+    )
+    builder.production(
+        "block -> LET IDENTIFIER = expr IN expr NI",
+        Rule("$$.value", ["$6.value"]),
+        Rule("$4.stab", ["$$.stab"]),
+        Rule("$6.stab", ["$$.stab", "$2.string", "$4.value"], st_add, name="st_add"),
+    )
+    return builder.build(start="main_expr")

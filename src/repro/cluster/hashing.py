@@ -1,0 +1,88 @@
+"""Consistent hashing of regions and language bundles onto worker shards.
+
+A classic virtual-node hash ring: each worker appears ``replicas`` times at
+pseudo-random points of a 64-bit circle, and a key maps to the first worker
+point at or after its own hash.  Adding or removing one worker therefore only
+remaps the keys that hashed into that worker's arcs — the property the cluster
+coordinator relies on so that a joining (or dying) shard does not reshuffle
+every region and force every language bundle to re-ship.
+
+:meth:`HashRing.preference` returns the full failover order for a key (each
+live worker once, in ring order), which is also how retries and speculative
+attempts pick a *different* shard deterministically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash (``hash()`` is salted per process)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.replicas = replicas
+        self._points: List[int] = []          # sorted virtual-node hashes
+        self._owner: Dict[int, str] = {}      # point hash -> node name
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __contains__(self, node: str) -> bool:
+        return any(owner == node for owner in self._owner.values())
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self._owner.values()))
+
+    def add(self, node: str) -> None:
+        """Insert ``node`` at its virtual points (idempotent)."""
+        if node in self:
+            return
+        for replica in range(self.replicas):
+            point = stable_hash(f"{node}#{replica}")
+            # A 64-bit collision between two distinct nodes is vanishingly rare;
+            # keep the first owner so add/remove stay symmetric.
+            if point in self._owner:
+                continue
+            self._owner[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node`` from the ring (idempotent)."""
+        dropped = [point for point, owner in self._owner.items() if owner == node]
+        for point in dropped:
+            del self._owner[point]
+        if dropped:
+            doomed = set(dropped)
+            self._points = [point for point in self._points if point not in doomed]
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_left(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owner[self._points[index]]
+
+    def preference(self, key: str) -> List[str]:
+        """Every node once, in failover order for ``key`` (owner first)."""
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._points, stable_hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owner[self._points[(start + offset) % len(self._points)]]
+            if owner not in seen:
+                seen.append(owner)
+        return seen

@@ -1,0 +1,211 @@
+"""The multi-host wire protocol: length-prefixed pickled frames + handshake.
+
+Every byte that crosses a cluster connection is a *frame*: a 4-byte big-endian
+length followed by exactly that many payload bytes (a pickled Python object).
+Framing is the only layer that touches raw sockets; everything above it —
+handshake, job shipping, mailbox bridging, heartbeats — exchanges plain tuples.
+
+Hardening rules (mirroring the PackedTree decode hardening):
+
+* a truncated length header or payload raises :class:`ProtocolError` naming how
+  many bytes were expected vs received;
+* a length that exceeds :data:`MAX_FRAME_BYTES` (a garbage header, or a peer
+  speaking a different protocol) is rejected before any allocation;
+* an unpicklable payload raises :class:`ProtocolError` instead of a bare
+  ``UnpicklingError``.
+
+The handshake runs once per connection, worker side first::
+
+    worker  -> {"magic": MAGIC, "version": PROTOCOL_VERSION,
+                "role": "worker", "name": ..., "capabilities": {...}}
+    coord   -> {"magic": MAGIC, "version": PROTOCOL_VERSION, "status": "ok",
+                "worker_id": ..., "heartbeat_interval": ...}
+              (or {"status": "reject", "reason": ...} followed by close)
+
+Both sides validate magic and version with :func:`check_handshake`; a version
+mismatch is an explicit, readable error — never a silent hang or a pickle
+explosion halfway into the first job.
+
+Post-handshake frame vocabulary (tag-first tuples):
+
+========================  =============================================================
+worker -> coordinator
+------------------------  -------------------------------------------------------------
+``("claim", a, uid)``     attempt ``a`` will receive on mailbox ``uid``; the
+                          coordinator replays the mailbox's full message log and
+                          forwards every later message
+``("send", a, uid, m, n)``  attempt ``a`` sends message ``m`` (``n`` modelled bytes)
+                          to mailbox ``uid``
+``("report", a, r, rep)`` publish evaluator report ``rep`` for region ``r``
+``("done", a, m, b)``     attempt ``a`` finished (``m`` messages / ``b`` bytes sent)
+``("aborted", a)``        attempt ``a`` unwound after an abort frame
+``("error", a, tb)``      attempt ``a``'s body raised; ``tb`` is the traceback text
+``("ping", seq)``         heartbeat
+------------------------  -------------------------------------------------------------
+coordinator -> worker
+------------------------  -------------------------------------------------------------
+``("job", a, name, blob, shared, timeout)``  run job ``name`` as attempt ``a``
+``("deliver", a, uid, m)``  a message for attempt ``a``'s claimed mailbox ``uid``
+``("abort", a)``          stop attempt ``a`` (its job completed elsewhere or failed)
+``("shutdown",)``         the cluster is going away; exit after unwinding
+========================  =============================================================
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: First bytes of every handshake: identifies "a repro cluster peer" before any
+#: version logic runs, so a stray HTTP client gets a clear rejection.
+MAGIC = "repro-cluster"
+
+#: Bumped on every incompatible frame-vocabulary change; peers must match exactly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (defensive: a corrupt length header must not
+#: trigger a multi-gigabyte allocation).  Large compiles ship regions well under
+#: this; raise it here if a workload ever legitimately needs more.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class MailboxRef:
+    """Stands in for a coordinator-resident mailbox inside a pickled job spec.
+
+    Defined here (not in the coordinator) because both ends unpickle it: the
+    coordinator writes refs into job payloads, the worker decodes them back into
+    claimable mailbox handles.
+    """
+
+    uid: str
+    name: str
+
+
+class ProtocolError(ValueError):
+    """A malformed, truncated or incompatible frame / handshake.
+
+    Subclasses :class:`ValueError` so generic decode-hardening handlers (the
+    PackedTree style) treat wire corruption uniformly.
+    """
+
+
+def _read_exact(stream: Any, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ProtocolError` naming the gap."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            received = count - remaining
+            raise ProtocolError(
+                f"connection closed mid-{what}: expected {count} bytes, "
+                f"received {received}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(stream: Any, payload: bytes) -> int:
+    """Write one length-prefixed frame; returns the bytes put on the wire."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+    return _HEADER.size + len(payload)
+
+
+def read_frame(stream: Any) -> bytes:
+    """Read one frame's payload, raising :class:`ProtocolError` on truncation."""
+    header = _read_exact(stream, _HEADER.size, "frame header")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt stream or foreign protocol?)"
+        )
+    return _read_exact(stream, length, "frame payload")
+
+
+def send_message(stream: Any, message: Any) -> int:
+    """Pickle ``message`` into one frame; returns the bytes put on the wire."""
+    try:
+        payload = pickle.dumps(message)
+    except Exception as error:
+        raise ProtocolError(f"message is not picklable for the wire: {error}") from error
+    return write_frame(stream, payload)
+
+
+def recv_message(stream: Any) -> Any:
+    """Read and unpickle one frame, wrapping decode failures in ProtocolError."""
+    payload = read_frame(stream)
+    try:
+        return pickle.loads(payload)
+    except ProtocolError:
+        raise
+    except Exception as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from error
+
+
+def hello(role: str, name: str, capabilities: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The opening handshake message a connecting peer sends."""
+    return {
+        "magic": MAGIC,
+        "version": PROTOCOL_VERSION,
+        "role": role,
+        "name": name,
+        "capabilities": dict(capabilities or {}),
+    }
+
+
+def welcome(worker_id: int, heartbeat_interval: float) -> Dict[str, Any]:
+    """The coordinator's accepting reply to a worker's hello."""
+    return {
+        "magic": MAGIC,
+        "version": PROTOCOL_VERSION,
+        "status": "ok",
+        "worker_id": worker_id,
+        "heartbeat_interval": heartbeat_interval,
+    }
+
+
+def reject(reason: str) -> Dict[str, Any]:
+    """The coordinator's refusing reply (sent just before closing the connection)."""
+    return {"magic": MAGIC, "version": PROTOCOL_VERSION, "status": "reject", "reason": reason}
+
+
+def check_handshake(message: Any, *, expect_status: bool = False) -> Dict[str, Any]:
+    """Validate a handshake message; raises :class:`ProtocolError` with a clear cause.
+
+    ``expect_status`` is set by the worker side, which additionally requires the
+    coordinator's ``status`` field (and surfaces an explicit rejection reason).
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError(f"handshake expected a dict, got {type(message).__name__}")
+    if message.get("magic") != MAGIC:
+        raise ProtocolError(
+            f"peer is not a repro cluster endpoint (magic {message.get('magic')!r})"
+        )
+    version = message.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this end speaks {PROTOCOL_VERSION}"
+        )
+    if expect_status:
+        status = message.get("status")
+        if status == "reject":
+            raise ProtocolError(
+                f"coordinator rejected the connection: {message.get('reason')}"
+            )
+        if status != "ok":
+            raise ProtocolError(f"unexpected handshake status {status!r}")
+    return message

@@ -1,0 +1,367 @@
+"""The cluster worker: a separate host process that evaluates shipped regions.
+
+Spawned on any machine that can reach the coordinator::
+
+    python -m repro.cluster.worker --connect HOST:PORT
+
+One TCP connection carries everything: the handshake, job payloads (pickled
+:class:`~repro.backends.base.WorkerJob` specs with mailboxes encoded as
+:class:`~repro.cluster.wire.MailboxRef`), bridged mailbox traffic, and
+heartbeats.  The worker multiplexes any number of concurrent attempts — each
+job runs on its own thread, sleeping in a genuinely blocking local queue
+between messages, exactly like a pooled processes worker.
+
+The mailbox bridge is claim-based: the first :class:`~repro.backends.base.Receive`
+on a mailbox sends ``("claim", attempt, uid)`` upstream, and the coordinator
+replays that mailbox's full message log before forwarding live traffic.  That
+replay is what makes re-execution after a worker death transparent — a restarted
+evaluator sees byte-for-byte the message sequence its predecessor saw.
+
+Language bundles arrive once per worker ever (the coordinator tracks which
+shared blobs this connection already holds) and are cached by key across jobs,
+mirroring the pooled substrate's :class:`~repro.backends.base.SharedBundle`
+scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import platform
+import queue as queue_module
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.backends.base import Mailbox, WakeToken, deadline_get, drive
+from repro.cluster import wire
+
+
+class _AttemptAborted(Exception):
+    """Raised inside a job thread when the coordinator aborts the attempt."""
+
+
+class WorkerMailbox(Mailbox):
+    """A worker-side handle on a coordinator-resident mailbox."""
+
+    __slots__ = ("uid", "queue")
+
+    def __init__(self, name: str, uid: str):
+        super().__init__(name)
+        self.uid = uid
+        self.queue: "queue_module.Queue" = queue_module.Queue()
+
+
+class _Attempt:
+    """Worker-side state of one running attempt."""
+
+    __slots__ = ("attempt_id", "name", "timeout", "mailboxes", "claimed", "abort",
+                 "thread")
+
+    def __init__(self, attempt_id: int, name: str, timeout: float):
+        self.attempt_id = attempt_id
+        self.name = name
+        self.timeout = timeout
+        self.mailboxes: Dict[str, WorkerMailbox] = {}   # uid -> handle
+        self.claimed: set = set()                       # uids claimed upstream
+        self.abort = threading.Event()
+        self.thread: Optional[threading.Thread] = None
+
+
+class _AttemptTransport:
+    """The Backend facade seen by a job body running on a cluster worker."""
+
+    name = "sockets"
+
+    def __init__(self, worker: "ClusterWorker", attempt: _Attempt):
+        self._worker = worker
+        self._attempt = attempt
+        self._started = time.perf_counter()
+        self.messages = 0
+        self.bytes = 0
+
+    def send(self, source: int, destination: int, message: Any, size_bytes: int,
+             mailbox: Mailbox) -> None:
+        assert isinstance(mailbox, WorkerMailbox)
+        self._worker.send_frame(
+            ("send", self._attempt.attempt_id, mailbox.uid, message, size_bytes)
+        )
+        self.messages += 1
+        self.bytes += size_bytes
+
+    def publish_report(self, region_id: int, report: Any) -> None:
+        self._worker.send_frame(("report", self._attempt.attempt_id, region_id, report))
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._started
+
+    def receive(self, mailbox: WorkerMailbox) -> Any:
+        attempt = self._attempt
+        if mailbox.uid not in attempt.claimed:
+            # First receive on this mailbox: claim it so the coordinator replays
+            # the full message log (the fault-tolerance replay) and forwards
+            # everything that arrives from now on.
+            attempt.claimed.add(mailbox.uid)
+            self._worker.send_frame(("claim", attempt.attempt_id, mailbox.uid))
+        deadline = time.monotonic() + attempt.timeout
+        while True:
+            if attempt.abort.is_set():
+                raise _AttemptAborted()
+            message = deadline_get(
+                mailbox.queue, deadline, attempt.timeout, "cluster worker", mailbox.name
+            )
+            if isinstance(message, WakeToken):
+                continue
+            return message
+
+
+def _decode_kwargs(value: Any, attempt: _Attempt) -> Any:
+    """Turn wire mailbox refs back into claimable handles, recursing into containers."""
+    if isinstance(value, wire.MailboxRef):
+        mailbox = attempt.mailboxes.get(value.uid)
+        if mailbox is None:
+            mailbox = WorkerMailbox(value.name, value.uid)
+            attempt.mailboxes[value.uid] = mailbox
+        return mailbox
+    if isinstance(value, dict):
+        return {key: _decode_kwargs(item, attempt) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_decode_kwargs(item, attempt) for item in value)
+    return value
+
+
+class ClusterWorker:
+    """One worker process's connection to the coordinator, driving many attempts."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self.worker_id: Optional[int] = None
+        self.heartbeat_interval = 1.0
+        self._sock: Optional[socket.socket] = None
+        self._rfile: Any = None
+        self._wfile: Any = None
+        self._send_lock = threading.Lock()
+        self._attempts: Dict[int, _Attempt] = {}
+        self._attempts_lock = threading.Lock()
+        self._shared_cache: Dict[int, Any] = {}
+        self._shared_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------------- lifecycle
+
+    def connect(self) -> None:
+        """Dial the coordinator (retrying briefly) and run the handshake."""
+        deadline = time.monotonic() + self.connect_timeout
+        last_error: Optional[Exception] = None
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=10.0
+                )
+                break
+            except OSError as error:
+                last_error = error
+                if time.monotonic() >= deadline:
+                    raise wire.ProtocolError(
+                        f"could not reach coordinator at {self.host}:{self.port} "
+                        f"within {self.connect_timeout:.0f}s: {last_error}"
+                    ) from error
+                time.sleep(0.1)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        wire.send_message(
+            self._wfile,
+            wire.hello(
+                "worker",
+                self.name,
+                {
+                    "python": platform.python_version(),
+                    "platform": sys.platform,
+                    "pid": os.getpid(),
+                },
+            ),
+        )
+        welcome = wire.check_handshake(
+            wire.recv_message(self._rfile), expect_status=True
+        )
+        self.worker_id = welcome["worker_id"]
+        self.heartbeat_interval = float(welcome.get("heartbeat_interval", 1.0))
+        self._sock.settimeout(None)
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-worker-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def run(self) -> int:
+        """Serve jobs until the coordinator shuts down (0) or the link drops (1)."""
+        if self._sock is None:
+            self.connect()
+        try:
+            while not self._stopped.is_set():
+                frame = wire.recv_message(self._rfile)
+                if not self._handle_frame(frame):
+                    return 0
+        except (wire.ProtocolError, OSError) as error:
+            if self._stopped.is_set():
+                return 0
+            print(f"repro worker: connection lost: {error}", file=sys.stderr)
+            return 1
+        finally:
+            self._stopped.set()
+            self._abort_all("connection closed")
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        return 0
+
+    def send_frame(self, frame: Any) -> None:
+        """Thread-safe framed send (job threads + heartbeat share the connection)."""
+        with self._send_lock:
+            if self._stopped.is_set():
+                return
+            try:
+                wire.send_message(self._wfile, frame)
+            except (wire.ProtocolError, OSError):
+                # The reader loop observes the same dead socket and unwinds; jobs
+                # in flight are aborted there.
+                self._stopped.set()
+
+    # ----------------------------------------------------------------- internals
+
+    def _heartbeat_loop(self) -> None:
+        seq = 0
+        while not self._stopped.wait(self.heartbeat_interval):
+            seq += 1
+            self.send_frame(("ping", seq))
+
+    def _handle_frame(self, frame: Any) -> bool:
+        tag = frame[0]
+        if tag == "job":
+            _, attempt_id, name, payload_blob, shared_blobs, timeout = frame
+            attempt = _Attempt(attempt_id, name, timeout)
+            with self._attempts_lock:
+                self._attempts[attempt_id] = attempt
+            attempt.thread = threading.Thread(
+                target=self._run_attempt,
+                args=(attempt, payload_blob, shared_blobs),
+                name=f"repro-worker-job-{name}",
+                daemon=True,
+            )
+            attempt.thread.start()
+            return True
+        if tag == "deliver":
+            _, attempt_id, uid, message = frame
+            with self._attempts_lock:
+                attempt = self._attempts.get(attempt_id)
+                mailbox = attempt.mailboxes.get(uid) if attempt is not None else None
+            if mailbox is not None:
+                mailbox.queue.put(message)
+            return True
+        if tag == "abort":
+            with self._attempts_lock:
+                attempt = self._attempts.get(frame[1])
+            if attempt is not None:
+                attempt.abort.set()
+                # A job asleep in a blocking receive never looks at the abort
+                # event on its own: wake every mailbox it could be blocked on.
+                for mailbox in attempt.mailboxes.values():
+                    mailbox.queue.put(WakeToken("attempt aborted"))
+            return True
+        if tag == "shutdown":
+            self._stopped.set()
+            self._abort_all("cluster shutdown")
+            return False
+        return True  # unknown benign frame: skip (forward-compatible)
+
+    def _run_attempt(self, attempt: _Attempt, payload_blob: bytes,
+                     shared_blobs: Dict[int, bytes]) -> None:
+        try:
+            with self._shared_lock:
+                for key, blob in shared_blobs.items():
+                    if key not in self._shared_cache:
+                        self._shared_cache[key] = pickle.loads(blob)
+            factory, encoded_kwargs, shared_keys = pickle.loads(payload_blob)
+            kwargs = _decode_kwargs(encoded_kwargs, attempt)
+            with self._shared_lock:
+                for argument, key in shared_keys.items():
+                    kwargs[argument] = self._shared_cache[key]
+            transport = _AttemptTransport(self, attempt)
+            body = factory(transport, **kwargs)
+            drive(body, transport.receive)
+            self.send_frame(
+                ("done", attempt.attempt_id, transport.messages, transport.bytes)
+            )
+        except _AttemptAborted:
+            self.send_frame(("aborted", attempt.attempt_id))
+        except BaseException:  # noqa: BLE001 — shipped upstream; worker survives
+            self.send_frame(("error", attempt.attempt_id, traceback.format_exc()))
+        finally:
+            with self._attempts_lock:
+                self._attempts.pop(attempt.attempt_id, None)
+
+    def _abort_all(self, reason: str) -> None:
+        with self._attempts_lock:
+            attempts = list(self._attempts.values())
+        for attempt in attempts:
+            attempt.abort.set()
+            for mailbox in attempt.mailboxes.values():
+                mailbox.queue.put(WakeToken(reason))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Join a repro compile cluster as an evaluator worker.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the cluster coordinator",
+    )
+    parser.add_argument(
+        "--name",
+        default=None,
+        help="worker name shown in cluster diagnostics (default: host-pid)",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connection (default: 10)",
+    )
+    options = parser.parse_args(argv)
+    host, _, port_text = options.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {options.connect!r}")
+    worker = ClusterWorker(
+        host, int(port_text), name=options.name,
+        connect_timeout=options.connect_timeout,
+    )
+    try:
+        worker.connect()
+    except (wire.ProtocolError, OSError) as error:
+        print(f"repro worker: {error}", file=sys.stderr)
+        return 2
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

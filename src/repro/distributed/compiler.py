@@ -575,11 +575,12 @@ class ParallelCompiler:
     ) -> Generator:
         config = self.configuration
         reuse_ids = reuse_ids or set()
-        # Regions cross a pickling process boundary on the processes substrate, so
-        # they ship in the packed array-of-ints codec there; everywhere else the
-        # readable linearized records are used (the simulated substrate must stay
-        # byte-identical, and in-process transports never serialise).
-        use_packed = substrate.name == "processes"
+        # Regions cross a pickling boundary on the processes and sockets substrates
+        # (another OS process, or another host entirely), so they ship in the packed
+        # array-of-ints codec there; everywhere else the readable linearized records
+        # are used (the simulated substrate must stay byte-identical, and in-process
+        # transports never serialise).
+        use_packed = getattr(substrate, "packed_wire", False)
         ship_started = time.perf_counter()
         # Ship remote regions first (they must cross the network), then hand the root
         # region to the co-located evaluator.  Replayed regions are not shipped at

@@ -137,6 +137,12 @@ class ServiceStats:
     #: 0 unless the service (or the jobs' compilers) run with an artifact cache.
     region_cache_hits: int = 0
     region_cache_misses: int = 0
+    #: Compile-cluster accounting, filled only on a clustered substrate (the
+    #: sockets backend): fleet size, orphaned-region reassignments after worker
+    #: deaths/timeouts, and speculative straggler re-executions.
+    cluster_workers: int = 0
+    cluster_reassignments: int = 0
+    cluster_speculations: int = 0
 
     @property
     def region_cache_hit_rate(self) -> float:
@@ -159,6 +165,12 @@ class ServiceStats:
                 f"{self.region_cache_misses} miss(es) "
                 f"({self.region_cache_hit_rate * 100:.0f}% hit rate)"
             )
+        if self.cluster_workers:
+            lines += (
+                f", cluster {self.cluster_workers} worker(s) / "
+                f"{self.cluster_reassignments} reassignment(s) / "
+                f"{self.cluster_speculations} speculation(s)"
+            )
         return lines
 
 
@@ -172,9 +184,9 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
 class CompilationService:
     """Serve compilation jobs from a persistent worker pool.
 
-    :param substrate: a backend name (``"simulated"``/``"threads"``/``"processes"``,
-        creating a pool the service owns and will shut down) or an already-started
-        :class:`Substrate` to borrow (left running at shutdown).
+    :param substrate: a backend name (``"simulated"``/``"threads"``/``"processes"``/
+        ``"sockets"``, creating a pool the service owns and will shut down) or an
+        already-started :class:`Substrate` to borrow (left running at shutdown).
     :param max_in_flight: how many compilations may run concurrently on the pool.
     :param workers: initial pool size when the service creates the substrate.
     :param receive_timeout: blocking-receive bound handed to a substrate the service
@@ -312,6 +324,16 @@ class CompilationService:
             submitted = self._submitted
             region_hits = self._region_cache_hits
             region_misses = self._region_cache_misses
+        # Clustered substrates (sockets) expose fleet/fault-tolerance counters;
+        # everything else reports zeros (duck-typed so the service layer never
+        # imports the cluster package).
+        cluster_workers = cluster_reassignments = cluster_speculations = 0
+        cluster_stats = getattr(self._substrate, "cluster_stats", None)
+        if callable(cluster_stats):
+            snapshot = cluster_stats()
+            cluster_workers = snapshot.workers_alive
+            cluster_reassignments = snapshot.reassignments
+            cluster_speculations = snapshot.speculative_attempts
         return ServiceStats(
             jobs_submitted=submitted,
             jobs_completed=completed,
@@ -330,6 +352,9 @@ class CompilationService:
             compile_p95=_percentile(compile_latencies, 0.95),
             region_cache_hits=region_hits,
             region_cache_misses=region_misses,
+            cluster_workers=cluster_workers,
+            cluster_reassignments=cluster_reassignments,
+            cluster_speculations=cluster_speculations,
         )
 
     # ---------------------------------------------------------------- internals

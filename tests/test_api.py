@@ -2,7 +2,7 @@
 
 Covers the language registry (duplicate/unknown names, custom registration), the
 uniform ``Compiler``/``CompileResult`` facade, mixed-language service streams with
-parity across all three substrates, equivalence of the deprecated per-workload
+parity across all four substrates, equivalence of the deprecated per-workload
 entry points with the new API, idempotent Session/Substrate teardown, and the
 per-phase (parse vs compile) wall-clock decomposition.
 """
@@ -43,7 +43,7 @@ requires_fork = pytest.mark.skipif(
     not _fork_available(), reason="processes substrate requires the fork start method"
 )
 
-REAL_SUBSTRATES = ["threads", pytest.param("processes", marks=requires_fork)]
+REAL_SUBSTRATES = ["threads", pytest.param("processes", marks=requires_fork), "sockets"]
 ALL_SUBSTRATES = ["simulated"] + REAL_SUBSTRATES
 
 #: Fast receive bound for tests: failures surface in seconds, not minutes.

@@ -36,7 +36,7 @@ requires_fork = pytest.mark.skipif(
     not _fork_available(), reason="processes backend requires the fork start method"
 )
 
-REAL_BACKENDS = ["threads", pytest.param("processes", marks=requires_fork)]
+REAL_BACKENDS = ["threads", pytest.param("processes", marks=requires_fork), "sockets"]
 
 
 @pytest.fixture(scope="module")
@@ -62,7 +62,7 @@ def pascal_setup():
 
 class TestBackendFactory:
     def test_known_names(self):
-        assert BACKEND_NAMES == ("simulated", "threads", "processes")
+        assert BACKEND_NAMES == ("simulated", "threads", "processes", "sockets")
         for name in ("simulated", "threads"):
             assert create_backend(name, machines=2).name == name
 

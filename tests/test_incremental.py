@@ -52,6 +52,7 @@ ALL_SUBSTRATES = [
     "simulated",
     "threads",
     pytest.param("processes", marks=requires_fork),
+    "sockets",
 ]
 
 MACHINES = 5
@@ -275,7 +276,7 @@ class TestArtifactCache:
 
 
 class TestParityMatrix:
-    """Cache on vs off, cold vs incremental, across all three substrates."""
+    """Cache on vs off, cold vs incremental, across all four substrates."""
 
     @pytest.mark.parametrize("backend", ALL_SUBSTRATES)
     def test_full_build_identical_with_cache_on_and_off(self, backend, source):
