@@ -36,6 +36,7 @@ import time
 from typing import Dict, List
 
 from repro.api import Session, get_language
+from repro.distributed.compiler import CompilerConfiguration
 from repro.pascal import generate_program
 from repro.pascal.lexer import tokenize_pascal
 
@@ -84,7 +85,11 @@ def _stats(samples: List[float]) -> Dict[str, float]:
 
 
 def bench_substrate(
-    backend: str, source: str, machines: int, iterations: int
+    backend: str,
+    source: str,
+    machines: int,
+    iterations: int,
+    compiled_plans: bool = True,
 ) -> Dict[str, Dict[str, float]]:
     """One substrate's numbers: end-to-end plus the per-phase decomposition."""
     phases: Dict[str, List[float]] = {
@@ -95,7 +100,13 @@ def bench_substrate(
         "end_to_end": [],
     }
     with Session(backend=backend, machines=machines) as session:
-        compiler = session.compiler("pascal")
+        if compiled_plans:
+            compiler = session.compiler("pascal")
+        else:
+            compiler = session.compiler(
+                "pascal",
+                configuration=CompilerConfiguration(use_compiled_plans=False),
+            )
         compiler.compile(source)  # warm the pool, the parse tables and the caches
         for _ in range(iterations):
             started = time.perf_counter()
@@ -112,23 +123,42 @@ def bench_substrate(
 
 
 def run(args: argparse.Namespace) -> Dict:
+    # Quick runs keep 9 iterations: with 3 samples the p50 is the middle of three
+    # noisy runs and the --check-baseline gate flapped; 9 samples make the median
+    # stable enough for a 2x tolerance (see benchmarks/README.md).
     if args.quick:
-        procedures, statements, iterations = 10, 4, 3
+        procedures, statements, iterations = 10, 4, 9
     else:
         procedures, statements, iterations = 24, 6, 10
+    compiled_plans = args.compiled_plans != "off"
     source = generate_program(
         procedures=procedures, statements_per_procedure=statements, seed=7
     )
     get_language("pascal")  # fail fast if the registry is broken
 
-    substrates = ["simulated", "threads"]
-    if _fork_available():
-        substrates.append("processes")
+    if args.substrate:
+        substrates = list(dict.fromkeys(args.substrate))
+        if not _fork_available():
+            unavailable = [s for s in substrates if s in ("processes", "sockets")]
+            if unavailable:
+                raise SystemExit(
+                    f"substrate(s) {unavailable} need the 'fork' start method, "
+                    "which this platform lacks"
+                )
+    else:
+        substrates = ["simulated", "threads"]
+        if _fork_available():
+            substrates.append("processes")
 
     results: Dict[str, Dict] = {}
     for backend in substrates:
-        print(f"benchmarking {backend} substrate ({iterations} iterations)...")
-        results[backend] = bench_substrate(backend, source, args.machines, iterations)
+        print(
+            f"benchmarking {backend} substrate ({iterations} iterations, "
+            f"compiled plans {'on' if compiled_plans else 'off'})..."
+        )
+        results[backend] = bench_substrate(
+            backend, source, args.machines, iterations, compiled_plans=compiled_plans
+        )
         end = results[backend]["end_to_end"]
         print(f"  end-to-end p50 {end['p50'] * 1000:.1f}ms  p95 {end['p95'] * 1000:.1f}ms")
 
@@ -143,6 +173,7 @@ def run(args: argparse.Namespace) -> Dict:
             "machines": args.machines,
             "iterations": iterations,
             "quick": args.quick,
+            "compiled_plans": compiled_plans,
         },
         "substrates": results,
     }
@@ -152,7 +183,13 @@ def check_baseline(payload: Dict, baseline_path: str, tolerance: float) -> int:
     """Compare the processes-substrate end-to-end p50 against the committed baseline."""
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    shape = ("procedures", "statements_per_procedure", "machines", "quick")
+    shape = (
+        "procedures",
+        "statements_per_procedure",
+        "machines",
+        "quick",
+        "compiled_plans",
+    )
     current_shape = tuple(payload["workload"].get(k) for k in shape)
     baseline_shape = tuple(baseline["workload"].get(k) for k in shape)
     if current_shape != baseline_shape:
@@ -182,6 +219,26 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small program, few iterations (CI smoke)")
     parser.add_argument("--machines", type=int, default=4, help="evaluator machines per compile")
+    parser.add_argument(
+        "--substrate",
+        action="append",
+        choices=["simulated", "threads", "processes", "sockets"],
+        default=None,
+        help=(
+            "benchmark only these substrates (repeatable; includes 'sockets' so the "
+            "ship-vs-evaluate split is comparable across all four); default: "
+            "simulated, threads, and processes where fork is available"
+        ),
+    )
+    parser.add_argument(
+        "--compiled-plans",
+        choices=["on", "off"],
+        default="on",
+        help=(
+            "evaluate through plan-compiled closures (default) or the table-driven "
+            "parity path (CompilerConfiguration(use_compiled_plans=False))"
+        ),
+    )
     parser.add_argument("--output", default="BENCH_hotpath.json", help="where to write the JSON report")
     parser.add_argument(
         "--check-baseline",

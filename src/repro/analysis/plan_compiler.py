@@ -1,0 +1,280 @@
+"""Plan-compiled evaluators: per-grammar generated Python, no table dispatch.
+
+The precompiled tables (:mod:`repro.analysis.tables`) already reduced rule firing to
+index walks, but every firing still pays the interpretive overhead of the generic
+loops: build an argument list by iterating ``arg_fetch`` triples, branch per argument
+on ``position``/``is_terminal``, apply the function, resolve the target, branch per
+instruction object in the visit driver.  All of those decisions depend only on the
+grammar, so this module takes the final step and *compiles them away*: for each
+grammar it generates specialized Python source — one straight-line function per
+semantic rule and one generator per ``(production, visit)`` segment — and ``exec``\\ s
+it once per process.  At run time a rule firing is a single positional call with the
+argument fetches inlined (``node.attributes['env']``, ``_ch[0].token_value``) and a
+static visit is a generator that interleaves inlined rule firings with
+``yield child, visit_number`` hand-offs to the iterative driver.
+
+Two independent products, both cached weakly per grammar (right next to the tables
+and the ordered-evaluation plan):
+
+* :func:`compiled_rules` — per-production tuples of ``compute(node) -> value``
+  functions, indexed like ``ProductionTables.rules``.  Used by the dynamic and
+  combined schedulers in place of ``table.function(*table.fetch_arguments(node))``.
+  A missing argument raises ``KeyError`` exactly like ``fetch_arguments`` does.
+* :func:`compiled_segments` — per-production tuples of per-visit generator
+  functions ``segment(node, statistics)``.  Used by the static evaluator's visit
+  driver in place of interpreting ``EvalInstruction``/``VisitChildInstruction``
+  objects.  Statistics accounting is emitted so that the result is bit-identical to
+  the table path: ``rules_evaluated`` is batched per contiguous run of rule firings
+  (integer addition is exact), while ``rule_extra_cost`` keeps one ``+=`` per
+  non-zero-cost rule in firing order (float accumulation order is preserved; adding
+  ``0.0`` to the non-negative accumulator is the identity, so zero-cost rules are
+  skipped).  Evaluation-order violations raise the same ``EvaluationError`` message
+  the table path produces, byte for byte.
+
+The generated code calls the grammar's own semantic-rule functions — nothing is
+re-implemented — so the table path remains the bit-identical parity reference, gated
+by ``CompilerConfiguration(use_compiled_plans=False)`` exactly as
+``use_precompiled_tables=False`` keeps the seed dict path alive.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.analysis.tables import evaluation_tables
+from repro.analysis.visit_sequences import (
+    EvalInstruction,
+    OrderedEvaluationPlan,
+    VisitChildInstruction,
+)
+from repro.grammar.grammar import AttributeGrammar
+
+#: Compiled ``compute(node) -> value`` functions, one tuple per production,
+#: indexed like ``ProductionTables.rules``.
+CompiledRules = Tuple[Tuple[Callable[..., Any], ...], ...]
+
+#: Compiled segment generators, one tuple per production, one entry per LHS visit.
+CompiledSegments = Tuple[Tuple[Callable[..., Any], ...], ...]
+
+
+# ------------------------------------------------------------------ source emission
+
+
+def _fetch_expression(
+    position: int, name: str, is_terminal: bool, self_expr: str
+) -> str:
+    """The inlined form of one ``(position, name, is_terminal)`` fetch triple."""
+    if position == 0:
+        return f"{self_expr}[{name!r}]"
+    if is_terminal:
+        return f"_ch[{position - 1}].token_value"
+    return f"_ch[{position - 1}].attributes[{name!r}]"
+
+
+def rules_source(grammar: AttributeGrammar) -> Tuple[str, Dict[str, Any]]:
+    """Generated source + exec namespace for the per-rule compute functions.
+
+    Each function mirrors ``table.function(*table.fetch_arguments(node))``: the
+    argument fetches are inlined in call order and a missing attribute raises the
+    same ``KeyError`` the generic fetch loop raises.
+    """
+    tables = evaluation_tables(grammar)
+    lines: List[str] = []
+    namespace: Dict[str, Any] = {}
+    for production_index, production_tables in enumerate(tables.productions):
+        for rule_index, table in enumerate(production_tables.rules):
+            function_name = f"_f{production_index}_{rule_index}"
+            namespace[function_name] = table.function
+            arguments = [
+                _fetch_expression(position, name, is_terminal, "node.attributes")
+                for position, name, is_terminal in table.arg_fetch
+            ]
+            lines.append(f"def _c{production_index}_{rule_index}(node):")
+            if any(position > 0 for position, _name, _terminal in table.arg_fetch):
+                lines.append("    _ch = node.children")
+            lines.append(f"    return {function_name}({', '.join(arguments)})")
+    return "\n".join(lines) + "\n", namespace
+
+
+def segments_source(
+    grammar: AttributeGrammar, plan: OrderedEvaluationPlan
+) -> Tuple[str, Dict[str, Any]]:
+    """Generated source + exec namespace for the per-(production, visit) segments.
+
+    Every segment compiles to one generator function ``(node, _s)``: rule firings
+    are inlined statements (including the target store — ``set_attribute`` is a
+    plain dict assignment), child visits are ``yield child, visit_number``
+    hand-offs, and statistics updates are emitted to be bit-identical to the table
+    path (see the module docstring for the float-ordering argument).
+    """
+    # Imported here, not at module level: the evaluation package imports this module
+    # through the evaluators, so a top-level import would be circular.
+    from repro.evaluation.base import EvaluationError
+
+    tables = evaluation_tables(grammar)
+    lines: List[str] = []
+    namespace: Dict[str, Any] = {"_err": EvaluationError}
+
+    for production in grammar.productions:
+        production_index = production.index
+        production_tables = tables.productions[production_index]
+        sequence = plan.sequences[production_index]
+        for visit_index, segment in enumerate(sequence.segments):
+            uses_attributes = False
+            uses_children = False
+            for instruction in segment:
+                if isinstance(instruction, VisitChildInstruction):
+                    uses_children = True
+                    continue
+                table = production_tables.rules[instruction.rule_index]
+                if table.target_position == 0:
+                    uses_attributes = True
+                else:
+                    uses_children = True
+                for position, _name, _terminal in table.arg_fetch:
+                    if position == 0:
+                        uses_attributes = True
+                    else:
+                        uses_children = True
+
+            lines.append(f"def _s{production_index}_{visit_index + 1}(node, _s):")
+            if uses_attributes:
+                lines.append("    _a = node.attributes")
+            if uses_children:
+                lines.append("    _ch = node.children")
+
+            pending_rules = 0
+            pending_costs: List[Any] = []
+            yielded = False
+
+            def flush() -> None:
+                nonlocal pending_rules
+                if not pending_rules:
+                    return
+                lines.append(f"    _s.rules_evaluated += {pending_rules}")
+                for cost in pending_costs:
+                    lines.append(f"    _s.rule_extra_cost += {cost!r}")
+                pending_rules = 0
+                pending_costs.clear()
+
+            for instruction in segment:
+                if isinstance(instruction, VisitChildInstruction):
+                    flush()
+                    yielded = True
+                    lines.append(
+                        f"    yield _ch[{instruction.child_position - 1}], "
+                        f"{instruction.visit_number}"
+                    )
+                    continue
+                assert isinstance(instruction, EvalInstruction)
+                rule_index = instruction.rule_index
+                table = production_tables.rules[rule_index]
+                function_name = f"_f{production_index}_{rule_index}"
+                namespace[function_name] = table.function
+                target = _fetch_expression(
+                    table.target_position, table.target_name, False, "_a"
+                )
+                arguments = [
+                    _fetch_expression(position, name, is_terminal, "_a")
+                    for position, name, is_terminal in table.arg_fetch
+                ]
+                fetches_attributes = any(
+                    not is_terminal for _p, _n, is_terminal in table.arg_fetch
+                )
+                if fetches_attributes:
+                    # Fetch into locals first so a missing argument raises the table
+                    # path's exact order-violation EvaluationError, while errors from
+                    # the semantic function itself still propagate unwrapped.
+                    prefix = (
+                        f"static evaluation order violation at "
+                        f"{production.label!r}: {table.rule.target!r} argument "
+                        f"not yet available "
+                    )
+                    locals_ = [f"_x{i}" for i in range(len(arguments))]
+                    lines.append("    try:")
+                    lines.append(
+                        "        "
+                        + "; ".join(
+                            f"{local} = {expr}"
+                            for local, expr in zip(locals_, arguments)
+                        )
+                    )
+                    lines.append("    except KeyError as _e:")
+                    lines.append(
+                        f"        raise _err({prefix!r} + '(%s)' % (_e,)) from None"
+                    )
+                    call = f"{function_name}({', '.join(locals_)})"
+                else:
+                    call = f"{function_name}({', '.join(arguments)})"
+                lines.append(f"    {target} = {call}")
+                pending_rules += 1
+                if table.cost:
+                    pending_costs.append(table.cost)
+
+            flush()
+            if not yielded:
+                lines.append("    yield from ()")
+    return "\n".join(lines) + "\n", namespace
+
+
+# ----------------------------------------------------------------------- compiling
+
+
+def _execute(source: str, namespace: Dict[str, Any], filename: str) -> Dict[str, Any]:
+    code = compile(source, filename, "exec")
+    exec(code, namespace)  # noqa: S102 — source is generated from the grammar itself
+    return namespace
+
+
+_rules_cache: "weakref.WeakKeyDictionary[AttributeGrammar, CompiledRules]" = (
+    weakref.WeakKeyDictionary()
+)
+# Segments depend on the plan as well as the grammar; the entry stores a weak
+# reference to the plan it was built from (a strong one would pin the grammar via
+# ``plan.grammar`` and defeat the weak keying) and rebuilds on a different plan.
+_segments_cache: (
+    "weakref.WeakKeyDictionary[AttributeGrammar, Tuple[Any, CompiledSegments]]"
+) = weakref.WeakKeyDictionary()
+
+
+def compiled_rules(grammar: AttributeGrammar) -> CompiledRules:
+    """The cached compiled ``compute`` functions of ``grammar`` (built on first use)."""
+    compiled = _rules_cache.get(grammar)
+    if compiled is None:
+        source, namespace = rules_source(grammar)
+        executed = _execute(
+            source, namespace, f"<compiled-rules:{id(grammar):#x}>"
+        )
+        tables = evaluation_tables(grammar)
+        compiled = tuple(
+            tuple(
+                executed[f"_c{production_index}_{rule_index}"]
+                for rule_index in range(len(production_tables.rules))
+            )
+            for production_index, production_tables in enumerate(tables.productions)
+        )
+        _rules_cache[grammar] = compiled
+    return compiled
+
+
+def compiled_segments(
+    grammar: AttributeGrammar, plan: OrderedEvaluationPlan
+) -> CompiledSegments:
+    """The cached compiled visit segments of ``grammar`` under ``plan``."""
+    entry = _segments_cache.get(grammar)
+    if entry is not None:
+        plan_ref, compiled = entry
+        if plan_ref() is plan:
+            return compiled
+    source, namespace = segments_source(grammar, plan)
+    executed = _execute(source, namespace, f"<compiled-plan:{id(grammar):#x}>")
+    compiled = tuple(
+        tuple(
+            executed[f"_s{production.index}_{visit_index + 1}"]
+            for visit_index in range(len(plan.sequences[production.index].segments))
+        )
+        for production in grammar.productions
+    )
+    _segments_cache[grammar] = (weakref.ref(plan), compiled)
+    return compiled

@@ -40,6 +40,7 @@ class RuleTable:
 
     __slots__ = (
         "rule",
+        "index",
         "function",
         "cost",
         "target_position",
@@ -48,8 +49,11 @@ class RuleTable:
         "nonterminal_args",
     )
 
-    def __init__(self, rule: SemanticRule, production) -> None:
+    def __init__(self, rule: SemanticRule, production, index: int = 0) -> None:
         self.rule = rule
+        # Position of the rule within ``production.rules`` — the shared indexing of
+        # the visit sequences and the plan-compiled per-rule functions.
+        self.index = index
         self.function = rule.function
         self.cost = rule.cost
         self.target_position = rule.target.position
@@ -89,7 +93,8 @@ class ProductionTables:
 
     def __init__(self, production) -> None:
         self.rules: Tuple[RuleTable, ...] = tuple(
-            RuleTable(rule, production) for rule in production.rules
+            RuleTable(rule, production, index)
+            for index, rule in enumerate(production.rules)
         )
         self.by_target: Dict[Tuple[int, str], RuleTable] = {
             (table.target_position, table.target_name): table for table in self.rules

@@ -62,6 +62,7 @@ from repro.runtime.cost import CostModel
 from repro.runtime.machine import ActivityInterval, ActivityKind
 from repro.runtime.network import NetworkParameters
 from repro.strings.rope import Rope
+from repro.tree import shm
 from repro.tree.linearize import linearize, pack
 from repro.tree.node import ParseTreeNode
 
@@ -81,6 +82,15 @@ class CompilerConfiguration:
     :param use_precompiled_tables: evaluate through the precompiled per-grammar rule
         tables (:mod:`repro.analysis.tables`); ``False`` selects the seed
         dict/``AttributeRef`` paths, kept as the parity-test reference.
+    :param use_compiled_plans: evaluate through per-grammar generated Python
+        (:mod:`repro.analysis.plan_compiler`) — straight-line argument fetch and rule
+        firing with no table dispatch.  Requires (and builds on)
+        ``use_precompiled_tables``; ``False`` keeps the table path as the
+        bit-identical parity reference.
+    :param use_zero_copy_ship: on substrates that share a kernel with their workers
+        (``shared_ship`` capability — the processes substrate), ship packed regions
+        as shared-memory segment handles (:mod:`repro.tree.shm`) instead of pickled
+        byte blobs.  Other substrates are unaffected.
     :param min_split_size: explicit decomposition threshold (abstract bytes); by default
         the threshold is derived from the tree size and machine count.
     :param split_scale: multiplier on the automatically derived threshold (the paper's
@@ -95,6 +105,8 @@ class CompilerConfiguration:
     librarian_attributes: Tuple[str, ...] = ("code",)
     use_priority: bool = True
     use_precompiled_tables: bool = True
+    use_compiled_plans: bool = True
+    use_zero_copy_ship: bool = True
     root_inherited: Dict[str, Any] = field(default_factory=dict)
     cost_model: CostModel = field(default_factory=CostModel)
     network: NetworkParameters = field(default_factory=NetworkParameters)
@@ -442,6 +454,9 @@ class ParallelCompiler:
                     ),
                     use_priority=config.use_priority,
                     use_tables=config.use_precompiled_tables,
+                    use_compiled=(
+                        config.use_compiled_plans and config.use_precompiled_tables
+                    ),
                     attribute_phase=config.attribute_phase,
                     record=record,
                 ),
@@ -579,8 +594,33 @@ class ParallelCompiler:
         # (another OS process, or another host entirely), so they ship in the packed
         # array-of-ints codec there; everywhere else the readable linearized records
         # are used (the simulated substrate must stay byte-identical, and in-process
-        # transports never serialise).
+        # transports never serialise).  When the substrate additionally shares a
+        # kernel with its workers (processes), packed regions can go one step
+        # further and ship zero-copy as shared-memory segment handles; the session
+        # adopts each segment and unlinks it at close on every teardown path.
         use_packed = getattr(substrate, "packed_wire", False)
+        use_shared = (
+            use_packed
+            and config.use_zero_copy_ship
+            and getattr(substrate, "shared_ship", False)
+            and shm.shared_memory_available()
+        )
+
+        def encode_region(root: ParseTreeNode, holes: Dict[int, int]) -> Any:
+            if not use_packed:
+                return linearize(root, holes)
+            packed = pack(self.grammar, root, holes)
+            if not use_shared:
+                return packed
+            try:
+                handle, segment = shm.share_packed(packed)
+            except OSError:
+                # Shared memory refused (e.g. /dev/shm exhausted): fall back to
+                # shipping the packed bytes through the mailbox for this region.
+                return packed
+            substrate.adopt_segment(segment)
+            return handle
+
         ship_started = time.perf_counter()
         # Ship remote regions first (they must cross the network), then hand the root
         # region to the co-located evaluator.  Replayed regions are not shipped at
@@ -589,10 +629,7 @@ class ParallelCompiler:
             if region.region_id in reuse_ids:
                 continue
             holes = decomposition.holes_of(region.region_id)
-            if use_packed:
-                encoded: Any = pack(self.grammar, region.root, holes)
-            else:
-                encoded = linearize(region.root, holes)
+            encoded: Any = encode_region(region.root, holes)
             cost = (
                 config.cost_model.linearize_cost(encoded.size_bytes())
                 + config.cost_model.message_cpu_cost
@@ -615,10 +652,7 @@ class ParallelCompiler:
 
         root_region = decomposition.regions[0]
         root_holes = decomposition.holes_of(0)
-        if use_packed:
-            root_encoded: Any = pack(self.grammar, root_region.root, root_holes)
-        else:
-            root_encoded = linearize(root_region.root, root_holes)
+        root_encoded: Any = encode_region(root_region.root, root_holes)
         root_message = SubtreeMessage(
             region_id=0,
             parent_region=None,

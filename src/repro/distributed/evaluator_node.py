@@ -74,6 +74,7 @@ def evaluator_body(
     librarian_attributes: Sequence[str] = (),
     use_priority: bool = True,
     use_tables: bool = True,
+    use_compiled: bool = True,
     attribute_phase: Callable[[str], "ActivityKind"] = None,
     record: bool = False,
 ) -> Generator:
@@ -104,6 +105,7 @@ def evaluator_body(
         librarian_attributes=librarian_attributes,
         use_priority=use_priority,
         use_tables=use_tables,
+        use_compiled=use_compiled,
         attribute_phase=attribute_phase or default_attribute_phase,
         record=record,
     )
@@ -154,6 +156,7 @@ class EvaluatorNode:
         librarian_attributes: Sequence[str] = (),
         use_priority: bool = True,
         use_tables: bool = True,
+        use_compiled: bool = True,
         attribute_phase: Callable[[str], ActivityKind] = default_attribute_phase,
         record: bool = False,
     ):
@@ -176,6 +179,7 @@ class EvaluatorNode:
         self.librarian_attributes = tuple(librarian_attributes)
         self.use_priority = use_priority
         self.use_tables = use_tables
+        self.use_compiled = use_compiled and use_tables
         self.attribute_phase = attribute_phase
 
         self.report = EvaluatorReport(region_id, f"machine-{machine_index}")
@@ -258,6 +262,7 @@ class EvaluatorNode:
                 plan=self.plan,
                 use_priority=self.use_priority,
                 use_tables=self.use_tables,
+                use_compiled=self.use_compiled,
             )
         else:
             scheduler = DynamicScheduler(
@@ -267,6 +272,7 @@ class EvaluatorNode:
                 hole_nodes=hole_nodes,
                 use_priority=self.use_priority,
                 use_tables=self.use_tables,
+                use_compiled=self.use_compiled,
             )
         statistics = scheduler.statistics()
         build_cost = self.cost_model.graph_build_cost(statistics)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.plan_compiler import CompiledRules, compiled_rules
 from repro.analysis.tables import EvaluationTables, RuleTable, evaluation_tables
 from repro.analysis.visit_sequences import OrderedEvaluationPlan, build_evaluation_plan
 from repro.evaluation.base import (
@@ -51,8 +52,8 @@ class _Instance:
 
 
 class _Task:
-    __slots__ = ("kind", "node", "rule", "rule_node", "table", "visit_number",
-                 "pending", "produces", "priority", "executed")
+    __slots__ = ("kind", "node", "rule", "rule_node", "table", "compute",
+                 "visit_number", "pending", "produces", "priority", "executed")
 
     def __init__(self, kind: str, node: ParseTreeNode):
         self.kind = kind                       # "eval" or "visit"
@@ -60,6 +61,7 @@ class _Task:
         self.rule: Optional[SemanticRule] = None
         self.rule_node: Optional[ParseTreeNode] = None
         self.table: Optional[RuleTable] = None  # precompiled fast path
+        self.compute = None                     # plan-compiled fastest path
         self.visit_number = 0
         self.pending = 0
         self.produces: List[_InstanceKey] = []
@@ -86,6 +88,7 @@ class CombinedScheduler(Scheduler):
         plan: Optional[OrderedEvaluationPlan] = None,
         use_priority: bool = True,
         use_tables: bool = True,
+        use_compiled: bool = True,
     ):
         self.grammar = grammar
         self.root = root
@@ -96,7 +99,14 @@ class CombinedScheduler(Scheduler):
         self._tables: Optional[EvaluationTables] = (
             evaluation_tables(grammar) if use_tables else None
         )
-        self._static = StaticEvaluator(grammar, self.plan, use_tables=use_tables)
+        # Plan-compiled per-rule functions for spine evals; the static subtrees get
+        # their own compiled visit segments inside the StaticEvaluator below.
+        self._compiled: Optional[CompiledRules] = (
+            compiled_rules(grammar) if use_tables and use_compiled else None
+        )
+        self._static = StaticEvaluator(
+            grammar, self.plan, use_tables=use_tables, use_compiled=use_compiled
+        )
         self._holes: List[ParseTreeNode] = list(hole_nodes or [])
         self._hole_ids: Set[int] = {node.node_id for node in self._holes}
 
@@ -214,6 +224,8 @@ class CombinedScheduler(Scheduler):
                     task.rule = table.rule
                     task.rule_node = node
                     task.table = table
+                    if self._compiled is not None:
+                        task.compute = self._compiled[node.production.index][table.index]
                     task.produces = [key]
                     task.priority = instance.priority
                     task_id = self._add_task(task)
@@ -327,7 +339,9 @@ class CombinedScheduler(Scheduler):
 
     def _run_eval(self, task: _Task) -> TaskResult:
         assert task.rule is not None and task.rule_node is not None
-        if task.table is not None:
+        if task.compute is not None:
+            value = task.compute(task.rule_node)
+        elif task.table is not None:
             value = task.table.function(*task.table.fetch_arguments(task.rule_node))
         else:
             arguments = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.plan_compiler import CompiledRules, compiled_rules
 from repro.analysis.tables import EvaluationTables, RuleTable, evaluation_tables
 from repro.evaluation.base import (
     ComputedAttribute,
@@ -40,8 +41,8 @@ _InstanceKey = Tuple[int, str]
 class _InstanceInfo:
     """Book-keeping for one attribute instance in the dynamic dependency graph."""
 
-    __slots__ = ("node", "name", "rule", "rule_node", "table", "pending", "dependents",
-                 "external", "available", "priority")
+    __slots__ = ("node", "name", "rule", "rule_node", "table", "compute", "pending",
+                 "dependents", "external", "available", "priority")
 
     def __init__(self, node: ParseTreeNode, name: str, priority: bool):
         self.node = node
@@ -49,6 +50,7 @@ class _InstanceInfo:
         self.rule: Optional[SemanticRule] = None
         self.rule_node: Optional[ParseTreeNode] = None  # node owning the defining production
         self.table: Optional[RuleTable] = None          # precompiled fast path
+        self.compute = None                             # plan-compiled fastest path
         self.pending = 0                   # unsatisfied prerequisite count
         self.dependents: List[_InstanceKey] = []
         self.external = False              # value arrives from outside this scheduler
@@ -78,6 +80,7 @@ class DynamicScheduler(Scheduler):
         hole_nodes: Optional[Iterable[ParseTreeNode]] = None,
         use_priority: bool = True,
         use_tables: bool = True,
+        use_compiled: bool = True,
     ):
         self.grammar = grammar
         self.root = root
@@ -87,6 +90,11 @@ class DynamicScheduler(Scheduler):
         # (``use_tables=False``) that the parity tests compare against.
         self._tables: Optional[EvaluationTables] = (
             evaluation_tables(grammar) if use_tables else None
+        )
+        # Plan-compiled per-rule compute functions — argument fetches inlined into
+        # generated Python (:mod:`repro.analysis.plan_compiler`); requires the tables.
+        self._compiled: Optional[CompiledRules] = (
+            compiled_rules(grammar) if use_tables and use_compiled else None
         )
         self._instances: Dict[_InstanceKey, _InstanceInfo] = {}
         self._ready_priority: deque = deque()
@@ -131,6 +139,7 @@ class DynamicScheduler(Scheduler):
         tables = self._tables
         nonterminal_tables = tables.nonterminals
         production_tables = tables.productions
+        compiled = self._compiled
         instances = self._instances
         root = self.root
         edges = 0
@@ -175,6 +184,8 @@ class DynamicScheduler(Scheduler):
                 info.rule = table.rule
                 info.rule_node = defining_node
                 info.table = table
+                if compiled is not None:
+                    info.compute = compiled[defining_node.production.index][table.index]
                 pending = 0
                 defining_children = defining_node.children
                 for position, argument_name in table.nonterminal_args:
@@ -275,7 +286,9 @@ class DynamicScheduler(Scheduler):
             raise EvaluationError(
                 f"attribute instance {info.node.symbol.name}.{info.name} has no defining rule"
             )
-        if info.table is not None:
+        if info.compute is not None:
+            value = info.compute(info.rule_node)
+        elif info.table is not None:
             value = info.table.function(*info.table.fetch_arguments(info.rule_node))
         else:
             arguments = []

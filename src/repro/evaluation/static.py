@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.plan_compiler import CompiledSegments, compiled_segments
 from repro.analysis.tables import EvaluationTables, evaluation_tables
 from repro.analysis.visit_sequences import (
     EvalInstruction,
@@ -43,6 +44,7 @@ class StaticEvaluator:
         grammar: AttributeGrammar,
         plan: Optional[OrderedEvaluationPlan] = None,
         use_tables: bool = True,
+        use_compiled: bool = True,
     ):
         self.grammar = grammar
         self.plan = plan or build_evaluation_plan(grammar)
@@ -50,6 +52,15 @@ class StaticEvaluator:
         # seed ``AttributeRef``/``get_attribute`` path as the parity-test reference.
         self._tables: Optional[EvaluationTables] = (
             evaluation_tables(grammar) if use_tables else None
+        )
+        # Plan-compiled segments: per-(production, visit) generated generators with
+        # argument fetches and rule firings inlined (:mod:`repro.analysis.plan_compiler`).
+        # ``use_compiled=False`` keeps the instruction-interpreting table driver as
+        # the parity reference; the compiled path requires the tables.
+        self._compiled: Optional[CompiledSegments] = (
+            compiled_segments(grammar, self.plan)
+            if use_tables and use_compiled
+            else None
         )
 
     # ------------------------------------------------------------------ driving
@@ -87,6 +98,8 @@ class StaticEvaluator:
         given) so callers can accumulate cost over several visits.
         """
         statistics = statistics if statistics is not None else EvaluationStatistics()
+        if self._compiled is not None:
+            return self._visit_compiled(root, visit_number, statistics)
         # Each stack entry is (node, iterator over remaining instructions).
         stack: List[Tuple[ParseTreeNode, object]] = []
         stack.append((root, iter(self._segment(root, visit_number))))
@@ -109,7 +122,48 @@ class StaticEvaluator:
                 raise EvaluationError(f"unknown visit instruction {instruction!r}")
         return statistics
 
+    def _visit_compiled(
+        self,
+        root: ParseTreeNode,
+        visit_number: int,
+        statistics: EvaluationStatistics,
+    ) -> EvaluationStatistics:
+        """The visit driver over plan-compiled segments.
+
+        Same iterative walk as the table driver, but each stack entry is a running
+        generated-segment generator that fires its rules inline and yields
+        ``(child, visit_number)`` whenever a child visit is due.
+        """
+        stack = [self._compiled_segment(root, visit_number, statistics)]
+        statistics.visits_performed += 1
+        while stack:
+            step = next(stack[-1], None)
+            if step is None:
+                stack.pop()
+                continue
+            child, child_visit = step
+            statistics.visits_performed += 1
+            stack.append(self._compiled_segment(child, child_visit, statistics))
+        return statistics
+
     # ------------------------------------------------------------------ helpers
+
+    def _compiled_segment(
+        self,
+        node: ParseTreeNode,
+        visit_number: int,
+        statistics: EvaluationStatistics,
+    ):
+        production = node.production
+        if production is None:
+            raise EvaluationError(
+                f"cannot statically visit node {node.node_id} ({node.symbol.name}): it has "
+                "no production (remote hole nodes must be handled by the combined evaluator)"
+            )
+        segments = self._compiled[production.index]
+        if visit_number > len(segments):
+            return iter(())
+        return segments[visit_number - 1](node, statistics)
 
     def _segment(self, node: ParseTreeNode, visit_number: int) -> List[object]:
         if node.production is None:

@@ -79,6 +79,7 @@ def engine_digest(
             configuration.librarian_attributes,
             configuration.use_priority,
             configuration.use_precompiled_tables,
+            configuration.use_compiled_plans,
             configuration.min_split_size,
             configuration.split_scale,
         )

@@ -410,7 +410,15 @@ def unpack_linearized(grammar: AttributeGrammar, packed: PackedTree) -> Lineariz
 def rebuild(
     grammar: AttributeGrammar, tree: Any
 ) -> Tuple[ParseTreeNode, Dict[int, ParseTreeNode]]:
-    """Rebuild a subtree from either wire representation."""
+    """Rebuild a subtree from any wire representation.
+
+    Shared-memory handles (:class:`repro.tree.shm.SharedPackedTree`) know how to
+    rebuild themselves; dispatching on that method keeps this module free of any
+    shared-memory import on platforms without it.
+    """
     if isinstance(tree, PackedTree):
         return unpack(grammar, tree)
+    rebuilder = getattr(tree, "rebuild", None)
+    if rebuilder is not None:
+        return rebuilder(grammar)
     return delinearize(grammar, tree)

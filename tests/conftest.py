@@ -7,6 +7,22 @@ import pytest
 from repro.analysis.visit_sequences import build_evaluation_plan
 from repro.exprlang.grammar import expression_grammar, expression_grammar_from_spec
 from repro.parsing.parser import Parser
+from repro.tree import shm
+
+
+@pytest.fixture(autouse=True)
+def assert_no_leaked_segments():
+    """Every test must settle its shared-memory ship segments.
+
+    The shipping session owns segment lifetime (created at ship, unlinked at
+    settle/abort/shutdown); a name surviving a test — in the in-process registry
+    or on /dev/shm — is a leak, including on failure paths.
+    """
+    yield
+    leaked = shm.live_segment_names()
+    assert not leaked, f"leaked shared-memory ship segments: {leaked}"
+    on_disk = shm.system_segment_names()
+    assert not on_disk, f"shared-memory segments left on /dev/shm: {on_disk}"
 
 
 @pytest.fixture(scope="session")

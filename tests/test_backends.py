@@ -187,6 +187,65 @@ class TestPrecompiledTablesParity:
         assert vars(report.statistics) == vars(reference.statistics)
 
 
+class TestCompiledPlansParity:
+    """Plan-compiled evaluators and the zero-copy ship must be invisible in the
+    output: every knob combination reproduces the seed dict path exactly — same
+    code, same attributes, same statistics — on every substrate."""
+
+    ALL_BACKENDS = ["simulated"] + REAL_BACKENDS
+
+    @pytest.fixture(scope="class")
+    def pascal_case(self):
+        from repro.pascal import generate_program
+        from repro.pascal.compiler import PascalCompiler
+        from repro.pascal.grammar import pascal_grammar
+
+        grammar = pascal_grammar()
+        tree = PascalCompiler().parse(
+            generate_program(procedures=10, statements_per_procedure=3, seed=3)
+        )
+        reference = ParallelCompiler(
+            grammar, CompilerConfiguration(use_precompiled_tables=False)
+        ).compile_tree(tree, 4)
+        return grammar, tree, reference
+
+    def _assert_matches(self, report, reference, backend):
+        assert report.code_text("code") == reference.code_text("code")
+        assert report.root_attributes["errs"] == reference.root_attributes["errs"]
+        assert set(report.root_attributes) == set(reference.root_attributes)
+        assert vars(report.statistics) == vars(reference.statistics)
+        by_region = {entry.region_id: entry for entry in report.evaluator_reports}
+        for expected in reference.evaluator_reports:
+            assert vars(by_region[expected.region_id].statistics) == vars(
+                expected.statistics
+            )
+        if backend == "simulated":
+            assert report.evaluation_time == reference.evaluation_time
+            assert report.network_bytes == reference.network_bytes
+
+    @pytest.mark.parametrize("compiled", [True, False], ids=["compiled", "tables"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_pascal_matches_seed_reference(self, pascal_case, backend, compiled):
+        grammar, tree, reference = pascal_case
+        configuration = CompilerConfiguration(use_compiled_plans=compiled)
+        report = ParallelCompiler(grammar, configuration).compile_tree(
+            tree, 4, backend=backend
+        )
+        self._assert_matches(report, reference, backend)
+
+    @pytest.mark.parametrize("zero_copy", [True, False], ids=["zero-copy", "mailbox"])
+    @pytest.mark.parametrize("backend", ["processes"], ids=["processes"])
+    def test_zero_copy_knob_is_invisible(self, pascal_case, backend, zero_copy):
+        if not _fork_available():
+            pytest.skip("processes backend requires the fork start method")
+        grammar, tree, reference = pascal_case
+        configuration = CompilerConfiguration(use_zero_copy_ship=zero_copy)
+        report = ParallelCompiler(grammar, configuration).compile_tree(
+            tree, 4, backend=backend
+        )
+        self._assert_matches(report, reference, backend)
+
+
 class TestReportSummary:
     """summary() reports what the backend actually measured, never modelled zeros."""
 
