@@ -1,0 +1,451 @@
+"""Load-test the HTTP compile server: thousands of editing sessions on loopback.
+
+Launches ``python -m repro.server`` as a subprocess, then drives it with an
+asyncio client fleet over keep-alive connections, in two phases:
+
+* **coalesce burst** — hundreds of *identical* Pascal one-shot compiles arrive
+  at once; the server must run exactly **one** underlying compilation and fan
+  the result out (``jobs_coalesced >= burst - 1``);
+* **session storm** — N logical editing sessions (default 10,000) multiplexed
+  over a bounded connection pool: open a document, recompile cold, splice an
+  edit, recompile warm, close.  A fraction of sessions *abandon* their
+  documents — vanished editors — so the bounded document store fills, overload
+  produces honest ``429`` + ``Retry-After`` responses (``jobs_rejected > 0``),
+  and the idle sweeper reclaims the slots.
+
+Throughout, the server's RSS is sampled from ``/proc/<pid>/status``: admission
+control plus the document bound is what keeps memory flat while the request
+count grows without bound.
+
+Emits ``BENCH_load.json`` with p50/p99 latency per operation, sustained
+throughput, coalesce/reject rates and peak RSS.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py           # full storm
+    PYTHONPATH=src python benchmarks/bench_service_load.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_SOURCE = "let x = 3 in 1 + 2 * x ni"
+DOC_EDIT_AT = DOC_SOURCE.index("3")
+
+ABANDON_EVERY = 5  # one session in five walks away without closing its document
+
+
+# ------------------------------------------------------------- server subprocess
+
+
+class ServerProcess:
+    """A ``python -m repro.server`` child with RSS sampling."""
+
+    def __init__(self, extra_args: List[str]):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0"] + extra_args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert self.proc.stdout is not None
+        line = self.proc.stdout.readline()
+        match = re.search(r"listening on http://([^:]+):(\d+)", line)
+        if not match:
+            self.proc.kill()
+            raise RuntimeError(f"server failed to start: {line!r}")
+        self.host, self.port = match.group(1), int(match.group(2))
+        self.rss_peak_bytes = 0
+        self._stop_sampling = threading.Event()
+        self._sampler = threading.Thread(target=self._sample_rss, daemon=True)
+        self._sampler.start()
+
+    def _sample_rss(self) -> None:
+        path = f"/proc/{self.proc.pid}/status"
+        while not self._stop_sampling.wait(0.2):
+            try:
+                with open(path) as handle:
+                    for line in handle:
+                        if line.startswith("VmRSS:"):
+                            kib = int(line.split()[1])
+                            self.rss_peak_bytes = max(
+                                self.rss_peak_bytes, kib * 1024
+                            )
+                            break
+            except OSError:  # platform without /proc, or the child exited
+                return
+
+    def shutdown(self) -> int:
+        """SIGTERM (graceful drain), reap, and return the exit code."""
+        self._stop_sampling.set()
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+        return self.proc.returncode
+
+
+# ------------------------------------------------------------------- HTTP client
+
+
+class Connection:
+    """One keep-alive HTTP/1.1 connection, asyncio-native."""
+
+    def __init__(self, host: str, port: int):
+        self.host, self.port = host, port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(self.host, self.port)
+
+    async def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Any, Dict[str, str], bytes]:
+        assert self.reader is not None and self.writer is not None
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        self.writer.write(head + body)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self.reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else None), headers, raw
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def latency_summary(samples: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(samples),
+        "p50_ms": round(percentile(samples, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(samples, 0.99) * 1000, 3),
+    }
+
+
+# ------------------------------------------------------------ phase A: coalescing
+
+
+async def run_coalesce_burst(host: str, port: int, burst: int) -> Dict[str, Any]:
+    from repro.pascal.programs import generate_program
+
+    source = generate_program(procedures=4, statements_per_procedure=3, seed=3)
+    payload = {"language": "pascal", "source": source, "machines": 4}
+
+    probe = Connection(host, port)
+    await probe.connect()
+    before = (await probe.request("GET", "/stats"))[1]
+
+    async def submit() -> Tuple[int, bytes]:
+        conn = Connection(host, port)
+        await conn.connect()
+        try:
+            status, _, _, raw = await conn.request("POST", "/compile", payload)
+            return status, raw
+        finally:
+            conn.close()
+
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(*(submit() for _ in range(burst)))
+    wall = time.perf_counter() - started
+    after = (await probe.request("GET", "/stats"))[1]
+    probe.close()
+
+    statuses = [status for status, _ in outcomes]
+    distinct = len({raw for _, raw in outcomes})
+    compiles = (
+        after["service"]["jobs_completed"] - before["service"]["jobs_completed"]
+    )
+    coalesced = (
+        after["service"]["jobs_coalesced"] - before["service"]["jobs_coalesced"]
+    )
+    result = {
+        "burst": burst,
+        "ok_responses": statuses.count(200),
+        "underlying_compiles": compiles,
+        "coalesced": coalesced,
+        "distinct_bodies": distinct,
+        "wall_seconds": round(wall, 3),
+    }
+    assert statuses.count(200) == burst, f"burst statuses: {set(statuses)}"
+    assert compiles == 1, f"{compiles} underlying compiles for one identity"
+    assert coalesced >= burst - 1, f"only {coalesced} coalesced of {burst}"
+    assert distinct == 1, "coalesced responses were not byte-identical"
+    return result
+
+
+# ---------------------------------------------------------- phase B: session storm
+
+
+async def run_session_storm(
+    host: str, port: int, sessions: int, connections: int
+) -> Dict[str, Any]:
+    queue: "asyncio.Queue[int]" = asyncio.Queue()
+    for index in range(sessions):
+        queue.put_nowait(index)
+
+    latencies: Dict[str, List[float]] = {
+        "open": [], "recompile_cold": [], "recompile_warm": [],
+        "edit": [], "close": [],
+    }
+    counts = {"sessions_completed": 0, "sessions_abandoned": 0,
+              "open_rejected": 0, "recompile_rejected": 0, "retries": 0}
+
+    async def timed(conn: Connection, op: str, method: str, path: str,
+                    payload: Any = None) -> Tuple[int, Any, Dict[str, str]]:
+        started = time.perf_counter()
+        status, body, headers, _ = await conn.request(method, path, payload)
+        if status == 200 or status == 201:
+            latencies[op].append(time.perf_counter() - started)
+        return status, body, headers
+
+    async def one_session(conn: Connection, index: int) -> None:
+        tenant = f"editor-{index % 64}"
+        status, body, headers = await timed(
+            conn, "open", "POST", "/documents",
+            {"language": "exprlang", "source": DOC_SOURCE, "tenant": tenant},
+        )
+        if status == 429:
+            counts["open_rejected"] += 1
+            # Honor Retry-After once; a second refusal abandons the session.
+            await asyncio.sleep(min(float(headers.get("retry-after", "1")), 2.0))
+            counts["retries"] += 1
+            status, body, headers = await timed(
+                conn, "open", "POST", "/documents",
+                {"language": "exprlang", "source": DOC_SOURCE, "tenant": tenant},
+            )
+            if status == 429:
+                counts["open_rejected"] += 1
+                return
+        assert status == 201, (status, body)
+        sid = body["document"]
+
+        async def recompile(op: str) -> bool:
+            status, body, headers = await timed(
+                conn, op, "POST", f"/documents/{sid}/recompile"
+            )
+            if status == 429:
+                counts["recompile_rejected"] += 1
+                await asyncio.sleep(min(float(headers.get("retry-after", "1")), 2.0))
+                counts["retries"] += 1
+                status, body, headers = await timed(
+                    conn, op, "POST", f"/documents/{sid}/recompile"
+                )
+                if status == 429:
+                    counts["recompile_rejected"] += 1
+                    return False
+            if status == 404:  # evicted mid-session under heavy churn
+                return False
+            assert status == 200, (status, body)
+            return True
+
+        if not await recompile("recompile_cold"):
+            return
+        digit = str((index % 7) + 1)
+        status, body, _ = await timed(
+            conn, "edit", "POST", f"/documents/{sid}/edit",
+            {"edits": [[DOC_EDIT_AT, DOC_EDIT_AT + 1, digit]]},
+        )
+        if status == 404:
+            return
+        assert status == 200, (status, body)
+        if not await recompile("recompile_warm"):
+            return
+        if index % ABANDON_EVERY == 0:
+            # A vanished editor: the document stays open until the idle
+            # sweeper reclaims it.  This is what fills the store under load.
+            counts["sessions_abandoned"] += 1
+            return
+        status, body, _ = await timed(conn, "close", "DELETE", f"/documents/{sid}")
+        if status == 200:
+            counts["sessions_completed"] += 1
+
+    async def worker() -> None:
+        conn = Connection(host, port)
+        await conn.connect()
+        try:
+            while True:
+                try:
+                    index = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                await one_session(conn, index)
+        finally:
+            conn.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(connections)))
+    wall = time.perf_counter() - started
+
+    probe = Connection(host, port)
+    await probe.connect()
+    stats = (await probe.request("GET", "/stats"))[1]
+    probe.close()
+
+    total_ops = sum(len(samples) for samples in latencies.values())
+    return {
+        "sessions": sessions,
+        "connections": connections,
+        "wall_seconds": round(wall, 3),
+        "throughput_ops_per_s": round(total_ops / wall, 1) if wall else 0.0,
+        "latency": {op: latency_summary(samples)
+                    for op, samples in latencies.items()},
+        "outcomes": counts,
+        "server_stats": {
+            "jobs_rejected": stats["service"]["jobs_rejected"],
+            "jobs_queued": stats["service"]["jobs_queued"],
+            "admission": stats["admission"],
+            "documents": stats["documents"],
+        },
+    }
+
+
+# ------------------------------------------------------------------------- main
+
+
+def run(args: argparse.Namespace) -> Dict[str, Any]:
+    server = ServerProcess([
+        "--backend", "threads",
+        "--max-in-flight", str(args.max_in_flight),
+        "--max-pending", str(args.max_pending),
+        "--quota-rate", "5000",
+        "--quota-burst", "10000",
+        "--max-documents", str(args.max_documents),
+        "--idle-ttl", str(args.idle_ttl),
+    ])
+    try:
+        burst = asyncio.run(
+            run_coalesce_burst(server.host, server.port, args.burst)
+        )
+        print(
+            f"coalesce burst: {burst['burst']} identical submissions -> "
+            f"{burst['underlying_compiles']} compile, "
+            f"{burst['coalesced']} coalesced, "
+            f"{burst['distinct_bodies']} distinct body"
+        )
+        storm = asyncio.run(
+            run_session_storm(
+                server.host, server.port, args.sessions, args.connections
+            )
+        )
+        rejected = storm["server_stats"]["jobs_rejected"]
+        print(
+            f"session storm: {storm['sessions']} sessions over "
+            f"{storm['connections']} connections in {storm['wall_seconds']}s "
+            f"({storm['throughput_ops_per_s']} ops/s, "
+            f"{storm['outcomes']['sessions_completed']} completed, "
+            f"{rejected} rejected with 429)"
+        )
+    finally:
+        exit_code = server.shutdown()
+    print(f"server drained with exit code {exit_code}, "
+          f"peak RSS {server.rss_peak_bytes / (1 << 20):.1f} MiB")
+
+    assert exit_code == 0, f"server exited {exit_code} on SIGTERM"
+    assert rejected > 0, (
+        "the storm never tripped admission control; raise --sessions or lower "
+        "--max-documents"
+    )
+
+    return {
+        "mode": "quick" if args.quick else "full",
+        "config": {
+            "sessions": args.sessions,
+            "connections": args.connections,
+            "burst": args.burst,
+            "max_documents": args.max_documents,
+            "max_in_flight": args.max_in_flight,
+            "max_pending": args.max_pending,
+            "idle_ttl": args.idle_ttl,
+        },
+        "coalescing": burst,
+        "storm": storm,
+        "server": {
+            "exit_code": exit_code,
+            "rss_peak_mb": round(server.rss_peak_bytes / (1 << 20), 1),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small storm for CI (a few hundred sessions)")
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="logical editing sessions (default 10000, quick 300)")
+    parser.add_argument("--connections", type=int, default=None,
+                        help="concurrent keep-alive connections (default 256, quick 32)")
+    parser.add_argument("--burst", type=int, default=None,
+                        help="identical submissions in the coalesce burst "
+                             "(default 256, quick 120)")
+    parser.add_argument("--max-documents", type=int, default=None,
+                        help="server document cap (default 800, quick 60)")
+    parser.add_argument("--max-in-flight", type=int, default=16)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--idle-ttl", type=float, default=None,
+                        help="server idle eviction TTL (default 15, quick 4)")
+    parser.add_argument("--output", default="BENCH_load.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.sessions is None:
+        args.sessions = 300 if args.quick else 10_000
+    if args.connections is None:
+        args.connections = 32 if args.quick else 256
+    if args.burst is None:
+        args.burst = 120 if args.quick else 256
+    if args.max_documents is None:
+        args.max_documents = 60 if args.quick else 800
+    if args.idle_ttl is None:
+        args.idle_ttl = 4.0 if args.quick else 15.0
+
+    payload = run(args)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""An editing client for the HTTP compile server, speaking pure stdlib HTTP.
+
+Drives a running ``repro.server`` instance end to end, exactly as an editor
+integration would:
+
+1. one-shot compile of an expression-language source (``POST /compile``);
+2. a burst of *identical* Pascal compiles from worker threads — the server
+   coalesces them into one underlying compilation and every client receives
+   byte-identical bytes;
+3. a server-held editing session (``POST /documents``): open a paper-sized
+   Pascal program, recompile cold, splice in a one-character edit, recompile
+   warm — and print how many regions the incremental engine reused;
+4. the ``/stats`` snapshot: service counters, admission, coalescing, documents.
+
+Start a server first (any port; ``--port 0`` prints the one it picked)::
+
+    PYTHONPATH=src python -m repro.server --port 8765
+
+then run this client against it::
+
+    PYTHONPATH=src python examples/compile_client.py --port 8765
+
+Exits non-zero if any step misbehaves, so CI can use it as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import re
+import sys
+import threading
+import time
+
+DEFAULT_BURST = 24
+
+EXPR_SOURCE = "let x = 3 in 1 + 2 * x ni"
+
+
+def request(host, port, method, path, payload=None, timeout=30.0):
+    """One request on a fresh connection; returns (status, body_dict, headers)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw), dict(response.getheaders()), raw
+    finally:
+        conn.close()
+
+
+def wait_for_server(host, port, attempts=50, delay=0.1):
+    for _ in range(attempts):
+        try:
+            status, body, _, _ = request(host, port, "GET", "/healthz", timeout=2.0)
+            if status == 200 and body.get("status") == "ok":
+                return
+        except OSError:
+            pass
+        time.sleep(delay)
+    raise SystemExit(f"no compile server answering on {host}:{port}")
+
+
+def one_shot(host, port):
+    status, body, headers, _ = request(
+        host, port, "POST", "/compile",
+        {"language": "exprlang", "source": EXPR_SOURCE},
+    )
+    assert status == 200 and body["ok"], body
+    print(f"one-shot exprlang: value={body['value']} "
+          f"({body['wall_compile_ms']:.2f} ms compile, "
+          f"coalesced={headers['X-Repro-Coalesced']})")
+    assert body["value"] == 7
+
+
+def coalescing_burst(host, port, burst):
+    from repro.pascal.programs import generate_program
+
+    source = generate_program(procedures=4, statements_per_procedure=3, seed=3)
+    payload = {"language": "pascal", "source": source, "machines": 4}
+    outcomes = [None] * burst
+    barrier = threading.Barrier(burst)
+
+    def submit(index):
+        barrier.wait()
+        outcomes[index] = request(host, port, "POST", "/compile", payload)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    statuses = [status for status, _, _, _ in outcomes]
+    assert statuses == [200] * burst, statuses
+    distinct_bodies = {raw for _, _, _, raw in outcomes}
+    roles = [headers["X-Repro-Coalesced"] for _, _, headers, _ in outcomes]
+    leaders = roles.count("leader")
+    print(f"coalescing burst: {burst} identical submissions -> "
+          f"{leaders} compile(s), {burst - leaders} coalesced, "
+          f"{len(distinct_bodies)} distinct response body (byte-identical)")
+    assert len(distinct_bodies) == 1, "coalesced waiters diverged"
+    assert leaders == 1, roles
+
+
+def editing_session(host, port):
+    from repro.pascal.programs import generate_program
+
+    source = generate_program(procedures=6, statements_per_procedure=3, seed=11)
+    status, body, _, _ = request(
+        host, port, "POST", "/documents",
+        {"language": "pascal", "source": source, "machines": 4},
+    )
+    assert status == 201, body
+    sid = body["document"]
+    print(f"opened document {sid} ({body['chars']} chars, "
+          f"idle ttl {body['idle_ttl']:.0f}s)")
+
+    status, cold, _, _ = request(host, port, "POST", f"/documents/{sid}/recompile")
+    assert status == 200 and cold["ok"], cold
+    inc = cold["incremental"]
+    print(f"  cold recompile: {inc['regions_evaluated']}/{inc['regions_total']} "
+          f"regions evaluated ({inc['frontend']} front end, "
+          f"{cold['wall_compile_ms']:.2f} ms)")
+
+    match = list(re.finditer(r":= (\d)[;\n]", source))[-1]
+    replacement = "9" if match.group(1) != "9" else "8"
+    status, body, _, _ = request(
+        host, port, "POST", f"/documents/{sid}/edit",
+        {"edits": [[match.start(1), match.end(1), replacement]]},
+    )
+    assert status == 200, body
+
+    status, warm, _, _ = request(host, port, "POST", f"/documents/{sid}/recompile")
+    assert status == 200 and warm["ok"], warm
+    inc = warm["incremental"]
+    print(f"  warm recompile after a 1-char edit: "
+          f"{inc['regions_reused']}/{inc['regions_total']} regions reused "
+          f"({inc['frontend']} front end, {warm['wall_compile_ms']:.2f} ms)")
+    assert warm["value"] != cold["value"], "the edit should change the output"
+
+    status, body, _, _ = request(host, port, "DELETE", f"/documents/{sid}")
+    assert status == 200 and body["closed"], body
+
+
+def show_stats(host, port):
+    status, stats, _, _ = request(host, port, "GET", "/stats")
+    assert status == 200
+    service = stats["service"]
+    print("server stats:")
+    print(f"  service:    {service['jobs_completed']} completed, "
+          f"{service['jobs_coalesced']} coalesced, "
+          f"{service['jobs_queued']} queued, "
+          f"{service['jobs_rejected']} rejected "
+          f"(p50 {service['latency_p50'] * 1000:.2f} ms)")
+    print(f"  admission:  {stats['admission']['admitted']} admitted, "
+          f"peak pending {stats['admission']['peak_pending']}")
+    print(f"  coalescing: {stats['coalescing']['leaders']} leaders, "
+          f"{stats['coalescing']['coalesced']} coalesced "
+          f"({stats['coalescing']['cached_results']} results cached)")
+    print(f"  documents:  {stats['documents']['opened']} opened, "
+          f"{stats['documents']['live']} live, "
+          f"{stats['documents']['evicted']} evicted")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--burst", type=int, default=DEFAULT_BURST,
+                        help="identical submissions in the coalescing burst")
+    args = parser.parse_args(argv)
+
+    wait_for_server(args.host, args.port)
+    one_shot(args.host, args.port)
+    coalescing_burst(args.host, args.port, args.burst)
+    editing_session(args.host, args.port)
+    show_stats(args.host, args.port)
+    print("all client checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

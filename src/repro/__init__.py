@@ -65,6 +65,7 @@ from repro.exprlang import (
     expression_grammar,
     parse_expression,
 )
+from repro.server import CompileServer, ServerConfig
 from repro.api import (
     ArtifactCache,
     Compiler,
@@ -108,6 +109,8 @@ __all__ = [
     "CompilationJob",
     "CompilationReport",
     "CompilationService",
+    "CompileServer",
+    "ServerConfig",
     "CompilerConfiguration",
     "ParallelCompiler",
     "ServiceStats",

@@ -1,0 +1,71 @@
+"""``repro.server`` — the compile service's network front door.
+
+A stdlib-only asyncio HTTP/JSON server wrapping
+:class:`repro.service.CompilationService`: one-shot compiles, server-held
+incremental editing sessions (the PR-5 :class:`~repro.incremental.Document` API
+over the wire), per-tenant admission control with bounded queues and ``429`` +
+``Retry-After`` backpressure, content-hash request coalescing, ``/stats`` and
+``/healthz``, and graceful SIGTERM drain.
+
+The package is pure protocol and policy — it compiles nothing itself:
+
+* :mod:`~repro.server.app` — the HTTP server, routing table and drain lifecycle;
+* :mod:`~repro.server.schemas` — the JSON wire contract, validated at the edge;
+* :mod:`~repro.server.admission` — per-tenant token buckets + pending bound;
+* :mod:`~repro.server.coalescing` — content-hash sharing of identical compiles;
+* :mod:`~repro.server.sessions` — the bounded, idle-evicting document store;
+* :mod:`~repro.server.routing` — the method+path router.
+
+Run one from the command line::
+
+    PYTHONPATH=src python -m repro.server --port 8765 --backend threads
+
+or embed one in synchronous code::
+
+    from repro.server import ServerConfig, serve_in_thread
+
+    with serve_in_thread(ServerConfig(port=0)) as handle:
+        print(handle.address)   # http://127.0.0.1:<port>
+"""
+
+from repro.server.admission import AdmissionController, AdmissionError, TokenBucket
+from repro.server.app import (
+    CompileServer,
+    ServerConfig,
+    ServerHandle,
+    serve_in_thread,
+)
+from repro.server.coalescing import Coalescer, content_key
+from repro.server.routing import RouteError, Router
+from repro.server.schemas import (
+    CompileRequest,
+    EditRequest,
+    OpenRequest,
+    SchemaError,
+)
+from repro.server.sessions import (
+    DocumentLimitError,
+    DocumentStore,
+    UnknownDocumentError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Coalescer",
+    "CompileRequest",
+    "CompileServer",
+    "DocumentLimitError",
+    "DocumentStore",
+    "EditRequest",
+    "OpenRequest",
+    "RouteError",
+    "Router",
+    "SchemaError",
+    "ServerConfig",
+    "ServerHandle",
+    "TokenBucket",
+    "UnknownDocumentError",
+    "content_key",
+    "serve_in_thread",
+]

@@ -1,0 +1,83 @@
+"""``python -m repro.server`` — run a compile server from the command line.
+
+Prints one ``listening on http://HOST:PORT`` line once the socket is bound
+(machine-parseable — the load benchmark and the CI smoke step read it), serves
+until SIGTERM/SIGINT, drains gracefully and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.backends import BACKEND_NAMES
+from repro.server.app import CompileServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServerConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve repro compilations over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help="TCP port; 0 picks a free one (default %(default)s)")
+    parser.add_argument("--backend", default=defaults.backend,
+                        choices=sorted(BACKEND_NAMES))
+    parser.add_argument("--workers", type=int, default=defaults.workers,
+                        help="initial substrate pool size (default: grow on demand)")
+    parser.add_argument("--machines", type=int, default=defaults.machines)
+    parser.add_argument("--max-in-flight", type=int, default=defaults.max_in_flight)
+    parser.add_argument("--max-pending", type=int, default=defaults.max_pending)
+    parser.add_argument("--quota-rate", type=float, default=defaults.quota_rate)
+    parser.add_argument("--quota-burst", type=float, default=defaults.quota_burst)
+    parser.add_argument("--max-documents", type=int, default=defaults.max_documents)
+    parser.add_argument("--idle-ttl", type=float, default=defaults.idle_ttl)
+    parser.add_argument("--coalesce-capacity", type=int,
+                        default=defaults.coalesce_capacity)
+    parser.add_argument("--drain-grace", type=float, default=defaults.drain_grace)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        machines=args.machines,
+        max_in_flight=args.max_in_flight,
+        max_pending=args.max_pending,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_documents=args.max_documents,
+        idle_ttl=args.idle_ttl,
+        coalesce_capacity=args.coalesce_capacity,
+        drain_grace=args.drain_grace,
+    )
+
+
+async def _serve(config: ServerConfig) -> int:
+    server = CompileServer(config)
+    await server.start()
+    print(f"listening on http://{config.host}:{server.port}", flush=True)
+    await server.serve_forever()
+    print(
+        f"drained cleanly after {server.requests_served} request(s)",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(config_from_args(args)))
+    except KeyboardInterrupt:  # pragma: no cover — direct ^C before handlers bind
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Admission control: per-tenant token buckets and a bounded pending count.
+
+The server's memory is bounded by what it has admitted, so admission is the one
+place that says no.  Two independent gates run on every costly request:
+
+* a per-tenant :class:`TokenBucket` (``quota_rate`` requests/second sustained,
+  ``quota_burst`` peak) — one tenant hammering the service cannot starve the
+  rest;
+* a server-wide pending bound — at most ``max_pending`` admitted-but-unfinished
+  requests; beyond it the request is refused immediately rather than queued into
+  unbounded memory.
+
+A refusal raises :class:`AdmissionError` carrying a ``retry_after`` hint: for a
+quota refusal, when the tenant's bucket next has a token; for a queue refusal,
+an estimate of when the backlog will have drained one slot.  The app maps both
+to ``429 Too Many Requests`` with a ``Retry-After`` header.
+
+Everything here is event-loop-confined: the server calls it only from its
+asyncio thread, so there are no locks.  (The unit tests drive it directly from
+one thread, which satisfies the same contract.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class AdmissionError(Exception):
+    """A refused request: ``reason`` is ``"quota"`` or ``"queue"``."""
+
+    def __init__(self, message: str, *, reason: str, retry_after: float):
+        super().__init__(message)
+        self.reason = reason
+        #: Seconds the client should wait before retrying (>= 1 on the wire).
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full, so a fresh tenant gets its full burst immediately;
+    a drained bucket refills continuously at ``rate``.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_refilled_at")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._refilled_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; never blocks."""
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accumulated."""
+        self._refill(now)
+        deficit = cost - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def full(self) -> bool:
+        return self._tokens >= self.burst
+
+
+class AdmissionController:
+    """The two admission gates plus their counters, in front of one service.
+
+    :param quota_rate: sustained per-tenant requests/second.
+    :param quota_burst: per-tenant burst capacity.
+    :param max_pending: server-wide bound on admitted-but-unfinished requests.
+    :param queued_threshold: pending depth beyond which an admitted request is
+        counted as *queued* (it will wait behind others rather than start
+        immediately) — typically the service's ``max_in_flight``.
+    :param clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        quota_rate: float = 50.0,
+        quota_burst: float = 100.0,
+        max_pending: int = 64,
+        queued_threshold: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst
+        self.max_pending = max_pending
+        self.queued_threshold = queued_threshold
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.pending = 0
+        self.admitted = 0
+        self.queued = 0
+        self.rejected_quota = 0
+        self.rejected_queue = 0
+        self.peak_pending = 0
+        #: Average seconds one pending slot takes to drain; updated by
+        #: :meth:`release` and used for the queue-full ``Retry-After`` estimate.
+        self._mean_occupancy = 0.05
+
+    # --------------------------------------------------------------- the gates
+
+    def check_quota(self, tenant: str, cost: float = 1.0) -> None:
+        """The per-tenant gate alone (no pending slot; nothing to release).
+
+        Used for cheap-but-abusable operations — opening a document costs no
+        compile, but holds server memory, so it spends a quota token without
+        occupying the pending queue.
+        """
+        now = self._clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.quota_rate, self.quota_burst, now
+            )
+            self._prune(now)
+        if not bucket.acquire(now, cost):
+            self.rejected_quota += 1
+            raise AdmissionError(
+                f"tenant {tenant!r} is over its rate quota "
+                f"({self.quota_rate:g}/s sustained, burst {self.quota_burst:g})",
+                reason="quota",
+                retry_after=bucket.retry_after(now, cost),
+            )
+
+    def admit(self, tenant: str, cost: float = 1.0) -> bool:
+        """Admit one request for ``tenant`` or raise :class:`AdmissionError`.
+
+        On success the caller *must* pair this with exactly one
+        :meth:`release` (typically in a ``finally``).  Returns ``True`` when
+        the request was admitted straight into free capacity and ``False``
+        when it was admitted but will queue (pending depth beyond
+        ``queued_threshold``).
+        """
+        self.check_quota(tenant, cost)
+        if self.pending >= self.max_pending:
+            self.rejected_queue += 1
+            raise AdmissionError(
+                f"server pending queue is full ({self.pending}/{self.max_pending})",
+                reason="queue",
+                retry_after=self._queue_retry_after(),
+            )
+        self.pending += 1
+        self.admitted += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        if self.pending > self.queued_threshold:
+            self.queued += 1
+            return False
+        return True
+
+    def release(self, occupancy_seconds: Optional[float] = None) -> None:
+        """Return one pending slot (called when the admitted request finishes)."""
+        self.pending = max(0, self.pending - 1)
+        if occupancy_seconds is not None and occupancy_seconds >= 0:
+            # Exponential moving average keeps the Retry-After estimate cheap.
+            self._mean_occupancy += 0.1 * (occupancy_seconds - self._mean_occupancy)
+
+    # -------------------------------------------------------------- internals
+
+    def _queue_retry_after(self) -> float:
+        # A full queue drains one slot roughly every mean-occupancy /
+        # queued_threshold seconds (queued_threshold slots drain concurrently).
+        concurrency = max(1, self.queued_threshold)
+        return max(0.05, self._mean_occupancy * self.max_pending / concurrency / 4)
+
+    def _prune(self, now: float, cap: int = 4096) -> None:
+        """Drop full (i.e. idle-refilled) buckets once the tenant map gets big.
+
+        A full bucket is indistinguishable from a fresh one, so discarding it
+        loses nothing; this keeps one-request-ever tenants from growing the map
+        without bound.
+        """
+        if len(self._buckets) <= cap:
+            return
+        for name in [n for n, b in self._buckets.items() if b.full]:
+            del self._buckets[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe counters for the ``/stats`` endpoint."""
+        return {
+            "pending": self.pending,
+            "peak_pending": self.peak_pending,
+            "max_pending": self.max_pending,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "tenants_tracked": len(self._buckets),
+        }

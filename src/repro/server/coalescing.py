@@ -1,0 +1,140 @@
+"""Request coalescing: identical one-shot submissions share one compile.
+
+A compilation is a pure function of ``(language, source, machines, evaluator)``,
+so when a thousand users submit the same source — the classic thundering herd on
+a shared header or a popular example — the server runs *one* compile and fans
+the result out.  Two mechanisms stack:
+
+* **in-flight sharing** — while a compile for a key is running, every identical
+  submission awaits the leader's future instead of starting its own;
+* **a bounded result cache** — completed responses are kept in a small LRU, so a
+  straggler arriving just after the leader finished still coalesces instead of
+  recompiling (the same content-hash identity the artifact cache uses region by
+  region, applied to whole responses).
+
+What is shared is the serialized response *bytes*, so every coalesced waiter
+receives a byte-identical payload — including when the shared compile produced
+errors.  Failures (exceptions, not compile errors) propagate to the waiters that
+were already in flight but are never cached: the next submission retries.
+
+Like the admission controller, a coalescer is event-loop-confined — the server
+only touches it from its asyncio thread, so there are no locks and the
+peek-then-lease sequence cannot race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from hashlib import blake2b
+from typing import Any, Awaitable, Callable, Dict, Hashable, Optional, Tuple
+
+
+def content_key(*parts: Any) -> str:
+    """A stable content hash for a coalescing identity (order-sensitive)."""
+    digest = blake2b(digest_size=16)
+    for part in parts:
+        chunk = part if isinstance(part, bytes) else str(part).encode("utf-8")
+        digest.update(len(chunk).to_bytes(8, "big"))
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+class Coalescer:
+    """Content-hash keyed sharing of in-flight work and recent results.
+
+    :param capacity: how many completed results the LRU retains.  ``0`` disables
+        the result cache (in-flight sharing still applies).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("coalescer capacity cannot be negative")
+        self.capacity = capacity
+        self._in_flight: Dict[Hashable, "asyncio.Future[Any]"] = {}
+        self._results: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.leaders = 0            #: submissions that ran the underlying compute
+        self.joined_in_flight = 0   #: submissions that awaited a running leader
+        self.served_from_cache = 0  #: submissions answered from the result LRU
+
+    @property
+    def coalesced(self) -> int:
+        """Total submissions that did *not* trigger an underlying compute."""
+        return self.joined_in_flight + self.served_from_cache
+
+    def peek(self, key: Hashable) -> bool:
+        """Whether ``key`` would coalesce right now (cached or in flight).
+
+        Callers use this to decide whether a submission adds work (and so must
+        pass admission) before leasing; with no ``await`` between ``peek`` and
+        :meth:`get_or_compute` the answer cannot go stale on one event loop.
+        """
+        return key in self._results or key in self._in_flight
+
+    async def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], Awaitable[Any]],
+        *,
+        cache_result: Callable[[Any], bool] = lambda _: True,
+    ) -> Tuple[Any, str]:
+        """The value for ``key``, computing it at most once across all callers.
+
+        Returns ``(value, how)`` where ``how`` is ``"leader"``, ``"joined"`` or
+        ``"cached"``.  ``cache_result`` decides whether a completed value enters
+        the LRU (the app declines to cache refusals such as 429s, so one
+        tenant's backpressure is never replayed to another).
+        """
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self.served_from_cache += 1
+            return cached, "cached"
+
+        running = self._in_flight.get(key)
+        if running is not None:
+            self.joined_in_flight += 1
+            return await asyncio.shield(running), "joined"
+
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        self._in_flight[key] = future
+        self.leaders += 1
+        try:
+            value = await compute()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # The waiters consume the exception; nobody else should, and an
+                # unretrieved exception would warn at GC time.
+                future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(value)
+            if self.capacity and cache_result(value):
+                self._results[key] = value
+                self._results.move_to_end(key)
+                while len(self._results) > self.capacity:
+                    self._results.popitem(last=False)
+            return value, "leader"
+        finally:
+            self._in_flight.pop(key, None)
+
+    def invalidate(self, key: Optional[Hashable] = None) -> None:
+        """Drop one cached result, or all of them when ``key`` is ``None``."""
+        if key is None:
+            self._results.clear()
+        else:
+            self._results.pop(key, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-safe counters for the ``/stats`` endpoint."""
+        return {
+            "leaders": self.leaders,
+            "joined_in_flight": self.joined_in_flight,
+            "served_from_cache": self.served_from_cache,
+            "coalesced": self.coalesced,
+            "in_flight": len(self._in_flight),
+            "cached_results": len(self._results),
+            "capacity": self.capacity,
+        }

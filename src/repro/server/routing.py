@@ -1,0 +1,81 @@
+"""A small method+path router for the compile server.
+
+Routes are literal paths with ``{name}`` placeholder segments::
+
+    router.add("POST", "/documents/{sid}/edit", handle_edit)
+    handler, params = router.resolve("POST", "/documents/d1-abc/edit")
+    # params == {"sid": "d1-abc"}
+
+Resolution distinguishes *no such path* (404) from *path exists, wrong method*
+(405 with the allowed methods), which is all the HTTP semantics this server
+needs; anything fancier belongs in a framework, and the point of this package is
+to need none.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class RouteError(Exception):
+    """Resolution failure; ``status`` is 404 or 405."""
+
+    def __init__(self, status: int, message: str, allowed: Sequence[str] = ()):
+        super().__init__(message)
+        self.status = status
+        #: For a 405, the methods the path does support (the ``Allow`` header).
+        self.allowed = tuple(allowed)
+
+
+class Router:
+    def __init__(self) -> None:
+        # pattern segments -> {method -> handler}; patterns are matched in
+        # registration order, literal segment vs. placeholder per segment.
+        self._routes: List[Tuple[Tuple[str, ...], Dict[str, Callable]]] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        segments = self._split(pattern)
+        for existing_segments, methods in self._routes:
+            if existing_segments == segments:
+                if method.upper() in methods:
+                    raise ValueError(f"duplicate route {method} {pattern}")
+                methods[method.upper()] = handler
+                return
+        self._routes.append((segments, {method.upper(): handler}))
+
+    def resolve(self, method: str, path: str) -> Tuple[Callable, Dict[str, str]]:
+        target = self._split(path)
+        allowed: Tuple[str, ...] = ()
+        for segments, methods in self._routes:
+            params = self._match(segments, target)
+            if params is None:
+                continue
+            handler = methods.get(method.upper())
+            if handler is not None:
+                return handler, params
+            allowed = tuple(sorted(methods))
+        if allowed:
+            raise RouteError(
+                405,
+                f"{method} not allowed on {path} (allowed: {', '.join(allowed)})",
+                allowed=allowed,
+            )
+        raise RouteError(404, f"no route for {path}")
+
+    @staticmethod
+    def _split(path: str) -> Tuple[str, ...]:
+        return tuple(segment for segment in path.split("/") if segment)
+
+    @staticmethod
+    def _match(
+        pattern: Tuple[str, ...], target: Tuple[str, ...]
+    ) -> Optional[Dict[str, str]]:
+        if len(pattern) != len(target):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(pattern, target):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params

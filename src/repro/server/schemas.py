@@ -1,0 +1,222 @@
+"""Wire schemas for the compile server: JSON in, JSON out, validated at the edge.
+
+Every request body is parsed into a small dataclass here — handlers never touch
+raw dicts — and every response payload is built here, so the wire contract lives
+in one module.  Validation failures raise :class:`SchemaError`, which the app
+maps to a ``400`` with the message verbatim; nothing else in the server stack
+ever sees a malformed request.
+
+The response payload for a compilation is the JSON projection of
+:class:`repro.api.CompileResult`: the language, the extracted value (stringified
+when it is not JSON-representable), the error tuple, wall-clock phase timings in
+milliseconds and — for document recompiles — the incremental reuse report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Upper bound on accepted source text, in characters.  A request above this is
+#: a 400, not an admission-control 429: it is malformed for this server, and the
+#: bound keeps one request from holding megabytes in the pending queue.
+MAX_SOURCE_CHARS = 1_000_000
+
+#: Tenant used when a request names none.  Anonymous traffic shares one bucket.
+DEFAULT_TENANT = "anonymous"
+
+
+class SchemaError(ValueError):
+    """A request body that does not match the wire contract (mapped to 400)."""
+
+
+def _require(payload: Dict[str, Any], field: str, kind: type, what: str) -> Any:
+    if field not in payload:
+        raise SchemaError(f"{what} is missing required field {field!r}")
+    value = payload[field]
+    # bool is an int subclass; an explicit check keeps `"machines": true` a 400.
+    if not isinstance(value, kind) or isinstance(value, bool) and kind is int:
+        raise SchemaError(
+            f"{what} field {field!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _optional(
+    payload: Dict[str, Any], field: str, kind: type, default: Any, what: str
+) -> Any:
+    if field not in payload or payload[field] is None:
+        return default
+    return _require(payload, field, kind, what)
+
+
+def _checked_source(source: str, what: str) -> str:
+    if len(source) > MAX_SOURCE_CHARS:
+        raise SchemaError(
+            f"{what} source is {len(source)} chars; "
+            f"the server accepts at most {MAX_SOURCE_CHARS}"
+        )
+    return source
+
+
+def _checked_machines(machines: int, what: str) -> int:
+    if not 1 <= machines <= 64:
+        raise SchemaError(f"{what} machines must be in [1, 64], got {machines}")
+    return machines
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """``POST /compile`` — a one-shot compilation of ``source`` in ``language``."""
+
+    language: str
+    source: str
+    machines: int = 2
+    evaluator: str = "combined"
+    tenant: str = DEFAULT_TENANT
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "CompileRequest":
+        if not isinstance(payload, dict):
+            raise SchemaError("compile request body must be a JSON object")
+        evaluator = _optional(payload, "evaluator", str, "combined", "compile request")
+        if evaluator not in ("combined", "dynamic"):
+            raise SchemaError(
+                f"compile request evaluator must be 'combined' or 'dynamic', "
+                f"got {evaluator!r}"
+            )
+        return cls(
+            language=_require(payload, "language", str, "compile request"),
+            source=_checked_source(
+                _require(payload, "source", str, "compile request"), "compile request"
+            ),
+            machines=_checked_machines(
+                _optional(payload, "machines", int, 2, "compile request"),
+                "compile request",
+            ),
+            evaluator=evaluator,
+            tenant=_optional(
+                payload, "tenant", str, DEFAULT_TENANT, "compile request"
+            ),
+        )
+
+    def coalescing_key(self) -> Tuple[str, str, int, str]:
+        """The identity under which identical submissions share one compile."""
+        return (self.language, self.source, self.machines, self.evaluator)
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    """``POST /documents`` — open a server-held editing session."""
+
+    language: str
+    source: str
+    machines: int = 2
+    tenant: str = DEFAULT_TENANT
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "OpenRequest":
+        if not isinstance(payload, dict):
+            raise SchemaError("open request body must be a JSON object")
+        return cls(
+            language=_require(payload, "language", str, "open request"),
+            source=_checked_source(
+                _require(payload, "source", str, "open request"), "open request"
+            ),
+            machines=_checked_machines(
+                _optional(payload, "machines", int, 2, "open request"), "open request"
+            ),
+            tenant=_optional(payload, "tenant", str, DEFAULT_TENANT, "open request"),
+        )
+
+
+@dataclass(frozen=True)
+class EditRequest:
+    """``POST /documents/{id}/edit`` — splice edits into the session's source.
+
+    ``edits`` is an ordered list of ``[start, end, text]`` replacements, each in
+    the coordinates of the document *after* the previous edit — exactly the
+    :meth:`repro.incremental.Document.edit` contract.
+    """
+
+    edits: Tuple[Tuple[int, int, str], ...]
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "EditRequest":
+        if not isinstance(payload, dict):
+            raise SchemaError("edit request body must be a JSON object")
+        raw = _require(payload, "edits", list, "edit request")
+        if not raw:
+            raise SchemaError("edit request needs at least one edit")
+        edits: List[Tuple[int, int, str]] = []
+        for index, item in enumerate(raw):
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 3
+                or not isinstance(item[0], int)
+                or isinstance(item[0], bool)
+                or not isinstance(item[1], int)
+                or isinstance(item[1], bool)
+                or not isinstance(item[2], str)
+            ):
+                raise SchemaError(
+                    f"edit #{index} must be [start, end, text] with integer "
+                    f"bounds and string text"
+                )
+            start, end, text = item
+            if start < 0 or end < start:
+                raise SchemaError(
+                    f"edit #{index} has bounds [{start}, {end}); "
+                    "need 0 <= start <= end"
+                )
+            edits.append((start, end, text))
+        return cls(edits=tuple(edits))
+
+
+# ---------------------------------------------------------------- response side
+
+
+def json_safe(value: Any) -> Any:
+    """``value`` if JSON can carry it, otherwise its ``str()`` form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+def incremental_payload(incremental: Any) -> Optional[Dict[str, Any]]:
+    """The JSON projection of an :class:`IncrementalReport` (``None`` passthrough)."""
+    if incremental is None:
+        return None
+    return {
+        "regions_total": incremental.regions_total,
+        "regions_evaluated": incremental.regions_evaluated,
+        "regions_reused": incremental.regions_reused,
+        "validation_rounds": incremental.validation_rounds,
+        "frontend": incremental.frontend,
+    }
+
+
+def compile_result_payload(result: Any, **extra: Any) -> Dict[str, Any]:
+    """The wire form of a :class:`repro.api.CompileResult` (plus ``extra`` keys)."""
+    payload = {
+        "ok": result.ok,
+        "language": result.language,
+        "value": json_safe(result.value),
+        "errors": list(result.errors),
+        "wall_parse_ms": round(result.wall_parse_seconds * 1000, 3),
+        "wall_compile_ms": round(result.wall_compile_seconds * 1000, 3),
+        "incremental": incremental_payload(result.incremental),
+    }
+    payload.update(extra)
+    return payload
+
+
+def error_payload(message: str, **extra: Any) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"error": message}
+    payload.update(extra)
+    return payload

@@ -1,0 +1,170 @@
+"""Server-held document sessions: the PR-5 incremental API, over the wire.
+
+An editing client opens a document once and then streams edits and recompiles
+against a session id; the server keeps the corresponding
+:class:`repro.incremental.Document` — rope source, token spans, parse tree,
+fingerprint memo — alive between requests, so every recompile gets the warm
+incremental path instead of a cold build.
+
+Because sessions are server memory held on behalf of possibly-vanished clients,
+the store is strictly bounded: at most ``max_documents`` live sessions (opening
+beyond that is refused — the app maps it to 429), and any session idle longer
+than ``idle_ttl`` seconds is evicted.  Eviction runs lazily on access and from
+the app's periodic sweeper; an evicted or unknown id is a
+:class:`UnknownDocumentError` (404 on the wire — clients reopen, which costs
+exactly one cold build).
+
+The store's bookkeeping is event-loop-confined (no locks); each session carries
+an ``asyncio.Lock`` so the app serialises operations *per document* while
+different documents proceed concurrently on the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+import time
+from typing import Any, Callable, Dict, Optional
+
+
+class UnknownDocumentError(KeyError):
+    """An id that names no live session (never existed, closed, or evicted)."""
+
+
+class DocumentLimitError(RuntimeError):
+    """The store is at ``max_documents`` live sessions."""
+
+
+class DocumentSession:
+    """One live server-held editing session."""
+
+    __slots__ = ("sid", "document", "tenant", "lock", "opened_at", "last_used",
+                 "recompiles")
+
+    def __init__(self, sid: str, document: Any, tenant: str, now: float):
+        self.sid = sid
+        self.document = document
+        self.tenant = tenant
+        #: Serialises operations on this document; held across the executor hop.
+        self.lock = asyncio.Lock()
+        self.opened_at = now
+        self.last_used = now
+        self.recompiles = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+
+
+class DocumentStore:
+    """A bounded, idle-evicting registry of :class:`DocumentSession`\\ s.
+
+    :param max_documents: live-session bound; :meth:`open` refuses beyond it.
+    :param idle_ttl: seconds of inactivity after which a session is evictable.
+    :param clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_documents: int = 512,
+        idle_ttl: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_documents < 1:
+            raise ValueError("max_documents must be at least 1")
+        if idle_ttl <= 0:
+            raise ValueError("idle_ttl must be positive")
+        self.max_documents = max_documents
+        self.idle_ttl = idle_ttl
+        self._clock = clock
+        self._sessions: Dict[str, DocumentSession] = {}
+        self._serial = itertools.count(1)
+        self.opened = 0
+        self.closed = 0
+        self.evicted = 0
+        self.refused = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def open(self, factory: Callable[[], Any], tenant: str) -> DocumentSession:
+        """Create a session around ``factory()``'s document, or refuse.
+
+        Idle sessions are swept first, so a full store of abandoned documents
+        never blocks a live client; a full store of *active* documents does —
+        that is the memory bound working as intended.
+        """
+        now = self._clock()
+        if len(self._sessions) >= self.max_documents:
+            self.evict_idle(now)
+        if len(self._sessions) >= self.max_documents:
+            self.refused += 1
+            raise DocumentLimitError(
+                f"document store is full ({len(self._sessions)}/"
+                f"{self.max_documents} sessions)"
+            )
+        # Serial prefix keeps ids log-friendly; the token makes them unguessable.
+        sid = f"d{next(self._serial)}-{secrets.token_hex(6)}"
+        session = DocumentSession(sid, factory(), tenant, now)
+        self._sessions[sid] = session
+        self.opened += 1
+        return session
+
+    def get(self, sid: str) -> DocumentSession:
+        """The live session for ``sid`` (touching it), or :class:`UnknownDocumentError`."""
+        session = self._sessions.get(sid)
+        if session is None:
+            raise UnknownDocumentError(sid)
+        now = self._clock()
+        if now - session.last_used > self.idle_ttl and not session.lock.locked():
+            # Lazily expired: the sweeper simply has not reached it yet.
+            self._evict(sid)
+            raise UnknownDocumentError(sid)
+        session.touch(now)
+        return session
+
+    def close(self, sid: str) -> DocumentSession:
+        """Remove and return the session (:class:`UnknownDocumentError` if absent)."""
+        session = self._sessions.pop(sid, None)
+        if session is None:
+            raise UnknownDocumentError(sid)
+        self.closed += 1
+        return session
+
+    # -------------------------------------------------------------- eviction
+
+    def evict_idle(self, now: Optional[float] = None) -> int:
+        """Evict every idle-expired session; returns how many went.
+
+        A session whose lock is held (an operation is mid-flight on the
+        executor) is never evicted, however stale its timestamp — the operation
+        will touch it on completion.
+        """
+        if now is None:
+            now = self._clock()
+        expired = [
+            sid
+            for sid, session in self._sessions.items()
+            if now - session.last_used > self.idle_ttl and not session.lock.locked()
+        ]
+        for sid in expired:
+            self._evict(sid)
+        return len(expired)
+
+    def _evict(self, sid: str) -> None:
+        self._sessions.pop(sid, None)
+        self.evicted += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-safe counters for the ``/stats`` endpoint."""
+        return {
+            "live": len(self._sessions),
+            "max_documents": self.max_documents,
+            "opened": self.opened,
+            "closed": self.closed,
+            "evicted": self.evicted,
+            "refused": self.refused,
+        }

@@ -30,7 +30,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.backends import Substrate, create_substrate
@@ -143,11 +143,30 @@ class ServiceStats:
     cluster_workers: int = 0
     cluster_reassignments: int = 0
     cluster_speculations: int = 0
+    #: Front-door admission/coalescing accounting, filled by a network front end
+    #: (:mod:`repro.server`) via the ``note_*`` hooks: submissions served by
+    #: sharing another submission's in-flight compile or cached result, admitted
+    #: submissions that waited in the bounded pending queue, and submissions
+    #: refused with backpressure (quota exhausted or queue full).
+    jobs_coalesced: int = 0
+    jobs_queued: int = 0
+    jobs_rejected: int = 0
 
     @property
     def region_cache_hit_rate(self) -> float:
         total = self.region_cache_hits + self.region_cache_misses
         return self.region_cache_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of every counter (cluster counters included).
+
+        This is the wire form served by the ``/stats`` endpoint of
+        :mod:`repro.server` — machine-readable where :meth:`summary` is prose.
+        All values are plain ints/floats/strings, safe for ``json.dumps``.
+        """
+        payload = asdict(self)
+        payload["region_cache_hit_rate"] = self.region_cache_hit_rate
+        return payload
 
     def summary(self) -> str:
         lines = (
@@ -170,6 +189,11 @@ class ServiceStats:
                 f", cluster {self.cluster_workers} worker(s) / "
                 f"{self.cluster_reassignments} reassignment(s) / "
                 f"{self.cluster_speculations} speculation(s)"
+            )
+        if self.jobs_coalesced or self.jobs_queued or self.jobs_rejected:
+            lines += (
+                f", front door {self.jobs_coalesced} coalesced / "
+                f"{self.jobs_queued} queued / {self.jobs_rejected} rejected"
             )
         return lines
 
@@ -231,6 +255,9 @@ class CompilationService:
         self._closed = False
         self._region_cache_hits = 0
         self._region_cache_misses = 0
+        self._coalesced = 0
+        self._queued = 0
+        self._rejected = 0
         if artifact_cache is True:
             from repro.incremental.cache import ArtifactCache
 
@@ -252,7 +279,7 @@ class CompilationService:
         """Bring the pool and the dispatch executor up (idempotent)."""
         with self._lock:
             if self._closed:
-                raise ServiceError("compilation service has been shut down")
+                raise ServiceError("service is closed")
             if self._executor is None:
                 self._substrate.start()
                 self._executor = ThreadPoolExecutor(
@@ -277,6 +304,12 @@ class CompilationService:
         if self._owns_substrate:
             self._substrate.shutdown()
 
+    #: ``close()`` is an alias of :meth:`shutdown`, matching the session/substrate
+    #: vocabulary; after either, :meth:`submit` raises a clear
+    #: ``RuntimeError("service is closed")`` instead of failing deep in the
+    #: substrate.
+    close = shutdown
+
     def __enter__(self) -> "CompilationService":
         return self.start()
 
@@ -290,11 +323,14 @@ class CompilationService:
 
         At most ``max_in_flight`` jobs run concurrently; the rest wait in the
         executor's queue.  A failing job fails only its own future.
+
+        Raises :class:`ServiceError` (a ``RuntimeError``) with the message
+        ``"service is closed"`` once :meth:`close`/:meth:`shutdown` has run.
         """
         self.start()
         with self._lock:
             if self._closed or self._executor is None:
-                raise ServiceError("compilation service has been shut down")
+                raise ServiceError("service is closed")
             self._submitted += 1
             return self._executor.submit(self._execute, job)
 
@@ -308,6 +344,25 @@ class CompilationService:
         return [future.result() for future in futures]
 
     # -------------------------------------------------------------------- stats
+
+    def note_coalesced(self, count: int = 1) -> None:
+        """Record submissions served by sharing another submission's compile.
+
+        Called by a front end (:mod:`repro.server`) whose content-hash coalescer
+        fanned one underlying compile out to ``count`` extra identical requests.
+        """
+        with self._lock:
+            self._coalesced += count
+
+    def note_queued(self, count: int = 1) -> None:
+        """Record admitted submissions that waited in a bounded pending queue."""
+        with self._lock:
+            self._queued += count
+
+    def note_rejected(self, count: int = 1) -> None:
+        """Record submissions refused with backpressure (quota or queue full)."""
+        with self._lock:
+            self._rejected += count
 
     def stats(self) -> ServiceStats:
         with self._lock:
@@ -324,6 +379,9 @@ class CompilationService:
             submitted = self._submitted
             region_hits = self._region_cache_hits
             region_misses = self._region_cache_misses
+            coalesced = self._coalesced
+            queued = self._queued
+            rejected = self._rejected
         # Clustered substrates (sockets) expose fleet/fault-tolerance counters;
         # everything else reports zeros (duck-typed so the service layer never
         # imports the cluster package).
@@ -355,6 +413,9 @@ class CompilationService:
             cluster_workers=cluster_workers,
             cluster_reassignments=cluster_reassignments,
             cluster_speculations=cluster_speculations,
+            jobs_coalesced=coalesced,
+            jobs_queued=queued,
+            jobs_rejected=rejected,
         )
 
     # ---------------------------------------------------------------- internals

@@ -43,6 +43,9 @@ EXPECTED_REPRO_ALL = sorted([
     "CompilerConfiguration",
     "ParallelCompiler",
     "ServiceStats",
+    # the HTTP front door over the service
+    "CompileServer",
+    "ServerConfig",
     # parsing toolkit
     "Lexer",
     "Parser",

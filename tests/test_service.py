@@ -9,6 +9,7 @@ pool for later jobs).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import threading
 import time
@@ -239,6 +240,43 @@ class TestServiceStats:
         with pytest.raises(ServiceError):
             service.submit(CompilationJob(expr_compiler, tree=big_tree))
         service.shutdown()  # idempotent
+
+    def test_submit_after_close_is_a_clear_runtime_error(
+        self, expr_compiler, big_tree
+    ):
+        # Regression: this used to surface as a deep substrate failure (or a
+        # vaguely-worded ServiceError); now it is a plain "service is closed",
+        # and catchable as RuntimeError without importing repro.service.
+        service = CompilationService("simulated")
+        service.start()
+        service.close()  # the alias shutdown() gained alongside the server
+        with pytest.raises(RuntimeError, match="service is closed"):
+            service.submit(CompilationJob(expr_compiler, tree=big_tree))
+        with pytest.raises(RuntimeError, match="service is closed"):
+            service.start()
+        service.close()  # idempotent, like shutdown()
+
+    def test_stats_to_dict_is_json_round_trippable(self, expr_compiler, big_tree):
+        with CompilationService("simulated", max_in_flight=2) as service:
+            service.compile_many(
+                [CompilationJob(expr_compiler, tree=big_tree, machines=2)] * 3
+            )
+            service.note_coalesced(2)
+            service.note_queued()
+            service.note_rejected()
+            stats = service.stats()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["jobs_completed"] == 3
+        assert payload["jobs_coalesced"] == 2
+        assert payload["jobs_queued"] == 1
+        assert payload["jobs_rejected"] == 1
+        assert payload["latency_p50"] > 0
+        # The duck-typed cluster counters ride along even off-cluster, and the
+        # derived hit rate is materialised so consumers need no arithmetic.
+        for key in ("cluster_workers", "cluster_reassignments",
+                    "cluster_speculations", "region_cache_hit_rate"):
+            assert key in payload
+        assert "front door" in stats.summary()
 
     def test_job_without_tree_or_source(self, expr_compiler):
         with CompilationService("simulated") as service:
