@@ -10,7 +10,14 @@ integration would:
 3. a server-held editing session (``POST /documents``): open a paper-sized
    Pascal program, recompile cold, splice in a one-character edit, recompile
    warm — and print how many regions the incremental engine reused;
-4. the ``/stats`` snapshot: service counters, admission, coalescing, documents.
+4. deadline propagation: a compile carrying an ``X-Repro-Deadline-Ms`` budget
+   of zero must come back as a clean ``504 Gateway Timeout``, and a generous
+   budget must not change the answer;
+5. the ``/stats`` snapshot: service counters, admission, coalescing, documents.
+
+Every costly request goes through a :class:`repro.resilience.RetryPolicy` loop
+that honors the server's ``Retry-After`` hint on ``429`` — the client-side half
+of the admission contract.
 
 Start a server first (any port; ``--port 0`` prints the one it picked)::
 
@@ -38,18 +45,48 @@ DEFAULT_BURST = 24
 EXPR_SOURCE = "let x = 3 in 1 + 2 * x ni"
 
 
-def request(host, port, method, path, payload=None, timeout=30.0):
+def request(host, port, method, path, payload=None, timeout=30.0, headers=None):
     """One request on a fresh connection; returns (status, body_dict, headers)."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = json.dumps(payload) if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
-        conn.request(method, path, body=body, headers=headers)
+        send_headers = dict(headers or {})
+        if body:
+            send_headers.setdefault("Content-Type", "application/json")
+        conn.request(method, path, body=body, headers=send_headers)
         response = conn.getresponse()
         raw = response.read()
         return response.status, json.loads(raw), dict(response.getheaders()), raw
     finally:
         conn.close()
+
+
+def retrying_request(host, port, method, path, payload=None, *,
+                     policy=None, deadline_ms=None, timeout=30.0):
+    """``request`` under a RetryPolicy that honors the server's Retry-After.
+
+    A ``429`` means the server refused on purpose and told us when to come
+    back: wait the *larger* of the hint and the policy's own backoff for this
+    attempt, then try again, up to ``policy.max_attempts``.  Any other status is
+    the answer — retrying a 4xx/5xx that is not an admission refusal would just
+    repeat it.
+    """
+    from repro.resilience import RetryPolicy
+
+    policy = policy or RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=5.0)
+    headers = {}
+    if deadline_ms is not None:
+        headers["X-Repro-Deadline-Ms"] = str(deadline_ms)
+    outcome = None
+    for attempt in policy.attempts():
+        outcome = request(host, port, method, path, payload,
+                          timeout=timeout, headers=headers)
+        status, _, response_headers, _ = outcome
+        if status != 429 or attempt >= policy.max_attempts:
+            return outcome
+        hint = float(response_headers.get("Retry-After", 0) or 0)
+        time.sleep(min(max(hint, policy.delay(attempt)), policy.max_delay))
+    return outcome
 
 
 def wait_for_server(host, port, attempts=50, delay=0.1):
@@ -65,7 +102,7 @@ def wait_for_server(host, port, attempts=50, delay=0.1):
 
 
 def one_shot(host, port):
-    status, body, headers, _ = request(
+    status, body, headers, _ = retrying_request(
         host, port, "POST", "/compile",
         {"language": "exprlang", "source": EXPR_SOURCE},
     )
@@ -86,7 +123,7 @@ def coalescing_burst(host, port, burst):
 
     def submit(index):
         barrier.wait()
-        outcomes[index] = request(host, port, "POST", "/compile", payload)
+        outcomes[index] = retrying_request(host, port, "POST", "/compile", payload)
 
     threads = [threading.Thread(target=submit, args=(i,)) for i in range(burst)]
     for thread in threads:
@@ -118,7 +155,9 @@ def editing_session(host, port):
     print(f"opened document {sid} ({body['chars']} chars, "
           f"idle ttl {body['idle_ttl']:.0f}s)")
 
-    status, cold, _, _ = request(host, port, "POST", f"/documents/{sid}/recompile")
+    status, cold, _, _ = retrying_request(
+        host, port, "POST", f"/documents/{sid}/recompile"
+    )
     assert status == 200 and cold["ok"], cold
     inc = cold["incremental"]
     print(f"  cold recompile: {inc['regions_evaluated']}/{inc['regions_total']} "
@@ -133,7 +172,9 @@ def editing_session(host, port):
     )
     assert status == 200, body
 
-    status, warm, _, _ = request(host, port, "POST", f"/documents/{sid}/recompile")
+    status, warm, _, _ = retrying_request(
+        host, port, "POST", f"/documents/{sid}/recompile"
+    )
     assert status == 200 and warm["ok"], warm
     inc = warm["incremental"]
     print(f"  warm recompile after a 1-char edit: "
@@ -143,6 +184,26 @@ def editing_session(host, port):
 
     status, body, _, _ = request(host, port, "DELETE", f"/documents/{sid}")
     assert status == 200 and body["closed"], body
+
+
+def deadline_demo(host, port):
+    # A fresh source (never compiled above), so the zero-budget request cannot
+    # be served out of the coalescer's cache of completed answers.
+    source = "let y = 5 in y * y + 1 ni"
+    status, body, _, _ = request(
+        host, port, "POST", "/compile",
+        {"language": "exprlang", "source": source},
+        headers={"X-Repro-Deadline-Ms": "0"},
+    )
+    assert status == 504, (status, body)
+    print(f"deadline: 0 ms budget -> 504 ({body['error']})")
+    status, body, _, _ = retrying_request(
+        host, port, "POST", "/compile",
+        {"language": "exprlang", "source": source},
+        deadline_ms=30_000,
+    )
+    assert status == 200 and body["value"] == 26, (status, body)
+    print(f"deadline: 30 s budget -> 200, value={body['value']}")
 
 
 def show_stats(host, port):
@@ -177,6 +238,7 @@ def main(argv=None) -> int:
     one_shot(args.host, args.port)
     coalescing_burst(args.host, args.port, args.burst)
     editing_session(args.host, args.port)
+    deadline_demo(args.host, args.port)
     show_stats(args.host, args.port)
     print("all client checks passed")
     return 0

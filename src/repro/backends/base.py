@@ -41,6 +41,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Mapping, Optional
 
+from repro.faults import plan as _faults
+from repro.faults.plan import FaultError
 from repro.runtime.machine import ActivityInterval, ActivityKind
 
 
@@ -379,6 +381,50 @@ class WakeToken:
         return f"WakeToken({self.reason!r})"
 
 
+def apply_send_faults(mailbox_name: str, message: Any) -> Optional[List[Any]]:
+    """Consult the active fault plan for one ``mailbox.send`` opportunity.
+
+    Returns ``None`` for "deliver normally" (the overwhelmingly common case —
+    callers guard with ``if _faults.ACTIVE is not None`` so an idle plane costs
+    one attribute check), or the list of messages to deliver instead: ``[]``
+    for a dropped message, ``[message, message]`` for a duplicated one.  A
+    ``delay`` action sleeps here, in the sender; an ``error`` action raises
+    :class:`~repro.faults.FaultError` out of the send.
+    """
+    plan = _faults.ACTIVE
+    if plan is None:
+        return None
+    hit = plan.check("mailbox.send", mailbox_name)
+    if hit is None:
+        return None
+    if hit.action == "drop":
+        return []
+    if hit.action == "duplicate":
+        return [message, message]
+    if hit.action in ("delay", "stall"):
+        hit.sleep()
+        return None
+    raise FaultError("mailbox.send", hit.action, mailbox_name)
+
+
+def apply_receive_faults(who: str, mailbox_name: str) -> None:
+    """One ``mailbox.receive`` opportunity: delay the receiver or raise typed.
+
+    Called at the top of every real-substrate receive; callers guard with
+    ``if _faults.ACTIVE is not None`` so the disabled plane stays free.
+    """
+    plan = _faults.ACTIVE
+    if plan is None:
+        return
+    hit = plan.check("mailbox.receive", mailbox_name)
+    if hit is None:
+        return
+    if hit.action in ("delay", "stall"):
+        hit.sleep()
+        return
+    raise FaultError("mailbox.receive", hit.action, f"{who} on {mailbox_name}")
+
+
 def deadline_get(fifo: Any, deadline: float, timeout: float, who: str, mailbox_name: str) -> Any:
     """One blocking read against an absolute deadline, with the shared diagnostic.
 
@@ -409,6 +455,8 @@ def blocking_receive(fifo: Any, timeout: float, failed: Any, who: str, mailbox_n
     (``failed``, a ``threading.Event``) is delivered as a :class:`WakeToken`; gives
     up with a diagnostic after ``timeout`` seconds.
     """
+    if _faults.ACTIVE is not None:
+        apply_receive_faults(who, mailbox_name)
     deadline = time.monotonic() + timeout
     while True:
         if failed.is_set():

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import pickle
 import queue as queue_module
 import sys
@@ -41,23 +42,28 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.backends.base import (
     Backend,
     BackendError,
     BackendTelemetry,
+    FaultError,
     Mailbox,
     SharedBundle,
     Substrate,
     WakeToken,
     WorkerJob,
+    apply_receive_faults,
+    apply_send_faults,
     blocking_receive,
     deadline_get,
     drain_fifo,
     drive,
 )
 from repro.backends.threads import QueueMailbox
+from repro.faults import plan as _faults
+from repro.faults.plan import FaultPlan
 
 
 # ---------------------------------------------------------------------------- wire
@@ -98,9 +104,13 @@ def _encode_wire(value: Any) -> Any:
 
 
 def _decode_wire(value: Any, registry: List[Any]) -> Any:
-    """Child-side inverse of :func:`_encode_wire`."""
+    """Child-side inverse of :func:`_encode_wire`.
+
+    Mailboxes decode to :class:`RegistryMailbox` (index preserved) so the child
+    transport can name the destination slot in routed sends and claims.
+    """
     if isinstance(value, _MailboxRef):
-        return QueueMailbox(value.name, registry[value.index])
+        return RegistryMailbox(value.name, registry[value.index], value.index)
     if isinstance(value, dict):
         return {key: _decode_wire(item, registry) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
@@ -116,7 +126,18 @@ class _JobAborted(Exception):
 
 
 class _ChildTransport:
-    """The Backend facade seen by a job running inside a pooled worker process."""
+    """The Backend facade seen by a job running inside a pooled worker process.
+
+    Sends do not touch the destination queue directly: they travel to the parent
+    on the control queue (``("send", session, job, seq, mailbox index, message)``)
+    and the dispatcher routes them.  That single hop is what makes pooled-worker
+    death recoverable: the parent logs every message per mailbox, so a respawned
+    worker can replay the job from the full history, and the per-job send
+    sequence number lets the parent suppress the replay's duplicate outputs —
+    the same claim/log/forwarded design the sockets cluster coordinator uses.
+    It also confines the SIGKILL hazard: a mailbox queue now has exactly one
+    writer (the parent) and one reader, so a dying sibling can never wedge it.
+    """
 
     name = "processes"
 
@@ -124,20 +145,39 @@ class _ChildTransport:
         self,
         control: Any,
         session_id: int,
+        job_name: str,
         abort_event: Any,
         receive_timeout: float,
     ):
         self._control = control
         self._session_id = session_id
+        self._job_name = job_name
         self._abort = abort_event
         self._timeout = receive_timeout
         self._started = time.perf_counter()
+        self._send_seq = 0
+        self._claimed: Set[int] = set()
         self.messages = 0
         self.bytes = 0
 
+    def _route(self, mailbox: "RegistryMailbox", message: Any) -> None:
+        self._send_seq += 1
+        self._control.put(
+            ("send", self._session_id, self._job_name, self._send_seq,
+             mailbox.index, message)
+        )
+
     def send(self, source: int, destination: int, message: Any, size_bytes: int,
-             mailbox: QueueMailbox) -> None:
-        mailbox.queue.put(message)
+             mailbox: "RegistryMailbox") -> None:
+        if _faults.ACTIVE is not None:
+            replacement = apply_send_faults(mailbox.name, message)
+            if replacement is not None:
+                for copy in replacement:
+                    self._route(mailbox, copy)
+                self.messages += len(replacement)
+                self.bytes += size_bytes * len(replacement)
+                return
+        self._route(mailbox, message)
         self.messages += 1
         self.bytes += size_bytes
 
@@ -148,7 +188,28 @@ class _ChildTransport:
     def now(self) -> float:
         return time.perf_counter() - self._started
 
-    def receive(self, mailbox: QueueMailbox) -> Any:
+    def receive(self, mailbox: "RegistryMailbox") -> Any:
+        if mailbox.index not in self._claimed:
+            # Claim before the first blocking read, so that if this process dies
+            # mid-receive the parent knows which mailbox history to rebuild for
+            # the replay.  (A SIGKILL can in principle still beat the control
+            # queue's feeder thread to the pipe; the replay then misses the
+            # claim, the re-executed job times out on its receive bound and the
+            # compile fails *typed* — bounded, never a hang.)
+            self._claimed.add(mailbox.index)
+            self._control.put(("claim", self._session_id, self._job_name, mailbox.index))
+        if _faults.ACTIVE is not None:
+            apply_receive_faults(self._job_name, mailbox.name)
+            hit = _faults.ACTIVE.check("worker.crash", self._job_name)
+            if hit is not None:
+                if hit.action == "crash":
+                    # A hard, SIGKILL-like death at a point where no queue locks
+                    # are held.  The brief sleep lets the control queue's feeder
+                    # flush the claims/sends already issued, mirroring what a
+                    # real mid-evaluation kill looks like.
+                    time.sleep(0.05)
+                    os._exit(3)
+                raise FaultError("worker.crash", hit.action, self._job_name)
         # Genuinely blocking: the worker sleeps in the OS until a message (or a
         # WakeToken injected by the parent's abort path) lands in the mailbox, so the
         # per-message latency floor is the queue transport itself, not a poll tick.
@@ -179,11 +240,24 @@ def _pool_worker_main(
     next job — one bad compilation never costs the pool a fork.
     """
     shared_cache: Dict[int, Any] = {}
+    _faults.load_from_env()
+    adopted_fault_token: Optional[str] = os.environ.get(_faults.ENV_VAR)
     while True:
         item = job_queue.get()
         if item is None:
             return
-        (session_id, name, payload_blob, shared_blobs, receive_timeout) = item
+        (session_id, name, payload_blob, shared_blobs, receive_timeout,
+         fault_token) = item
+        # The fault plan ships with the job, like a (tiny) language bundle, so a
+        # plan installed after this worker forked still reaches it; the token is
+        # cached so an unchanged plan is decoded once per worker, and a cleared
+        # plan deactivates injection here too.
+        if fault_token != adopted_fault_token:
+            adopted_fault_token = fault_token
+            try:
+                _faults.ACTIVE = FaultPlan.decode(fault_token) if fault_token else None
+            except Exception:
+                _faults.ACTIVE = None
         # The abort event is cleared by the PARENT (under its lock) when this job is
         # assigned and when job-completion records are processed; clearing it here
         # could erase an abort meant for this very job.
@@ -194,7 +268,9 @@ def _pool_worker_main(
             kwargs = _decode_wire(encoded_kwargs, registry)
             for argument, key in shared_keys.items():
                 kwargs[argument] = shared_cache[key]
-            transport = _ChildTransport(control, session_id, abort_event, receive_timeout)
+            transport = _ChildTransport(
+                control, session_id, name, abort_event, receive_timeout
+            )
             body = factory(transport, **kwargs)
             drive(body, transport.receive)
             control.put(
@@ -212,7 +288,10 @@ def _pool_worker_main(
 class _PoolWorker:
     """Parent-side bookkeeping for one long-lived worker process."""
 
-    __slots__ = ("index", "process", "job_queue", "abort_event", "known_keys", "current")
+    __slots__ = (
+        "index", "process", "job_queue", "abort_event", "known_keys", "current",
+        "inflight",
+    )
 
     def __init__(self, index: int, process: Any, job_queue: Any, abort_event: Any):
         self.index = index
@@ -221,6 +300,9 @@ class _PoolWorker:
         self.abort_event = abort_event
         self.known_keys: set = set()
         self.current: Optional[Tuple[int, str]] = None  # (session_id, job name)
+        #: Everything needed to re-execute the current job on a respawned worker:
+        #: (session_id, name, payload_blob, shared key tuple, receive_timeout).
+        self.inflight: Optional[Tuple[int, str, bytes, Tuple[int, ...], float]] = None
 
 
 class ProcessesSubstrate(Substrate):
@@ -231,11 +313,16 @@ class ProcessesSubstrate(Substrate):
     #: Default bound on blocking receives (seconds) when none is configured.
     DEFAULT_RECEIVE_TIMEOUT = 120.0
 
+    #: How many times one job may be re-executed after worker deaths before the
+    #: session gives up with a typed error.
+    MAX_RESPAWNS = 3
+
     def __init__(
         self,
         workers: int = 0,
         mailbox_capacity: int = 128,
         receive_timeout: Optional[float] = None,
+        max_respawns: Optional[int] = None,
     ):
         super().__init__()
         try:
@@ -249,12 +336,19 @@ class ProcessesSubstrate(Substrate):
             self.DEFAULT_RECEIVE_TIMEOUT if receive_timeout is None else receive_timeout
         )
         self.mailbox_capacity = mailbox_capacity
+        self.max_respawns = self.MAX_RESPAWNS if max_respawns is None else max_respawns
         self._initial_workers = workers
         self._lock = threading.Lock()
         self._workers: List[_PoolWorker] = []
         self._next_worker_index = 0
         self._registry: List[Any] = []
         self._free_mailboxes: List[int] = []
+        #: Registry slots permanently taken out of circulation after a worker
+        #: death: live workers forked earlier still hold the pre-replacement
+        #: queue for these indexes, so re-leasing them could silently split a
+        #: mailbox across two queues.  Recovery is rare; leaking a slot is safe.
+        self._retired_slots: Set[int] = set()
+        self._respawns = 0
         self._control: Optional[Any] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._sessions: Dict[int, "ProcessesSession"] = {}
@@ -352,9 +446,19 @@ class ProcessesSubstrate(Substrate):
         with self._lock:
             return sum(1 for worker in self._workers if worker.process.is_alive())
 
+    @property
+    def respawns(self) -> int:
+        """Workers respawned after an unexpected death (feeds ServiceStats)."""
+        with self._lock:
+            return self._respawns
+
     # ------------------------------------------------------------ pool plumbing
 
     def _fork_worker_locked(self) -> _PoolWorker:
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("worker.spawn", f"worker-{self._next_worker_index}")
+            if hit is not None:
+                raise FaultError("worker.spawn", hit.action, f"worker-{self._next_worker_index}")
         # Forking here is safe even though the parent is multi-threaded (dispatcher,
         # service executors, other sessions' coordinators may be mid-put on shared
         # queues): multiprocessing.Queue registers an after-fork hook that re-inits
@@ -398,7 +502,23 @@ class ProcessesSubstrate(Substrate):
             drain_fifo(mailbox.queue, settle_timeout=0.1 if settle else 0.0)
         with self._lock:
             for mailbox in leased:
+                if mailbox.index in self._retired_slots:
+                    continue  # replaced after a worker death; never re-lease
                 self._free_mailboxes.append(mailbox.index)
+
+    def _replace_registry_slot(self, index: int) -> Any:
+        """Swap registry slot ``index`` for a fresh queue and retire the slot.
+
+        Called during worker-death recovery, *before* the replacement fork, so
+        the respawned worker inherits the fresh queue under the same index and
+        the job's pickled payload (which references mailboxes by index) replays
+        unchanged.  The old queue — possibly wedged by the death — is abandoned.
+        """
+        with self._lock:
+            fresh = self._context.Queue()
+            self._registry[index] = fresh
+            self._retired_slots.add(index)
+            return fresh
 
     def _shared_entry(self, obj: Any) -> int:
         # Two dedup regimes.  A SharedBundle carries an explicit stable name (the
@@ -474,6 +594,8 @@ class ProcessesSubstrate(Substrate):
             ]
             while len(free) < len(jobs):
                 free.append(self._fork_worker_locked())
+            active_plan = _faults.ACTIVE
+            fault_token = active_plan.encode() if active_plan is not None else None
             for index, ((job, name), worker) in enumerate(zip(jobs, free)):
                 try:
                     shared_keys: Dict[str, int] = {}
@@ -501,7 +623,7 @@ class ProcessesSubstrate(Substrate):
                     worker.abort_event.clear()
                     worker.job_queue.put(
                         (session.session_id, name, payload_blob, shared_blobs,
-                         session.receive_timeout)
+                         session.receive_timeout, fault_token)
                     )
                 except BaseException:
                     # Jobs from this one on were never enqueued: settle their share
@@ -512,6 +634,12 @@ class ProcessesSubstrate(Substrate):
                 # failed submit poison the cache for every later compilation.
                 worker.known_keys.update(shared_blobs)
                 worker.current = (session.session_id, name)
+                # Retained until the job completes: a dead worker's job is
+                # re-executed from this record on a respawned worker.
+                worker.inflight = (
+                    session.session_id, name, payload_blob,
+                    tuple(shared_keys.values()), session.receive_timeout,
+                )
             self._evict_delivered_blobs_locked()
 
     def _abort_session(self, session: "ProcessesSession") -> None:
@@ -556,6 +684,16 @@ class ProcessesSubstrate(Substrate):
         tag, session_id = record[0], record[1]
         with self._lock:
             session = self._sessions.get(session_id)
+        if tag == "send":
+            # ("send", session_id, job name, seq, mailbox index, message)
+            if session is not None:
+                session._forward(record[2], record[3], record[4], record[5])
+            return
+        if tag == "claim":
+            # ("claim", session_id, job name, mailbox index)
+            if session is not None:
+                session._note_claim(record[2], record[3])
+            return
         if tag == "report":
             if session is not None:
                 session._reports[record[2]] = record[3]
@@ -571,6 +709,7 @@ class ProcessesSubstrate(Substrate):
                 # session's completion event while sibling jobs are still running.
                 return
             worker.current = None
+            worker.inflight = None
             worker.abort_event.clear()
         if session is None:
             return
@@ -588,6 +727,9 @@ class ProcessesSubstrate(Substrate):
                 if not worker.process.is_alive():
                     dead.append(worker)
             for worker in dead:
+                # Removed BEFORE the replacement is forked, so any late control
+                # records from the dead incarnation miss the worker lookup in
+                # _handle_record and are dropped instead of double-settling.
                 self._workers.remove(worker)
         for worker in dead:
             worker.process.join()
@@ -596,10 +738,63 @@ class ProcessesSubstrate(Substrate):
                 with self._lock:
                     session = self._sessions.get(session_id)
                 if session is not None:
-                    session._job_failed(
-                        name,
-                        f"worker process exited with code {worker.process.exitcode}",
-                    )
+                    self._recover_job(session, worker, name)
+
+    def _recover_job(
+        self, session: "ProcessesSession", worker: _PoolWorker, name: str
+    ) -> None:
+        """Re-execute a dead worker's in-flight job on a freshly forked worker.
+
+        Worker jobs are deterministic functions of their mailbox message
+        sequence, so replaying the same payload against the rebuilt mailbox
+        history (see :meth:`ProcessesSession._reset_claimed_mailboxes`) produces
+        a byte-identical result; the dispatcher's forwarded watermark swallows
+        the replay's duplicate outputs.  Runs on the dispatcher thread, so it
+        never races :meth:`_handle_record`.
+        """
+        exitcode = worker.process.exitcode
+        detail = f"worker process exited with code {exitcode}"
+        inflight = worker.inflight
+        if inflight is None:
+            session._job_failed(name, detail)
+            return
+        attempts = session._bump_replay_attempts(name)
+        if attempts > self.max_respawns:
+            session._job_failed(
+                name, f"{detail} ({attempts - 1} respawn(s) already spent)"
+            )
+            return
+        try:
+            # Fresh queues for the dead job's claimed mailboxes FIRST, so the
+            # replacement forks with the updated registry.
+            session._reset_claimed_mailboxes(name, self)
+            session_id, job_name, payload_blob, shared_keys, receive_timeout = inflight
+            with self._lock:
+                if self._stopped:
+                    raise BackendError("substrate shut down during recovery")
+                replacement = self._fork_worker_locked()
+                self._respawns += 1
+                shared_blobs = {
+                    key: self._shared_blob(key)
+                    for key in shared_keys
+                    if key not in replacement.known_keys
+                }
+                replacement.abort_event.clear()
+                # The replay runs with NO fault plan: plan counters are process-
+                # local, so re-shipping the plan would re-arm one-shot rules and
+                # turn every injected crash into a crash loop.  A real SIGKILL
+                # doesn't recur on the replacement either.
+                replacement.job_queue.put(
+                    (session_id, job_name, payload_blob, shared_blobs,
+                     receive_timeout, None)
+                )
+                replacement.known_keys.update(shared_blobs)
+                replacement.current = (session_id, job_name)
+                replacement.inflight = inflight
+        except BaseException as error:  # noqa: BLE001 — surfaced as a typed job failure
+            session._job_failed(name, f"{detail}; respawn failed: {error!r}")
+            return
+        session._note_replay()
 
 
 class ProcessesSession(Backend):
@@ -620,6 +815,20 @@ class ProcessesSession(Backend):
         self._failed = threading.Event()
         self._errors: List[Tuple[str, str]] = []
         self._lock = threading.Lock()
+        # Routing state for crash recovery.  Every message delivered to a leased
+        # mailbox — parent sends and dispatcher-forwarded child sends alike — is
+        # appended to its log under _route_lock, so a mailbox claimed by a job
+        # that died can be rebuilt byte-identically into a fresh queue.  The
+        # per-job forwarded watermark suppresses the replayed job's duplicate
+        # outputs.  NOTE on lock order: _route_lock may nest the substrate lock
+        # inside it (via _replace_registry_slot); never the other way around.
+        self._route_lock = threading.Lock()
+        self._by_index: Dict[int, RegistryMailbox] = {}
+        self._logs: Dict[int, List[Any]] = {}
+        self._claims: Dict[str, Set[int]] = {}     # job name -> claimed slots
+        self._forwarded: Dict[str, int] = {}       # job name -> last forwarded seq
+        self._replay_attempts: Dict[str, int] = {}
+        self._replays = 0
         self._messages = 0
         self._bytes = 0
         self._jobs_remaining = 0
@@ -633,6 +842,9 @@ class ProcessesSession(Backend):
     def mailbox(self, name: str) -> RegistryMailbox:
         mailbox = self._substrate._lease_mailbox(name)
         self._leased.append(mailbox)
+        with self._route_lock:
+            self._by_index[mailbox.index] = mailbox
+            self._logs[mailbox.index] = []
         return mailbox
 
     def spawn(
@@ -664,11 +876,24 @@ class ProcessesSession(Backend):
         size_bytes: int,
         mailbox: Mailbox,
     ) -> None:
-        assert isinstance(mailbox, QueueMailbox)
-        mailbox.queue.put(message)
+        assert isinstance(mailbox, RegistryMailbox)
+        messages = [message]
+        if _faults.ACTIVE is not None:
+            replacement = apply_send_faults(mailbox.name, message)
+            if replacement is not None:
+                messages = replacement
+        # Parent-side sends keep their single pickle hop (coordinators ship whole
+        # region batches this way), but are logged like every other delivery so a
+        # crashed job's mailbox history can be rebuilt.
+        with self._route_lock:
+            log = self._logs.get(mailbox.index)
+            for item in messages:
+                if log is not None:
+                    log.append(item)
+                mailbox.queue.put(item)
         with self._lock:
-            self._messages += 1
-            self._bytes += size_bytes
+            self._messages += len(messages)
+            self._bytes += size_bytes * len(messages)
 
     def run(self) -> float:
         if self._ran:
@@ -747,9 +972,71 @@ class ProcessesSession(Backend):
 
     def _wake_mailboxes(self, reason: str) -> None:
         """Rouse every receiver (pooled worker or coordinator) blocked on a mailbox
-        this session leased.  Stray tokens are drained with the mailbox at release."""
-        for mailbox in self._leased:
-            mailbox.queue.put(WakeToken(reason))
+        this session leased.  Stray tokens are drained with the mailbox at release.
+        Tokens are deliberately NOT logged: a replayed job must see the protocol's
+        message history, not the teardown chatter around a past crash."""
+        with self._route_lock:
+            for mailbox in self._leased:
+                mailbox.queue.put(WakeToken(reason))
+
+    def _forward(self, job_name: str, seq: int, index: int, message: Any) -> None:
+        """Route one child send (dispatcher thread): log it and deliver it.
+
+        Sends with ``seq`` at or below the job's forwarded watermark are a
+        replayed job re-emitting history the first incarnation already
+        delivered; they are suppressed entirely — not delivered, not logged —
+        which is what makes recovery invisible to every other participant.
+        """
+        with self._route_lock:
+            if seq <= self._forwarded.get(job_name, 0):
+                return
+            self._forwarded[job_name] = seq
+            log = self._logs.get(index)
+            if log is not None:
+                log.append(message)
+            mailbox = self._by_index.get(index)
+            if mailbox is not None:
+                mailbox.queue.put(message)
+
+    def _note_claim(self, job_name: str, index: int) -> None:
+        with self._route_lock:
+            self._claims.setdefault(job_name, set()).add(index)
+
+    def _reset_claimed_mailboxes(self, job_name: str, substrate: ProcessesSubstrate) -> None:
+        """Rebuild every mailbox the dead job had claimed into a fresh queue.
+
+        The old queue is never drained or reused — a SIGKILL can leave a
+        multiprocessing queue with a wedged lock or a half-written frame, so the
+        registry slot is swapped for a brand-new queue (and retired from the free
+        list) and the fresh queue is refilled from the session's full message
+        log.  The respawned worker then replays the job against byte-identical
+        mailbox history.
+        """
+        with self._route_lock:
+            for index in sorted(self._claims.get(job_name, ())):
+                mailbox = self._by_index.get(index)
+                if mailbox is None:
+                    continue
+                fresh = substrate._replace_registry_slot(index)
+                mailbox.queue = fresh
+                for message in self._logs.get(index, ()):
+                    fresh.put(message)
+
+    def _bump_replay_attempts(self, job_name: str) -> int:
+        with self._lock:
+            attempts = self._replay_attempts.get(job_name, 0) + 1
+            self._replay_attempts[job_name] = attempts
+            return attempts
+
+    def _note_replay(self) -> None:
+        with self._lock:
+            self._replays += 1
+
+    @property
+    def replays(self) -> int:
+        """Jobs re-executed after a worker death (feeds ServiceStats retries)."""
+        with self._lock:
+            return self._replays
 
     def _account_unsubmitted(self, count: int) -> None:
         """Settle completion accounting for jobs that never reached a worker."""
@@ -868,10 +1155,16 @@ class ProcessesBackend(Backend):
         mailbox: Mailbox,
     ) -> None:
         assert isinstance(mailbox, QueueMailbox)
-        mailbox.queue.put(message)
+        messages = [message]
+        if _faults.ACTIVE is not None:
+            replacement = apply_send_faults(mailbox.name, message)
+            if replacement is not None:
+                messages = replacement
+        for item in messages:
+            mailbox.queue.put(item)
         with self._lock:
-            self._messages += 1
-            self._bytes += size_bytes
+            self._messages += len(messages)
+            self._bytes += size_bytes * len(messages)
 
     def publish_report(self, region_id: int, report: Any) -> None:
         if self._in_child:
@@ -1027,6 +1320,14 @@ class ProcessesBackend(Backend):
             raise
 
     def _child_receive(self, mailbox: QueueMailbox, who: str) -> Any:
+        if _faults.ACTIVE is not None:
+            apply_receive_faults(who, mailbox.name)
+            hit = _faults.ACTIVE.check("worker.crash", who)
+            if hit is not None:
+                if hit.action == "crash":
+                    time.sleep(0.05)  # let the control queue's feeder flush
+                    os._exit(3)
+                raise FaultError("worker.crash", hit.action, who)
         deadline = time.monotonic() + self.receive_timeout
         while True:
             message = deadline_get(

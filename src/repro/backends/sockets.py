@@ -48,10 +48,12 @@ from repro.backends.base import (
     Mailbox,
     Substrate,
     WorkerJob,
+    apply_send_faults,
     blocking_receive,
     drive,
 )
 from repro.cluster.coordinator import ClusterCoordinator, ClusterMailbox, ClusterStats
+from repro.faults import plan as _faults
 
 
 def _worker_environment() -> Dict[str, str]:
@@ -358,13 +360,19 @@ class SocketsSession(Backend):
         mailbox: Mailbox,
     ) -> None:
         assert isinstance(mailbox, ClusterMailbox)
+        messages = [message]
+        if _faults.ACTIVE is not None:
+            replacement = apply_send_faults(mailbox.name, message)
+            if replacement is not None:
+                messages = replacement
         # Coordinator-side sends go through route() — not straight into the local
         # queue — so they land in the mailbox's replayable log; that log is what a
         # re-executed evaluator on a fresh worker replays after a death.
-        self._substrate.coordinator.route(mailbox.uid, message)
+        for item in messages:
+            self._substrate.coordinator.route(mailbox.uid, item)
         with self._lock:
-            self._messages += 1
-            self._bytes += size_bytes
+            self._messages += len(messages)
+            self._bytes += size_bytes * len(messages)
 
     def run(self) -> float:
         if self._ran:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import warnings
 import weakref
 from typing import Any, Generator, List, Optional, Tuple
 
@@ -37,13 +38,16 @@ from repro.backends.base import (
     Backend,
     BackendError,
     BackendTelemetry,
+    FaultError,
     Mailbox,
     Substrate,
     WakeToken,
     WorkerJob,
+    apply_send_faults,
     blocking_receive,
     drive,
 )
+from repro.faults import plan as _faults
 
 
 class QueueMailbox(Mailbox):
@@ -80,6 +84,7 @@ class ThreadsSubstrate(Substrate):
         self._active: "weakref.WeakSet[ThreadsSession]" = weakref.WeakSet()
         self._started = False
         self._stopped = False
+        self._leaked_workers = 0
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -109,8 +114,24 @@ class ThreadsSubstrate(Substrate):
                 session._fail("threads substrate shut down mid-run")
         for _ in range(count):
             self._jobs.put(None)
+        leaked = []
         for thread in threads:
             thread.join(timeout=5.0)
+            if thread.is_alive():
+                leaked.append(thread.name)
+        if leaked:
+            # A worker that outlives its join window is wedged in user compute (a
+            # blocked receive would have been woken above).  Surface the leak
+            # instead of silently abandoning the thread: the count feeds
+            # ServiceStats.leaked_workers and the warning names the threads.
+            with self._lock:
+                self._leaked_workers += len(leaked)
+            warnings.warn(
+                f"threads substrate shutdown left {len(leaked)} worker thread(s) "
+                f"running past the 5s join window: {', '.join(sorted(leaked))}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         # Any job the exiting workers never picked up must still be settled, or its
         # session's run() would wait on the completion event forever.
         while True:
@@ -143,6 +164,12 @@ class ThreadsSubstrate(Substrate):
         """How many worker threads are alive (grows with the largest batch seen)."""
         with self._lock:
             return len(self._threads)
+
+    @property
+    def leaked_workers(self) -> int:
+        """Worker threads that survived their shutdown join window (should be 0)."""
+        with self._lock:
+            return self._leaked_workers
 
     # ---------------------------------------------------------------- internals
 
@@ -246,6 +273,15 @@ class ThreadsSession(Backend):
         mailbox: Mailbox,
     ) -> None:
         assert isinstance(mailbox, QueueMailbox)
+        if _faults.ACTIVE is not None:
+            replacement = apply_send_faults(mailbox.name, message)
+            if replacement is not None:
+                for copy in replacement:
+                    mailbox.queue.put(copy)
+                with self._lock:
+                    self._messages += len(replacement)
+                    self._bytes += size_bytes * len(replacement)
+                return
         mailbox.queue.put(message)
         with self._lock:
             self._messages += 1
@@ -323,6 +359,13 @@ class ThreadsSession(Backend):
                 self._done.set()
 
     def _receive(self, mailbox: QueueMailbox, who: str) -> Any:
+        if _faults.ACTIVE is not None:
+            # A thread cannot be SIGKILLed, so a "crash" here is a typed error:
+            # the session unwinds its siblings and run() raises — the invariant's
+            # clean-failure arm for the in-process substrates.
+            hit = _faults.ACTIVE.check("worker.crash", who)
+            if hit is not None:
+                raise FaultError("worker.crash", hit.action, who)
         return blocking_receive(
             mailbox.queue, self.receive_timeout, self._failed, who, mailbox.name
         )

@@ -4,9 +4,11 @@ Everything here is module-level and picklable on purpose: these grammars ship
 to real worker processes (fresh interpreters) exactly like production language
 bundles, so closures and lambdas would break at the pickling boundary.
 
-Two knobs, both read inside whatever process evaluates a region (workers
-inherit the spawning environment, so tests set them via ``os.environ`` before
-creating the substrate):
+The primary throttle is the fault plane: a :class:`repro.faults.FaultPlan` with
+``testing.dawdle`` delay/stall rules, installed in the evaluating process (the
+plan rides ``REPRO_FAULTS`` into workers, so tests install it before creating
+the substrate).  Two legacy environment knobs remain as thin shims over the
+same ``_dawdle()`` seam, for callers that predate the fault plane:
 
 * ``REPRO_CLUSTER_TEST_SLEEP`` — seconds each semantic function sleeps.  Slows
   evaluation down deterministically (the values computed never change) so a
@@ -24,6 +26,7 @@ import os
 import time
 from typing import Any
 
+from repro.faults import plan as _faults
 from repro.grammar.attributes import AttributeConverter
 from repro.grammar.builder import GrammarBuilder, Rule
 from repro.grammar.grammar import AttributeGrammar
@@ -37,6 +40,26 @@ MAX_STALL = 30.0
 
 
 def _dawdle() -> None:
+    """Slow this semantic function down, fault-plane first, env shims second.
+
+    Under a fault plan, a ``testing.dawdle`` rule with ``action="delay"``
+    sleeps ``rule.delay`` seconds, and ``action="stall"`` sleeps it repeatedly
+    (bounded by :data:`MAX_STALL`) for as long as the plan keeps firing —
+    deterministic, seed-driven versions of the two env knobs below.
+    """
+    if _faults.ACTIVE is not None:
+        hit = _faults.ACTIVE.check("testing.dawdle")
+        if hit is not None:
+            if hit.action == "stall":
+                deadline = time.monotonic() + MAX_STALL
+                while time.monotonic() < deadline:
+                    time.sleep(max(0.05, hit.delay))
+                    again = _faults.ACTIVE.check("testing.dawdle")
+                    if again is None:
+                        break
+                    hit = again
+            else:
+                hit.sleep()
     delay = float(os.environ.get(SLEEP_ENV, "0") or "0")
     if delay > 0:
         time.sleep(delay)

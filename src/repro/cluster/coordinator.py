@@ -52,6 +52,7 @@ from repro.backends.base import BackendError, Mailbox, SharedBundle, WakeToken, 
 from repro.cluster import wire
 from repro.cluster.hashing import HashRing
 from repro.cluster.membership import WorkerDirectory, WorkerInfo
+from repro.resilience import RetryPolicy
 
 
 class ClusterError(BackendError):
@@ -227,6 +228,13 @@ class ClusterCoordinator:
         self.heartbeat_timeout = heartbeat_timeout
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
+        # The one shared backoff vocabulary (repro.resilience) instead of a
+        # hand-rolled exponential; same schedule as the old _backoff_delay.
+        self._retry_policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=retry_backoff,
+            max_delay=self.MAX_BACKOFF,
+        )
         self.speculate_after = speculate_after
         self.job_timeout = job_timeout
         self._worker_request = worker_request
@@ -536,9 +544,8 @@ class ClusterCoordinator:
         )
 
     def _backoff_delay(self, attempts_started: int) -> float:
-        """Exponential backoff before re-running a lost/timed-out attempt."""
-        return min(self.retry_backoff * (2 ** max(0, attempts_started - 1)),
-                   self.MAX_BACKOFF)
+        """Backoff before re-running a lost/timed-out attempt (RetryPolicy)."""
+        return self._retry_policy.delay(max(1, attempts_started))
 
     # --------------------------------------------------------------- connections
 

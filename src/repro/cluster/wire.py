@@ -58,6 +58,8 @@ import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.faults import plan as _faults
+
 #: First bytes of every handshake: identifies "a repro cluster peer" before any
 #: version logic runs, so a stray HTTP client gets a clear rejection.
 MAGIC = "repro-cluster"
@@ -111,12 +113,59 @@ def _read_exact(stream: Any, count: int, what: str) -> bytes:
     return b"".join(chunks)
 
 
+def _apply_wire_faults(point: str, payload: bytes) -> bytes:
+    """Mutate, truncate, delay or fail one frame under the active fault plan.
+
+    Corruption and truncation are applied to the *payload bytes* (never the
+    length header), so a corrupted frame exercises the unpickle-hardening path
+    and a truncated one the ``_read_exact`` gap detection — exactly the two
+    failure shapes a flaky real network produces.
+    """
+    plan = _faults.ACTIVE
+    if plan is None:
+        return payload
+    hit = plan.check(point)
+    if hit is None:
+        return payload
+    if hit.action in ("delay", "stall"):
+        hit.sleep()
+        return payload
+    if hit.action == "corrupt":
+        if not payload:
+            return payload
+        mutated = bytearray(payload)
+        mutated[len(mutated) // 2] ^= 0xFF
+        return bytes(mutated)
+    if hit.action == "truncate":
+        return payload[: max(0, len(payload) - 1 - len(payload) // 2)]
+    hit.raise_error()
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def write_frame(stream: Any, payload: bytes) -> int:
     """Write one length-prefixed frame; returns the bytes put on the wire."""
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
+    if _faults.ACTIVE is not None:
+        mutated = _apply_wire_faults("wire.send", payload)
+        stream.write(_HEADER.pack(len(payload)))
+        stream.write(mutated)
+        stream.flush()
+        if len(mutated) != len(payload):
+            # A truncated frame went out under the ORIGINAL length header: close
+            # the stream so the peer sees a connection cut mid-frame (a clean
+            # ProtocolError from _read_exact) instead of a desynced byte stream.
+            try:
+                stream.close()
+            except OSError:
+                pass
+            raise ProtocolError(
+                f"connection lost mid-frame: wrote {len(mutated)} of "
+                f"{len(payload)} payload bytes"
+            )
+        return _HEADER.size + len(mutated)
     stream.write(_HEADER.pack(len(payload)))
     stream.write(payload)
     stream.flush()
@@ -132,7 +181,15 @@ def read_frame(stream: Any) -> bytes:
             f"frame header announces {length} bytes, over the "
             f"{MAX_FRAME_BYTES}-byte limit (corrupt stream or foreign protocol?)"
         )
-    return _read_exact(stream, length, "frame payload")
+    payload = _read_exact(stream, length, "frame payload")
+    if _faults.ACTIVE is not None:
+        payload = _apply_wire_faults("wire.recv", payload)
+        if len(payload) != length:
+            raise ProtocolError(
+                f"connection closed mid-frame payload: expected {length} bytes, "
+                f"received {len(payload)}"
+            )
+    return payload
 
 
 def send_message(stream: Any, message: Any) -> int:

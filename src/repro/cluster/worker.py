@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.backends.base import Mailbox, WakeToken, deadline_get, drive
 from repro.cluster import wire
+from repro.faults import plan as faults_plan
 
 
 class _AttemptAborted(Exception):
@@ -351,6 +352,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     host, _, port_text = options.connect.rpartition(":")
     if not host or not port_text.isdigit():
         parser.error(f"--connect expects HOST:PORT, got {options.connect!r}")
+    # Adopt a fault plan shipped via the environment (chaos tests): a corrupt or
+    # absent token is a guaranteed no-op.
+    faults_plan.load_from_env()
     worker = ClusterWorker(
         host, int(port_text), name=options.name,
         connect_timeout=options.connect_timeout,

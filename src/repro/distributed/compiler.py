@@ -295,6 +295,7 @@ class ParallelCompiler:
         substrate: Optional[Substrate] = None,
         decomposition: Optional[DecompositionPlan] = None,
         incremental: Optional[IncrementalSessionPlan] = None,
+        receive_timeout: Optional[float] = None,
     ) -> CompilationReport:
         """Compile an already-parsed tree on ``machines`` (simulated or real) workers.
 
@@ -304,7 +305,12 @@ class ParallelCompiler:
         ``decomposition`` lets a caller that already planned the region split (the
         incremental driver fingerprints regions before compiling) reuse its plan;
         ``incremental`` switches the session into replay-and-record mode (see
-        :class:`~repro.distributed.recording.IncrementalSessionPlan`).
+        :class:`~repro.distributed.recording.IncrementalSessionPlan`);
+        ``receive_timeout`` tightens this one compile's blocking-receive bound
+        below the configured default — this is how a caller-supplied
+        :class:`repro.resilience.Deadline` propagates into the substrate (and,
+        on the sockets substrate, into the cluster's per-job timeout, which is
+        derived from the session's receive bound).
         """
         config = self.configuration
         wall_started = time.perf_counter()
@@ -325,15 +331,18 @@ class ParallelCompiler:
             pool = substrate
         elif backend is None:
             pool = self.substrate
+        bound = config.receive_timeout
+        if receive_timeout is not None:
+            bound = receive_timeout if bound is None else min(bound, receive_timeout)
         if pool is not None:
-            session = pool.session(machines, receive_timeout=config.receive_timeout)
+            session = pool.session(machines, receive_timeout=bound)
         else:
             session = create_backend(
                 backend or self.backend,
                 machines,
                 network=config.network,
                 cost_model=config.cost_model,
-                receive_timeout=config.receive_timeout,
+                receive_timeout=bound,
             )
         # Everything from here on runs under the session's teardown guarantee: if the
         # run (or report collection) raises, close() joins/terminates this

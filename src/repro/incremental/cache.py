@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.distributed.evaluator_node import EvaluatorReport
 from repro.distributed.recording import RegionRecording
+from repro.faults import plan as _faults
 
 
 @dataclass
@@ -30,6 +31,29 @@ class RegionArtifact:
     key: str
     recording: RegionRecording
     report: EvaluatorReport
+
+
+def _poisoned_copy(artifact: RegionArtifact) -> RegionArtifact:
+    """A *copy* of ``artifact`` with every output signature flipped.
+
+    Models an artifact from a different build landing under this fingerprint:
+    the boundary traffic is intact but its signatures no longer agree with any
+    neighbour, so the incremental engine's validation (up-front edge consistency
+    or the per-round hole-signature check) must dirty the region and re-run it.
+    The cached entry itself is never mutated — the poison evaporates with the
+    fault plan.
+    """
+    recording = artifact.recording
+    poisoned = RegionRecording(
+        region_id=recording.region_id,
+        input_sigs=dict(recording.input_sigs),
+        sends=list(recording.sends),
+        output_sigs={
+            key: bytes(byte ^ 0xFF for byte in signature) or b"\x00"
+            for key, signature in recording.output_sigs.items()
+        },
+    )
+    return RegionArtifact(artifact.key, poisoned, artifact.report)
 
 
 class ArtifactCache:
@@ -52,7 +76,16 @@ class ArtifactCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return artifact
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("cache.get", key)
+            if hit is not None:
+                if hit.action == "drop":
+                    return None  # forced miss: the region recompiles from source
+                if hit.action in ("delay", "stall"):
+                    hit.sleep()
+                else:
+                    return _poisoned_copy(artifact)
+        return artifact
 
     def put(self, artifact: RegionArtifact) -> None:
         with self._lock:

@@ -116,6 +116,7 @@ class IncrementalCompiler:
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
         memo: Optional[FingerprintMemo] = None,
+        receive_timeout: Optional[float] = None,
     ) -> Tuple[CompilationReport, IncrementalReport]:
         config = self.engine.configuration
         decomposition = plan_decomposition(
@@ -188,6 +189,7 @@ class IncrementalCompiler:
                 substrate=substrate,
                 decomposition=decomposition,
                 incremental=plan,
+                receive_timeout=receive_timeout,
             )
             if not plan.mismatches:
                 break

@@ -1,0 +1,27 @@
+"""One resilience vocabulary for every layer (see :mod:`repro.resilience.policy`).
+
+* :class:`RetryPolicy` — the exponential-backoff-with-jitter policy shared by
+  the cluster coordinator, the server's admission ``Retry-After`` hints and the
+  example HTTP client.
+* :class:`Deadline` / :class:`DeadlineExceeded` — an absolute budget handed
+  down client → server → :meth:`CompilationService.submit(deadline=...)` →
+  substrate receive bounds → cluster job timeout.
+* :class:`CancelToken` / :class:`CancelledCompilation` — cooperative
+  cancellation checked at compilation phase boundaries.
+"""
+
+from repro.resilience.policy import (
+    CancelledCompilation,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CancelledCompilation",
+    "CancelToken",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+]

@@ -1,0 +1,225 @@
+"""The one resilience policy layer: retry backoff, deadlines, cancellation.
+
+Before this module, every layer had grown its own bespoke copy of the same
+three ideas: the cluster coordinator hand-rolled exponential backoff
+(``_backoff_delay``), the server's admission controller invented its own
+``Retry-After`` estimate, and timeouts were a per-substrate knob that nothing
+propagated end to end.  This module is the single vocabulary they now share:
+
+* :class:`RetryPolicy` — exponential backoff with a cap, deterministic jitter
+  and a max-attempts bound.  Pure: ``delay(attempt)`` is a function, not a
+  stateful iterator, so the coordinator, the admission controller and HTTP
+  clients can all consult one policy object without sharing mutable state.
+* :class:`Deadline` — an *absolute* point on the monotonic clock.  Layers hand
+  the same deadline down (client header → server → service → substrate receive
+  bound → cluster job timeout) and each one derives its local timeout with
+  :meth:`Deadline.bound`; a deadline can only shrink on the way down, never
+  stretch.
+* :class:`CancelToken` — cooperative cancellation.  The service attaches one to
+  every submitted job; phase boundaries call :meth:`CancelToken.check`, so a
+  caller abandoning a future stops the work at the next seam instead of
+  compiling into the void.
+
+:class:`DeadlineExceeded` subclasses :class:`TimeoutError`: it is the one typed
+error every layer maps "out of time" onto, and the chaos invariant
+(`tests/test_faults.py`) accepts exactly it or a typed backend/fault error —
+never a hang.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+
+class DeadlineExceeded(TimeoutError):
+    """An operation ran out of its deadline budget (typed, expected)."""
+
+
+class CancelledCompilation(RuntimeError):
+    """A cooperatively-cancelled compilation (the caller gave up on the future)."""
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline shared down a call stack.
+
+    Create one where the budget is decided (``Deadline.after(2.5)``), pass the
+    *object* down, and let each layer derive its local bound::
+
+        deadline = Deadline.after(2.5)
+        ...
+        fifo.get(timeout=deadline.bound(30.0))   # min(remaining, local cap)
+        deadline.check("evaluate")               # raises DeadlineExceeded
+    """
+
+    __slots__ = ("expires_at", "label")
+
+    def __init__(self, expires_at: float, label: str = ""):
+        self.expires_at = float(expires_at)
+        self.label = label
+
+    @classmethod
+    def after(cls, seconds: float, label: str = "") -> "Deadline":
+        """A deadline ``seconds`` from now (monotonic)."""
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(time.monotonic() + seconds, label)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def bound(self, timeout: Optional[float] = None) -> float:
+        """The tighter of this deadline's remainder and a local ``timeout``.
+
+        This is how a deadline propagates into layers that speak timeouts: the
+        substrate's receive bound, the cluster's job timeout, a socket read.
+        The result only ever shrinks the local timeout.
+        """
+        remaining = self.remaining()
+        if timeout is None:
+            return remaining
+        return min(remaining, timeout)
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            label = f" [{self.label}]" if self.label else ""
+            raise DeadlineExceeded(f"{what} exceeded its deadline{label}")
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s{', ' + self.label if self.label else ''})"
+
+
+class CancelToken:
+    """A cooperative cancellation flag checked at phase boundaries.
+
+    Thread-safe by construction (a bool write is atomic under the GIL and the
+    flag only ever goes False→True); ``check()`` raises
+    :class:`CancelledCompilation` once cancelled.
+    """
+
+    __slots__ = ("_cancelled", "reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        self.reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def check(self, what: str = "compilation") -> None:
+        if self._cancelled:
+            raise CancelledCompilation(f"{what} cancelled: {self.reason}")
+
+
+class RetryPolicy:
+    """Exponential backoff + deterministic jitter + a max-attempts bound.
+
+    ``delay(attempt)`` (1-based) is ``base_delay * multiplier**(attempt-1)``
+    capped at ``max_delay``, scaled by a jitter factor in
+    ``[1-jitter, 1+jitter]`` derived by hashing ``(seed, attempt)`` — the same
+    policy object replays the same delays, which keeps chaos tests and the
+    cluster coordinator reproducible while still de-synchronising clients that
+    use different seeds.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier", "max_delay", "jitter", "seed")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def _jitter_factor(self, attempt: int) -> float:
+        if self.jitter == 0.0:
+            return 1.0
+        token = f"{self.seed}:{attempt}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        unit = int.from_bytes(digest, "big") / 2**64  # deterministic [0, 1)
+        return 1.0 + self.jitter * (2.0 * unit - 1.0)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        return min(raw, self.max_delay) * self._jitter_factor(attempt)
+
+    def attempts(self) -> Iterator[int]:
+        """The attempt numbers this policy allows: 1..max_attempts."""
+        return iter(range(1, self.max_attempts + 1))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        deadline: Optional[Deadline] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy: retry on ``retry_on``, honor ``deadline``.
+
+        The last error is re-raised when attempts (or the deadline budget) run
+        out; a deadline always wins over a sleep — the policy never sleeps past
+        it, and raises :class:`DeadlineExceeded` instead of starting an attempt
+        it has no budget for.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in self.attempts():
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"retry budget exhausted by deadline after {attempt - 1} attempt(s)"
+                ) from last_error
+            try:
+                return fn()
+            except retry_on as error:  # noqa: PERF203 — retry loop by definition
+                last_error = error
+                if attempt >= self.max_attempts:
+                    break
+                pause = self.delay(attempt)
+                if deadline is not None:
+                    pause = deadline.bound(pause)
+                if on_retry is not None:
+                    on_retry(attempt, error, pause)
+                if pause > 0:
+                    sleep(pause)
+        assert last_error is not None
+        raise last_error
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, base_delay={self.base_delay:g}, "
+            f"multiplier={self.multiplier:g}, max_delay={self.max_delay:g}, "
+            f"jitter={self.jitter:g}, seed={self.seed})"
+        )

@@ -25,6 +25,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
+from repro.resilience import RetryPolicy
+
 
 class AdmissionError(Exception):
     """A refused request: ``reason`` is ``"quota"`` or ``"queue"``."""
@@ -87,6 +89,11 @@ class AdmissionController:
     :param queued_threshold: pending depth beyond which an admitted request is
         counted as *queued* (it will wait behind others rather than start
         immediately) — typically the service's ``max_in_flight``.
+    :param retry_policy: the :class:`repro.resilience.RetryPolicy` shaping the
+        queue-full ``Retry-After`` hint.  The drain-time estimate seeds the
+        base delay; consecutive queue-full refusals walk the policy's backoff
+        schedule, so a persistently full server tells clients to back off
+        harder instead of repeating one optimistic guess.
     :param clock: monotonic time source (injectable for tests).
     """
 
@@ -97,6 +104,7 @@ class AdmissionController:
         quota_burst: float = 100.0,
         max_pending: int = 64,
         queued_threshold: int = 8,
+        retry_policy: Optional[RetryPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if max_pending < 1:
@@ -116,6 +124,12 @@ class AdmissionController:
         #: Average seconds one pending slot takes to drain; updated by
         #: :meth:`release` and used for the queue-full ``Retry-After`` estimate.
         self._mean_occupancy = 0.05
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=2.0, max_delay=30.0
+        )
+        #: Consecutive queue-full refusals since the last slot freed up — the
+        #: attempt number fed into the retry policy's backoff schedule.
+        self._queue_full_streak = 0
 
     # --------------------------------------------------------------- the gates
 
@@ -154,6 +168,7 @@ class AdmissionController:
         self.check_quota(tenant, cost)
         if self.pending >= self.max_pending:
             self.rejected_queue += 1
+            self._queue_full_streak += 1
             raise AdmissionError(
                 f"server pending queue is full ({self.pending}/{self.max_pending})",
                 reason="queue",
@@ -170,6 +185,7 @@ class AdmissionController:
     def release(self, occupancy_seconds: Optional[float] = None) -> None:
         """Return one pending slot (called when the admitted request finishes)."""
         self.pending = max(0, self.pending - 1)
+        self._queue_full_streak = 0  # a slot freed: clients may come straight back
         if occupancy_seconds is not None and occupancy_seconds >= 0:
             # Exponential moving average keeps the Retry-After estimate cheap.
             self._mean_occupancy += 0.1 * (occupancy_seconds - self._mean_occupancy)
@@ -178,9 +194,17 @@ class AdmissionController:
 
     def _queue_retry_after(self) -> float:
         # A full queue drains one slot roughly every mean-occupancy /
-        # queued_threshold seconds (queued_threshold slots drain concurrently).
+        # queued_threshold seconds (queued_threshold slots drain concurrently);
+        # that estimate anchors the hint, and the shared RetryPolicy's backoff
+        # schedule scales it up for every consecutive queue-full refusal.
         concurrency = max(1, self.queued_threshold)
-        return max(0.05, self._mean_occupancy * self.max_pending / concurrency / 4)
+        drain_estimate = max(
+            0.05, self._mean_occupancy * self.max_pending / concurrency / 4
+        )
+        policy = self.retry_policy
+        attempt = min(max(1, self._queue_full_streak), policy.max_attempts)
+        backoff = policy.delay(attempt) / policy.delay(1) if policy.delay(1) else 1.0
+        return drain_estimate * backoff
 
     def _prune(self, now: float, cap: int = 4096) -> None:
         """Drop full (i.e. idle-refilled) buckets once the tenant map gets big.

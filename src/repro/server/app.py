@@ -45,9 +45,11 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.api.language import UnknownLanguageError, get_language
 from repro.backends import create_substrate
+from repro.faults import plan as _faults
 from repro.incremental.cache import ArtifactCache
 from repro.parsing.lexer import LexerError
 from repro.parsing.parser import ParseError
+from repro.resilience import Deadline, DeadlineExceeded
 from repro.server.admission import AdmissionController, AdmissionError
 from repro.server.coalescing import Coalescer, content_key
 from repro.server.routing import RouteError, Router
@@ -75,8 +77,14 @@ _STATUS_TEXT = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: Request header carrying the client's compile budget in milliseconds.  The
+#: server turns it into a :class:`repro.resilience.Deadline` and hands the
+#: *object* down (service → substrate receive bound → cluster job timeout); an
+#: exhausted budget surfaces as ``504 Gateway Timeout``.
+DEADLINE_HEADER = "x-repro-deadline-ms"
 
 
 @dataclass
@@ -273,7 +281,9 @@ class CompileServer:
                 )
                 self._active_requests += 1
                 try:
-                    status, payload, extra = await self._dispatch(method, path, body)
+                    status, payload, extra = await self._dispatch(
+                        method, path, headers, body
+                    )
                 finally:
                     self._active_requests -= 1
                 self._write_response(writer, status, payload, extra, close=close)
@@ -361,11 +371,46 @@ class CompileServer:
 
     # ------------------------------------------------------------------ dispatch
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> _Response:
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> _Response:
         self.requests_served += 1
         if self._draining and method.upper() != "GET":
-            # Reads stay up for observability during the drain window; work does not.
+            # Reads stay up for observability during the drain window; work does
+            # not — a queued deadline-bearing request gets this clean 503 rather
+            # than burning its budget waiting for a server that will not serve it.
             return 503, error_payload("server is draining"), {}
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("server.request", f"{method} {path}")
+            if hit is not None:
+                if hit.action in ("delay", "stall"):
+                    # Asyncio edge: stall the *request*, never the event loop.
+                    await asyncio.sleep(hit.delay)
+                else:
+                    return (
+                        500,
+                        error_payload(
+                            f"injected fault at 'server.request': {hit.action}"
+                        ),
+                        {},
+                    )
+        deadline: Optional[Deadline] = None
+        raw_budget = headers.get(DEADLINE_HEADER)
+        if raw_budget:
+            try:
+                budget_ms = float(raw_budget)
+                if budget_ms < 0:
+                    raise ValueError
+            except ValueError:
+                return (
+                    400,
+                    error_payload(
+                        f"{DEADLINE_HEADER} must be a non-negative number of "
+                        f"milliseconds, got {raw_budget!r}"
+                    ),
+                    {},
+                )
+            deadline = Deadline.after(budget_ms / 1000.0, label="http")
         try:
             handler, params = self.router.resolve(method, path)
         except RouteError as exc:
@@ -378,7 +423,7 @@ class CompileServer:
             except ValueError:
                 return 400, error_payload("request body is not valid JSON"), {}
         try:
-            return await handler(params, payload)
+            return await handler(params, payload, deadline)
         except SchemaError as exc:
             return 400, error_payload(str(exc)), {}
         except UnknownLanguageError as exc:
@@ -411,6 +456,8 @@ class CompileServer:
                 error_payload(str(exc), reason="documents", retry_after=retry),
                 {"Retry-After": str(ceil(retry))},
             )
+        except DeadlineExceeded as exc:
+            return 504, error_payload(str(exc), reason="deadline"), {}
         except ServiceError as exc:
             return 503, error_payload(str(exc)), {}
         except Exception as exc:  # noqa: BLE001 — the edge must not crash the loop
@@ -418,12 +465,20 @@ class CompileServer:
 
     # ------------------------------------------------------------------ handlers
 
-    async def _handle_compile(self, params: Dict[str, str], payload: Any) -> _Response:
+    async def _handle_compile(
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> _Response:
         request = CompileRequest.from_payload(payload)
         key = content_key(*request.coalescing_key())
 
         async def compute() -> _Response:
-            return await self._run_one_shot(request)
+            # The leader's deadline governs the shared compute; sharers join the
+            # same answer (their budgets are not tightened onto someone else's
+            # compile — a 504 is never cached, so a fresh leader retries).
+            return await self._run_one_shot(request, deadline)
 
         if self.coalescer.peek(key):
             response, how = await self.coalescer.get_or_compute(key, compute)
@@ -447,7 +502,9 @@ class CompileServer:
         headers["X-Repro-Coalesced"] = how
         return status, body, headers
 
-    async def _run_one_shot(self, request: CompileRequest) -> _Response:
+    async def _run_one_shot(
+        self, request: CompileRequest, deadline: Optional[Deadline] = None
+    ) -> _Response:
         language = get_language(request.language)
         job = CompilationJob(
             language=language.name,
@@ -457,11 +514,29 @@ class CompileServer:
             label=f"http:{request.tenant}",
         )
         try:
-            future = self.service.submit(job)
+            future = self.service.submit(job, deadline=deadline)
         except ServiceError:
             return 503, error_payload("server is draining"), {}
         try:
-            report = await asyncio.wrap_future(future)
+            if deadline is not None:
+                try:
+                    report = await asyncio.wait_for(
+                        asyncio.wrap_future(future), timeout=deadline.remaining()
+                    )
+                except DeadlineExceeded:
+                    raise
+                except asyncio.TimeoutError:
+                    # The loop-side timer fired before the service noticed: tell
+                    # the dispatch threads to stop at the next phase boundary
+                    # instead of compiling into the void, then answer 504.
+                    token = getattr(future, "cancel_token", None)
+                    if token is not None:
+                        token.cancel("http deadline expired")
+                    raise DeadlineExceeded(
+                        "compilation exceeded its deadline [http]"
+                    ) from None
+            else:
+                report = await asyncio.wrap_future(future)
         except (LexerError, ParseError) as exc:
             # Deterministic front-end failures are part of the shared answer:
             # every coalesced waiter sees the same 400.
@@ -480,7 +555,12 @@ class CompileServer:
         }
         return 200, payload, {}
 
-    async def _handle_open(self, params: Dict[str, str], payload: Any) -> _Response:
+    async def _handle_open(
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> _Response:
         request = OpenRequest.from_payload(payload)
         language = get_language(request.language)  # 400 before taking a slot
         self.admission.check_quota(request.tenant)
@@ -508,7 +588,12 @@ class CompileServer:
             {},
         )
 
-    async def _handle_edit(self, params: Dict[str, str], payload: Any) -> _Response:
+    async def _handle_edit(
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> _Response:
         session = self.documents.get(params["sid"])
         request = EditRequest.from_payload(payload)
         async with session.lock:
@@ -530,9 +615,14 @@ class CompileServer:
         )
 
     async def _handle_recompile(
-        self, params: Dict[str, str], payload: Any
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
     ) -> _Response:
         session = self.documents.get(params["sid"])
+        if deadline is not None:
+            deadline.check("recompile")  # do not admit work with no budget left
         straight = self.admission.admit(session.tenant)
         if not straight:
             self.service.note_queued()
@@ -545,6 +635,10 @@ class CompileServer:
                 )
         finally:
             self.admission.release(time.monotonic() - started)
+        if deadline is not None:
+            # Strict semantics, matching the service: a deadline-bearing request
+            # never reports success after its budget.
+            deadline.check("recompile")
         session.recompiles += 1
         session.touch(time.monotonic())
         return (
@@ -556,7 +650,10 @@ class CompileServer:
         )
 
     async def _handle_close_document(
-        self, params: Dict[str, str], payload: Any
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
     ) -> _Response:
         session = self.documents.close(params["sid"])
         return (
@@ -565,7 +662,12 @@ class CompileServer:
             {},
         )
 
-    async def _handle_stats(self, params: Dict[str, str], payload: Any) -> _Response:
+    async def _handle_stats(
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> _Response:
         stats = self.service.stats()
         # The front-door counters live on the service snapshot (the satellite
         # contract): /stats serves to_dict(), not re-parsed summary() text.
@@ -587,7 +689,12 @@ class CompileServer:
             {},
         )
 
-    async def _handle_health(self, params: Dict[str, str], payload: Any) -> _Response:
+    async def _handle_health(
+        self,
+        params: Dict[str, str],
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> _Response:
         if self._draining:
             return 503, {"status": "draining"}, {}
         return 200, {"status": "ok", "backend": self.config.backend}, {}

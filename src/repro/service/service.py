@@ -35,6 +35,8 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, 
 
 from repro.backends import Substrate, create_substrate
 from repro.distributed.compiler import CompilationReport, ParallelCompiler
+from repro.faults import plan as _faults
+from repro.resilience import CancelToken, Deadline, DeadlineExceeded
 from repro.tree.node import ParseTreeNode
 
 #: How many completed-job latencies the service keeps for percentile estimates.
@@ -151,6 +153,17 @@ class ServiceStats:
     jobs_coalesced: int = 0
     jobs_queued: int = 0
     jobs_rejected: int = 0
+    #: Resilience accounting.  ``retries`` counts job re-executions after a
+    #: worker loss (cluster reassignments + pooled-process replays);
+    #: ``worker_respawns`` counts workers forked to replace dead ones;
+    #: ``faults_injected`` is this process's fault-plane injection total (child
+    #: processes count their own injections locally — they are not aggregated
+    #: here); ``deadline_misses`` counts jobs that ended with
+    #: :class:`repro.resilience.DeadlineExceeded`.
+    retries: int = 0
+    worker_respawns: int = 0
+    faults_injected: int = 0
+    deadline_misses: int = 0
 
     @property
     def region_cache_hit_rate(self) -> float:
@@ -194,6 +207,16 @@ class ServiceStats:
             lines += (
                 f", front door {self.jobs_coalesced} coalesced / "
                 f"{self.jobs_queued} queued / {self.jobs_rejected} rejected"
+            )
+        if (
+            self.retries or self.worker_respawns
+            or self.faults_injected or self.deadline_misses
+        ):
+            lines += (
+                f", resilience {self.retries} retr{'y' if self.retries == 1 else 'ies'} / "
+                f"{self.worker_respawns} respawn(s) / "
+                f"{self.faults_injected} fault(s) injected / "
+                f"{self.deadline_misses} deadline miss(es)"
             )
         return lines
 
@@ -258,6 +281,7 @@ class CompilationService:
         self._coalesced = 0
         self._queued = 0
         self._rejected = 0
+        self._deadline_misses = 0
         if artifact_cache is True:
             from repro.incremental.cache import ArtifactCache
 
@@ -318,21 +342,40 @@ class CompilationService:
 
     # ------------------------------------------------------------------- intake
 
-    def submit(self, job: CompilationJob) -> "Future[CompilationReport]":
+    def submit(
+        self,
+        job: CompilationJob,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> "Future[CompilationReport]":
         """Queue one job; returns a future resolving to its CompilationReport.
 
         At most ``max_in_flight`` jobs run concurrently; the rest wait in the
         executor's queue.  A failing job fails only its own future.
 
+        ``deadline`` bounds the whole job: it is checked before each phase
+        (resolve/parse, compile) and its remaining budget tightens the
+        substrate's blocking-receive bound (and so the cluster's per-job
+        timeout) — the future then fails with
+        :class:`repro.resilience.DeadlineExceeded` instead of hanging past the
+        budget.  Every returned future carries a ``cancel_token``
+        (:class:`repro.resilience.CancelToken`): cancelling it stops the
+        compilation cooperatively at the next phase boundary, failing the
+        future with ``CancelledCompilation`` — unlike ``Future.cancel()``,
+        which only works before the job starts.
+
         Raises :class:`ServiceError` (a ``RuntimeError``) with the message
         ``"service is closed"`` once :meth:`close`/:meth:`shutdown` has run.
         """
         self.start()
+        cancel_token = CancelToken()
         with self._lock:
             if self._closed or self._executor is None:
                 raise ServiceError("service is closed")
             self._submitted += 1
-            return self._executor.submit(self._execute, job)
+            future = self._executor.submit(self._execute, job, deadline, cancel_token)
+        future.cancel_token = cancel_token
+        return future
 
     def compile_many(self, jobs: Iterable[CompilationJob]) -> List[CompilationReport]:
         """Submit a batch and wait for all of it; reports come back in job order.
@@ -382,6 +425,7 @@ class CompilationService:
             coalesced = self._coalesced
             queued = self._queued
             rejected = self._rejected
+            deadline_misses = self._deadline_misses
         # Clustered substrates (sockets) expose fleet/fault-tolerance counters;
         # everything else reports zeros (duck-typed so the service layer never
         # imports the cluster package).
@@ -392,6 +436,12 @@ class CompilationService:
             cluster_workers = snapshot.workers_alive
             cluster_reassignments = snapshot.reassignments
             cluster_speculations = snapshot.speculative_attempts
+        # Pooled substrates expose a respawn counter the same duck-typed way; a
+        # pooled-process respawn re-executes exactly one job, so it counts as a
+        # retry alongside the cluster's reassignments.
+        respawns = getattr(self._substrate, "respawns", 0)
+        if not isinstance(respawns, int):  # pragma: no cover — defensive
+            respawns = 0
         return ServiceStats(
             jobs_submitted=submitted,
             jobs_completed=completed,
@@ -416,16 +466,39 @@ class CompilationService:
             jobs_coalesced=coalesced,
             jobs_queued=queued,
             jobs_rejected=rejected,
+            retries=cluster_reassignments + respawns,
+            worker_respawns=respawns,
+            faults_injected=_faults.injected_count(),
+            deadline_misses=deadline_misses,
         )
 
     # ---------------------------------------------------------------- internals
 
-    def _execute(self, job: CompilationJob) -> CompilationReport:
+    def _execute(
+        self,
+        job: CompilationJob,
+        deadline: Optional[Deadline] = None,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> CompilationReport:
         started = time.perf_counter()
         did_parse = job.tree is None  # pre-built trees involve no parse phase
         try:
+            # Deadline before cancel token at every boundary: callers cancel
+            # *because* their budget ran out, and the spent budget is the more
+            # specific diagnosis (it is also what deadline_misses counts).
+            if deadline is not None:
+                deadline.check(f"job {job.label!r}")
+            if cancel_token is not None:
+                cancel_token.check(f"job {job.label!r}")
             engine, tree = job.resolve()
             parsed = time.perf_counter()
+            if deadline is not None:
+                # The parse phase may have consumed budget; re-check before the
+                # expensive compile, and hand the substrate only what remains.
+                deadline.check(f"job {job.label!r}")
+            if cancel_token is not None:
+                cancel_token.check(f"job {job.label!r}")
+            receive_bound = deadline.bound() if deadline is not None else None
             if self._artifact_cache is not None:
                 # Content-addressed region reuse across jobs: resubmitting the same
                 # (or a slightly edited) source replays every unchanged region.
@@ -438,6 +511,7 @@ class CompilationService:
                     job.machines,
                     root_inherited=job.root_inherited,
                     substrate=self._substrate,
+                    receive_timeout=receive_bound,
                 )
             else:
                 report = engine.compile_tree(
@@ -445,10 +519,17 @@ class CompilationService:
                     job.machines,
                     root_inherited=job.root_inherited,
                     substrate=self._substrate,
+                    receive_timeout=receive_bound,
                 )
-        except BaseException:
+            if deadline is not None:
+                # Strict semantics: a deadline-bearing job never reports success
+                # after its budget — the caller has already given up on it.
+                deadline.check(f"job {job.label!r}")
+        except BaseException as error:
             with self._lock:
                 self._failed += 1
+                if isinstance(error, DeadlineExceeded):
+                    self._deadline_misses += 1
             raise
         finished = time.perf_counter()
         if did_parse:

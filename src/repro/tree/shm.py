@@ -38,6 +38,7 @@ import pickle
 from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.faults import plan as _faults
 from repro.grammar.grammar import AttributeGrammar
 from repro.tree.linearize import PackedTree, unpack
 from repro.tree.node import ParseTreeNode
@@ -125,6 +126,20 @@ class ShippedSegment:
             return
         self._memory = None
         _live_segments.pop(self.name, None)
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("shm.unlink", self.name)
+            if hit is not None:
+                if hit.action in ("delay", "stall"):
+                    hit.sleep()
+                else:
+                    # Deterministically exercise the tolerated unlink race: the
+                    # segment vanishes out from under release() (as after a
+                    # crashed-session sweep) and the unlink below must swallow
+                    # the FileNotFoundError.  Never leaks — the unlink happened.
+                    try:
+                        memory.unlink()
+                    except FileNotFoundError:
+                        pass
         try:
             memory.close()
             memory.unlink()
@@ -170,6 +185,17 @@ def share_packed(packed: PackedTree) -> Tuple[SharedPackedTree, ShippedSegment]:
     """
     if SharedMemory is None:
         raise OSError("shared memory is not available on this platform")
+    if _faults.ACTIVE is not None:
+        hit = _faults.ACTIVE.check("shm.share")
+        if hit is not None:
+            if hit.action in ("delay", "stall"):
+                hit.sleep()
+            else:
+                # An OSError here is the documented "platform refused" contract:
+                # the shipping parser falls back to packed-bytes transport.
+                raise OSError(
+                    f"injected shm.share fault ({hit.action}): segment refused"
+                )
     codes_blob = packed.codes.tobytes()
     holes_blob = packed.hole_meta.tobytes()
     values_blob = pickle.dumps(packed.values, protocol=pickle.HIGHEST_PROTOCOL)
@@ -206,6 +232,15 @@ def share_packed(packed: PackedTree) -> Tuple[SharedPackedTree, ShippedSegment]:
 
 def _attach(name: str) -> Any:
     """Map an existing segment without registering it with the resource tracker."""
+    if _faults.ACTIVE is not None:
+        hit = _faults.ACTIVE.check("shm.attach", name)
+        if hit is not None:
+            if hit.action in ("delay", "stall"):
+                hit.sleep()
+            else:
+                from repro.faults.plan import FaultError
+
+                raise FaultError("shm.attach", hit.action, name)
     try:
         return SharedMemory(name=name, track=False)  # Python 3.13+
     except TypeError:

@@ -370,18 +370,18 @@ class _Client:
             handle.host, handle.port, timeout=timeout
         )
 
-    def request(self, method, path, payload=None):
+    def request(self, method, path, payload=None, headers=None):
         body = json.dumps(payload) if payload is not None else None
-        self.conn.request(
-            method, path, body=body,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
+        send_headers = dict(headers or {})
+        if body:
+            send_headers.setdefault("Content-Type", "application/json")
+        self.conn.request(method, path, body=body, headers=send_headers)
         response = self.conn.getresponse()
         raw = response.read()
         return response.status, raw, dict(response.getheaders())
 
-    def json(self, method, path, payload=None):
-        status, raw, headers = self.request(method, path, payload)
+    def json(self, method, path, payload=None, headers=None):
+        status, raw, headers = self.request(method, path, payload, headers)
         return status, json.loads(raw), headers
 
     def close(self):
@@ -734,6 +734,138 @@ class TestDrain:
         service.close()
         with pytest.raises(RuntimeError, match="service is closed"):
             service.submit(CompilationJob(language="exprlang", source="1 + 1"))
+
+    def test_drain_under_load_finishes_inflight_refuses_queued_deadline(
+        self, server_factory, slow_pascal
+    ):
+        # The satellite contract: SIGTERM with a slow compile in flight AND a
+        # deadline-bearing request arriving behind it — the in-flight compile
+        # finishes 200, the late request gets a *clean* 503 (not a hang, not a
+        # 500, not a burned deadline), and shutdown completes.
+        handle = server_factory(drain_grace=15.0)
+        results = {}
+
+        def slow_submit():
+            client = _Client(handle)
+            results["slow"] = client.json(
+                "POST", "/compile",
+                {"language": slow_pascal.name, "source": PASCAL_OK},
+            )
+            client.close()
+
+        observer = _Client(handle)
+        observer.json("GET", "/healthz")
+        worker = threading.Thread(target=slow_submit)
+        worker.start()
+        time.sleep(0.1)  # the slow parse is now in flight
+        handle.request_drain()
+        time.sleep(0.05)
+        started = time.monotonic()
+        status, body, _ = observer.json(
+            "POST", "/compile",
+            {"language": "exprlang", "source": "2 + 2"},
+            headers={"X-Repro-Deadline-Ms": "5000"},
+        )
+        elapsed = time.monotonic() - started
+        assert status == 503 and "draining" in body["error"]
+        assert elapsed < 5.0  # refused immediately, not queued into the budget
+        worker.join(timeout=20.0)
+        assert not worker.is_alive()
+        status, body, _ = results["slow"]
+        assert status == 200 and body["ok"]
+        handle.stop()  # raises if the server fails to drain — the clean exit
+
+
+class TestDeadlines:
+    def test_zero_budget_compile_is_a_clean_504(self, server_factory):
+        handle = server_factory()
+        client = _Client(handle)
+        source = "let q = 2 in q + 1 ni"
+        status, body, _ = client.json(
+            "POST", "/compile",
+            {"language": "exprlang", "source": source},
+            headers={"X-Repro-Deadline-Ms": "0"},
+        )
+        assert status == 504
+        assert "deadline" in body["error"].lower()
+        # A 504 is never cached by the coalescer: a retry with budget succeeds.
+        status, body, _ = client.json(
+            "POST", "/compile",
+            {"language": "exprlang", "source": source},
+            headers={"X-Repro-Deadline-Ms": "30000"},
+        )
+        assert status == 200 and body["value"] == 3
+        client.close()
+
+    def test_generous_budget_does_not_change_the_answer(self, server_factory):
+        handle = server_factory()
+        client = _Client(handle)
+        plain_status, plain, _ = client.json(
+            "POST", "/compile", {"language": "exprlang", "source": EXPR_SOURCE}
+        )
+        status, body, _ = client.json(
+            "POST", "/compile",
+            {"language": "exprlang", "source": EXPR_SOURCE + " "},
+            headers={"X-Repro-Deadline-Ms": "60000"},
+        )
+        assert plain_status == status == 200
+        assert body["value"] == plain["value"] == 7
+        client.close()
+
+    def test_malformed_deadline_header_is_400(self, server_factory):
+        handle = server_factory()
+        client = _Client(handle)
+        for bad in ("soon", "-5"):
+            status, body, _ = client.json(
+                "POST", "/compile",
+                {"language": "exprlang", "source": "1 + 1"},
+                headers={"X-Repro-Deadline-Ms": bad},
+            )
+            assert status == 400, (bad, body)
+            assert "x-repro-deadline-ms" in body["error"]
+        client.close()
+
+    def test_expired_deadline_shows_up_in_stats(self, server_factory, slow_pascal):
+        # A budget shorter than the slow front end: 504 on the wire, and the
+        # service's deadline_misses counter ticks once _execute notices.
+        handle = server_factory()
+        client = _Client(handle)
+        status, body, _ = client.json(
+            "POST", "/compile",
+            {"language": slow_pascal.name, "source": PASCAL_OK},
+            headers={"X-Repro-Deadline-Ms": "100"},
+        )
+        assert status == 504, body
+        patience = time.monotonic() + 5.0
+        misses = 0
+        while time.monotonic() < patience:
+            _, stats, _ = client.json("GET", "/stats")
+            misses = stats["service"]["deadline_misses"]
+            if misses:
+                break
+            time.sleep(0.05)
+        assert misses >= 1
+        for field in ("retries", "worker_respawns", "faults_injected"):
+            assert field in stats["service"]
+        client.close()
+
+
+class TestServerFaultPoint:
+    def test_injected_request_fault_is_a_500_and_evaporates(self, server_factory):
+        from repro.faults import FaultPlan, FaultRule, active
+
+        handle = server_factory()
+        client = _Client(handle)
+        plan = FaultPlan(seed=2, rules=[
+            FaultRule("server.request", action="error", times=1)
+        ])
+        with active(plan, env=False):
+            status, body, _ = client.json("GET", "/healthz")
+            assert status == 500 and "injected fault" in body["error"]
+            assert plan.injected == 1
+        status, body, _ = client.json("GET", "/healthz")  # plan gone: healthy
+        assert status == 200 and body["status"] == "ok"
+        client.close()
 
 
 class TestStatsEndpoint:
