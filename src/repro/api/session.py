@@ -41,6 +41,10 @@ class Session:
     :param workers: initial pool size for an owned substrate (pools grow on demand).
     :param receive_timeout: blocking-receive bound (seconds) for an owned substrate.
     :param machines: default machine count for compilers handed out by this session.
+    :param store: optional persistent artifact store for the session's shared
+        region-artifact cache — a path or a :class:`repro.store.ArtifactStore`.
+        Documents opened on the session then warm-start from artifacts recorded
+        by earlier processes (and persist their own for later ones).
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class Session:
         workers: int = 0,
         receive_timeout: Optional[float] = None,
         machines: int = 2,
+        store: Optional[Any] = None,
     ):
         if substrate is not None:
             self._substrate: Optional[Substrate] = substrate
@@ -63,6 +68,7 @@ class Session:
         self._workers = workers
         self._receive_timeout = receive_timeout
         self.machines = machines
+        self._store = store
         self._lock = threading.Lock()
         self._closed = False
         self._artifact_cache: Optional[Any] = None
@@ -150,6 +156,7 @@ class Session:
         evaluator: Optional[str] = None,
         configuration: Optional[CompilerConfiguration] = None,
         root_inherited: Optional[Dict[str, Any]] = None,
+        store: Optional[Any] = None,
     ) -> "Any":
         """Open an editable :class:`~repro.incremental.Document` on this session's pool.
 
@@ -162,9 +169,24 @@ class Session:
                 doc.recompile()                     # cold build, artifacts recorded
                 doc.edit(120, 125, "x + 1")
                 print(doc.recompile().incremental.summary())
+
+        ``store`` (a path or :class:`repro.store.ArtifactStore`) overrides the
+        session's store for this document: its cache reads through to (and
+        persists into) that store, so a brand-new process recompiles an edited
+        document at warm speed — the on-disk artifacts stand in for everything
+        the process restart forgot.  Without it the document shares the
+        session-wide cache (store-backed iff the session was given a ``store``).
         """
         from repro.incremental.document import Document
 
+        if store is not None:
+            # A dedicated store-backed cache: sharing with other documents then
+            # happens through the store tier, which is the point of mounting one.
+            from repro.incremental.cache import ArtifactCache
+
+            cache = ArtifactCache(store=store)
+        else:
+            cache = self.artifact_cache
         return Document(
             language,
             source,
@@ -172,18 +194,22 @@ class Session:
             evaluator=evaluator,
             configuration=configuration,
             substrate=self.substrate,
-            cache=self.artifact_cache,
+            cache=cache,
             root_inherited=root_inherited,
         )
 
     @property
     def artifact_cache(self) -> "Any":
-        """The session-wide region-artifact cache shared by its documents."""
+        """The session-wide region-artifact cache shared by its documents.
+
+        Mounted on the session's persistent store when one was configured
+        (``Session(store=...)``), in-memory-only otherwise.
+        """
         with self._lock:
             if self._artifact_cache is None:
                 from repro.incremental.cache import ArtifactCache
 
-                self._artifact_cache = ArtifactCache()
+                self._artifact_cache = ArtifactCache(store=self._store)
             return self._artifact_cache
 
     def service(self, *, max_in_flight: int = 4) -> "Any":

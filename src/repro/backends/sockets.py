@@ -92,6 +92,7 @@ class SocketsSubstrate(Substrate):
         speculate_after: Optional[float] = None,
         job_timeout: Optional[float] = None,
         worker_startup_timeout: float = 30.0,
+        worker_store: Optional[str] = None,
     ):
         super().__init__()
         self.receive_timeout = (
@@ -102,6 +103,9 @@ class SocketsSubstrate(Substrate):
         self._target_workers = max(2, workers) if manage_workers else workers
         self._manage_workers = manage_workers
         self.worker_startup_timeout = worker_startup_timeout
+        #: Path handed to managed workers as ``--store``: respawned workers then
+        #: resolve language bundles from disk instead of re-downloading them.
+        self.worker_store = worker_store
         self._coordinator = ClusterCoordinator(
             host,
             port,
@@ -252,16 +256,19 @@ class SocketsSubstrate(Substrate):
             ]
             needed = count - len(self._local_workers)
             environment = _worker_environment() if needed > 0 else None
+            command = [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--connect",
+                f"{host}:{port}",
+            ]
+            if self.worker_store is not None:
+                command.extend(["--store", str(self.worker_store)])
             for _ in range(needed):
                 self._local_workers.append(
                     subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.cluster.worker",
-                            "--connect",
-                            f"{host}:{port}",
-                        ],
+                        command,
                         env=environment,
                         stdout=subprocess.DEVNULL,
                         stderr=subprocess.DEVNULL,

@@ -107,6 +107,12 @@ class ClusterStats:
     sends_suppressed: int = 0
     #: Grammar/plan bundles actually shipped (cache misses across the fleet).
     bundles_shipped: int = 0
+    #: Bundle ships avoided because the worker resolved a store reference
+    #: (it advertised the blob's content digest at handshake).
+    bundles_from_store: int = 0
+    #: Store references the worker could not resolve after all (the bytes were
+    #: re-shipped; costs one round trip, never correctness).
+    bundle_misses: int = 0
     frames_sent: int = 0
     frames_received: int = 0
 
@@ -117,7 +123,8 @@ class ClusterStats:
             f"{self.reassignments} reassignment(s), "
             f"{self.speculative_attempts} speculative attempt(s), "
             f"{self.sends_suppressed} duplicate send(s) suppressed, "
-            f"{self.bundles_shipped} bundle(s) shipped"
+            f"{self.bundles_shipped} bundle(s) shipped "
+            f"({self.bundles_from_store} from worker stores)"
         )
 
 
@@ -131,6 +138,11 @@ class _WorkerConn:
         self.wfile = sock.makefile("wb")
         self.outbound: "queue_module.SimpleQueue[Optional[Any]]" = queue_module.SimpleQueue()
         self.known_keys: Set[int] = set()
+        #: Bundle content digests this worker advertised at handshake (it holds
+        #: them in its persistent store): ship StoreRefs, not bytes.
+        self.store_digests: Set[str] = set()
+        #: Shared keys already offered to this worker as StoreRefs (stats dedup).
+        self.ref_keys: Set[int] = set()
         self.attempt_ids: Set[int] = set()
         self.lost = False
         self.writer: Optional[threading.Thread] = None
@@ -261,6 +273,7 @@ class ClusterCoordinator:
         self._shared_ids: Dict[Tuple, int] = {}
         self._shared_objects: Dict[int, Any] = {}
         self._shared_blobs: Dict[int, bytes] = {}
+        self._shared_digests: Dict[int, str] = {}
         self._next_shared_key = 0
         self.stats = ClusterStats()
         self._started = False
@@ -495,6 +508,15 @@ class ClusterCoordinator:
             self._shared_blobs[key] = blob
         return blob
 
+    def _shared_digest_locked(self, key: int) -> str:
+        digest = self._shared_digests.get(key)
+        if digest is None:
+            from repro.store import content_digest
+
+            digest = content_digest(self._shared_blob_locked(key))
+            self._shared_digests[key] = digest
+        return digest
+
     # ----------------------------------------------------------------- placement
 
     def _start_attempt(self, job: _ClusterJob) -> None:
@@ -532,12 +554,28 @@ class ClusterCoordinator:
         job.last_started = attempt.started_at
         self._attempts[attempt.attempt_id] = attempt
         conn.attempt_ids.add(attempt.attempt_id)
-        shared_blobs: Dict[int, bytes] = {}
+        shared_blobs: Dict[int, Any] = {}
         for key in job.shared_keys.values():
-            if key not in conn.known_keys:
-                shared_blobs[key] = self._shared_blob_locked(key)
-        conn.known_keys.update(shared_blobs)
-        self.stats.bundles_shipped += len(shared_blobs)
+            if key in conn.known_keys:
+                continue
+            blob = self._shared_blob_locked(key)
+            digest = self._shared_digest_locked(key)
+            if digest in conn.store_digests:
+                # The worker holds these exact bytes in its persistent store:
+                # ship a reference instead of the (often large) blob.  The key
+                # is deliberately NOT marked known: resolution can still fail
+                # worker-side (eviction race), and any other in-flight job on
+                # this connection must then carry its own ref rather than
+                # assume the bundle is cached.  Redundant refs are ~50 bytes
+                # and the worker skips keys it has already resolved.
+                shared_blobs[key] = wire.StoreRef(digest)
+                if key not in conn.ref_keys:
+                    conn.ref_keys.add(key)
+                    self.stats.bundles_from_store += 1
+            else:
+                shared_blobs[key] = blob
+                self.stats.bundles_shipped += 1
+                conn.known_keys.add(key)
         conn.enqueue(
             ("job", attempt.attempt_id, job.name, job.payload_blob, shared_blobs,
              job.timeout)
@@ -590,6 +628,9 @@ class ClusterCoordinator:
         )
         conn = _WorkerConn(info, sock)
         conn.rfile, conn.wfile = rfile, wfile
+        advertised = greeting.get("capabilities", {}).get("bundle_digests")
+        if isinstance(advertised, (list, tuple, set)):
+            conn.store_digests = {d for d in advertised if isinstance(d, str)}
         with self._lock:
             if self._stopped:
                 sock.close()
@@ -695,6 +736,10 @@ class ClusterCoordinator:
             _, attempt_id, detail = frame
             self._attempt_errored(attempt_id, detail)
             return
+        if tag == "bundle_miss":
+            _, attempt_id, shared_key, digest = frame
+            self._bundle_missed(attempt_id, shared_key, digest)
+            return
 
     def _retire_attempt_locked(self, attempt: _Attempt, state: str) -> None:
         attempt.state = state
@@ -741,6 +786,33 @@ class ClusterCoordinator:
             session = job.session
         if settle:
             session._job_done(job.name, 0, 0)
+
+    def _bundle_missed(self, attempt_id: int, shared_key: int, digest: str) -> None:
+        """A worker could not resolve a shipped :class:`wire.StoreRef`.
+
+        Benign and self-correcting: stop advertising that digest for this
+        worker, forget that the connection "knows" the shared key, and relaunch
+        — the next attempt ships real bytes.  The miss is not a body error (no
+        job code ran) and not a worker death, so it neither fails the job nor
+        burns one of its retry attempts.
+        """
+        relaunch: Optional[_ClusterJob] = None
+        with self._lock:
+            attempt = self._attempts.get(attempt_id)
+            if attempt is None:
+                return
+            job = attempt.job
+            attempt.conn.store_digests.discard(digest)
+            attempt.conn.known_keys.discard(shared_key)
+            attempt.conn.ref_keys.discard(shared_key)
+            self._retire_attempt_locked(attempt, "lost")
+            self.stats.bundle_misses += 1
+            if job.done or job.session_aborted or job.attempts:
+                return
+            job.attempts_started = max(0, job.attempts_started - 1)
+            relaunch = job
+        if relaunch is not None:
+            self._start_attempt(relaunch)
 
     def _attempt_errored(self, attempt_id: int, detail: str) -> None:
         """A body raised: deterministic failure, so retrying cannot help."""

@@ -40,11 +40,15 @@ worker -> coordinator
 ``("done", a, m, b)``     attempt ``a`` finished (``m`` messages / ``b`` bytes sent)
 ``("aborted", a)``        attempt ``a`` unwound after an abort frame
 ``("error", a, tb)``      attempt ``a``'s body raised; ``tb`` is the traceback text
+``("bundle_miss", a, k, d)``  attempt ``a`` could not resolve shared blob ``k``
+                          (store ref digest ``d``) from its local store; re-ship bytes
 ``("ping", seq)``         heartbeat
 ------------------------  -------------------------------------------------------------
 coordinator -> worker
 ------------------------  -------------------------------------------------------------
 ``("job", a, name, blob, shared, timeout)``  run job ``name`` as attempt ``a``
+                          (``shared`` maps key → blob bytes, or → :class:`StoreRef`
+                          when the worker advertised the digest at handshake)
 ``("deliver", a, uid, m)``  a message for attempt ``a``'s claimed mailbox ``uid``
 ``("abort", a)``          stop attempt ``a`` (its job completed elsewhere or failed)
 ``("shutdown",)``         the cluster is going away; exit after unwinding
@@ -86,6 +90,22 @@ class MailboxRef:
 
     uid: str
     name: str
+
+
+@dataclass(frozen=True)
+class StoreRef:
+    """Stands in for shared-blob *bytes* the receiving worker already holds.
+
+    A worker that mounts a persistent store (``--store``) advertises the
+    content digests of its verified bundle blobs at handshake; the coordinator
+    then ships this tiny reference instead of the (often multi-megabyte)
+    pickled grammar bundle.  A worker that cannot resolve the digest after all
+    — the blob was evicted or damaged since the handshake — answers with a
+    ``bundle_miss`` frame and the coordinator re-ships real bytes.  A stale
+    store can cost one extra round trip; it can never change results.
+    """
+
+    digest: str
 
 
 class ProtocolError(ValueError):

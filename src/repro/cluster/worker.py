@@ -21,6 +21,14 @@ Language bundles arrive once per worker ever (the coordinator tracks which
 shared blobs this connection already holds) and are cached by key across jobs,
 mirroring the pooled substrate's :class:`~repro.backends.base.SharedBundle`
 scheme.
+
+With ``--store PATH`` the worker also mounts a persistent artifact store:
+bundle blobs it receives are written under their content digest (namespace
+``bundle``), and at handshake it advertises the digests it can already verify.
+The coordinator then ships a :class:`~repro.cluster.wire.StoreRef` instead of
+the bytes — a *restarted* worker (new process, same store) skips the multi-
+megabyte bundle transfer entirely.  A digest the worker cannot resolve after
+all comes back as a ``bundle_miss`` frame and the bytes are re-shipped.
 """
 
 from __future__ import annotations
@@ -146,11 +154,18 @@ class ClusterWorker:
         *,
         name: Optional[str] = None,
         connect_timeout: float = 10.0,
+        store: Any = None,
     ):
         self.host = host
         self.port = port
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.connect_timeout = connect_timeout
+        if store is not None:
+            from repro.store import open_store
+
+            self.store = open_store(store)
+        else:
+            self.store = None
         self.worker_id: Optional[int] = None
         self.heartbeat_interval = 1.0
         self._sock: Optional[socket.socket] = None
@@ -186,17 +201,19 @@ class ClusterWorker:
                 time.sleep(0.1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
+        capabilities: Dict[str, Any] = {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "pid": os.getpid(),
+        }
+        if self.store is not None:
+            # Advertise every bundle blob that verifies *right now*; the
+            # coordinator ships StoreRefs for these instead of bytes.
+            capabilities["bundle_digests"] = sorted(
+                self.store.verified_keys("bundle")
+            )
         wire.send_message(
-            self._wfile,
-            wire.hello(
-                "worker",
-                self.name,
-                {
-                    "python": platform.python_version(),
-                    "platform": sys.platform,
-                    "pid": os.getpid(),
-                },
-            ),
+            self._wfile, wire.hello("worker", self.name, capabilities)
         )
         welcome = wire.check_handshake(
             wire.recv_message(self._rfile), expect_status=True
@@ -291,13 +308,59 @@ class ClusterWorker:
             return False
         return True  # unknown benign frame: skip (forward-compatible)
 
+    def _bundle_from_store(self, ref: "wire.StoreRef") -> Optional[bytes]:
+        """Resolve a store reference to verified blob bytes, or ``None`` (a miss).
+
+        The store already checks its integrity trailer; the digest re-check on
+        top catches a *different* blob landing under this key (another writer's
+        bug), so a resolved ref is always byte-identical to what the coordinator
+        would have shipped.
+        """
+        if self.store is None:
+            return None
+        payload = self.store.read("bundle", ref.digest)
+        if payload is None:
+            return None
+        from repro.store import content_digest
+
+        if content_digest(payload) != ref.digest:
+            self.store.delete("bundle", ref.digest)
+            return None
+        return payload
+
+    def _bundle_to_store(self, blob: bytes) -> None:
+        """Persist received bundle bytes so the *next* worker life skips the ship."""
+        if self.store is None:
+            return
+        from repro.store import content_digest
+
+        digest = content_digest(blob)
+        if not self.store.contains("bundle", digest):
+            self.store.write("bundle", digest, blob)
+
     def _run_attempt(self, attempt: _Attempt, payload_blob: bytes,
-                     shared_blobs: Dict[int, bytes]) -> None:
+                     shared_blobs: Dict[int, Any]) -> None:
         try:
             with self._shared_lock:
                 for key, blob in shared_blobs.items():
-                    if key not in self._shared_cache:
-                        self._shared_cache[key] = pickle.loads(blob)
+                    if key in self._shared_cache:
+                        continue
+                    if isinstance(blob, wire.StoreRef):
+                        resolved = self._bundle_from_store(blob)
+                        if resolved is None:
+                            # The advertised blob is gone (evicted or damaged
+                            # since the handshake).  Not a body error — ask the
+                            # coordinator to re-ship real bytes and retire this
+                            # attempt without running anything.
+                            self.send_frame(
+                                ("bundle_miss", attempt.attempt_id, key,
+                                 blob.digest)
+                            )
+                            return
+                        blob = resolved
+                    else:
+                        self._bundle_to_store(blob)
+                    self._shared_cache[key] = pickle.loads(blob)
             factory, encoded_kwargs, shared_keys = pickle.loads(payload_blob)
             kwargs = _decode_kwargs(encoded_kwargs, attempt)
             with self._shared_lock:
@@ -348,6 +411,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=10.0,
         help="seconds to keep retrying the initial connection (default: 10)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="mount a persistent artifact store: language bundles received "
+             "from the coordinator are kept across worker restarts, so a "
+             "rejoining worker skips the bundle transfer entirely",
+    )
     options = parser.parse_args(argv)
     host, _, port_text = options.connect.rpartition(":")
     if not host or not port_text.isdigit():
@@ -358,6 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     worker = ClusterWorker(
         host, int(port_text), name=options.name,
         connect_timeout=options.connect_timeout,
+        store=options.store,
     )
     try:
         worker.connect()

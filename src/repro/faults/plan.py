@@ -43,6 +43,8 @@ point              site                                        actions understoo
 ``shm.unlink``     ``tree.shm`` segment release                error (swallowed, counted)
 ``cache.get``      ``incremental.cache.ArtifactCache.get``     poison (forced miss), error
 ``server.request`` ``server.app`` request dispatch             stall (delay), error
+``store.read``     ``store.objects.ArtifactStore.read``        error (→ miss), corrupt (→ quarantined miss), delay
+``store.write``    ``store.objects.ArtifactStore.write``       error (→ dropped write), corrupt (detected on read), delay
 ``testing.dawdle`` ``cluster._testing`` slow grammar           delay
 ================== =========================================== ==================
 

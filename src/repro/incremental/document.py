@@ -66,6 +66,7 @@ class Document:
         backend: Optional[str] = None,
         substrate: Optional[Substrate] = None,
         cache: Optional[ArtifactCache] = None,
+        store: Any = None,
         root_inherited: Optional[Dict[str, Any]] = None,
     ):
         # Late imports: repro.api builds its Session on top of this module.
@@ -75,7 +76,19 @@ class Document:
         self.machines = machines
         self.backend = backend
         self.substrate = substrate
-        self.cache = cache if cache is not None else ArtifactCache()
+        if cache is not None and store is not None:
+            raise ValueError(
+                "pass either cache= (a possibly store-backed ArtifactCache) or "
+                "store= (a path/ArtifactStore to mount a fresh cache on), not both"
+            )
+        if cache is not None:
+            self.cache = cache
+        elif store is not None:
+            # A persistent tier of its own: artifacts recorded by any earlier
+            # process that mounted this store warm-start this document's builds.
+            self.cache = ArtifactCache(store=store)
+        else:
+            self.cache = ArtifactCache()
         self._root_inherited = root_inherited
         self._engine = engine_for(self.language, evaluator or "combined", configuration)
         self._incremental = IncrementalCompiler(self._engine, self.cache)

@@ -38,6 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--coalesce-capacity", type=int,
                         default=defaults.coalesce_capacity)
     parser.add_argument("--drain-grace", type=float, default=defaults.drain_grace)
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="mount a persistent artifact store at PATH: region "
+                             "recordings survive restarts, so a successor server "
+                             "recompiles known sources at warm speed")
+    parser.add_argument("--store-max-mb", type=float, default=None, metavar="MB",
+                        help="store size budget in MiB (LRU gc when exceeded; "
+                             "default: unbounded)")
     return parser
 
 
@@ -56,6 +63,12 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         idle_ttl=args.idle_ttl,
         coalesce_capacity=args.coalesce_capacity,
         drain_grace=args.drain_grace,
+        store=args.store,
+        store_max_bytes=(
+            int(args.store_max_mb * 1024 * 1024)
+            if args.store_max_mb is not None
+            else None
+        ),
     )
 
 

@@ -104,6 +104,8 @@ class ServerConfig:
     idle_ttl: float = 300.0         #: seconds before an idle session is evicted
     coalesce_capacity: int = 256    #: completed one-shot results kept for sharing
     drain_grace: float = 10.0       #: seconds to wait for in-flight work on drain
+    store: Optional[Any] = None     #: persistent artifact store — path or ArtifactStore
+    store_max_bytes: Optional[int] = None  #: store size budget (gc target), bytes
 
 
 class CompileServer:
@@ -142,7 +144,17 @@ class CompileServer:
         self._started_at = 0.0
 
         cfg = self.config
-        self.cache = ArtifactCache()
+        if cfg.store is not None:
+            # The persistent tier under the server's shared cache: a restarted
+            # server mounting the same path replays regions recorded by its
+            # previous life (GET /stats shows store_hits > 0 on the first build).
+            from repro.store import open_store
+
+            self.cache = ArtifactCache(
+                store=open_store(cfg.store, max_bytes=cfg.store_max_bytes)
+            )
+        else:
+            self.cache = ArtifactCache()
         self.admission = AdmissionController(
             quota_rate=cfg.quota_rate,
             quota_burst=cfg.quota_burst,
@@ -254,6 +266,9 @@ class CompileServer:
             self._service.close()
         if self._substrate is not None:
             self._substrate.shutdown()
+        # Settle the write-behind queue so a successor process mounting the same
+        # store finds every artifact this life recorded.
+        self.cache.close()
 
     async def _sweep_idle(self) -> None:
         interval = max(0.05, min(self.config.idle_ttl / 4, 30.0))

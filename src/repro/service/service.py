@@ -139,6 +139,19 @@ class ServiceStats:
     #: 0 unless the service (or the jobs' compilers) run with an artifact cache.
     region_cache_hits: int = 0
     region_cache_misses: int = 0
+    #: Persistent-store accounting, filled only when the artifact cache has an
+    #: on-disk second tier (``store=``): memory misses served from the store
+    #: (``store_hits``) vs misses the store could not serve, write-behind blobs
+    #: landed, blobs quarantined as corrupt, LRU evictions by ``gc()``, and the
+    #: byte traffic both ways.  ``store_hits > 0`` after a process restart is
+    #: the warm-start proof the CI smoke asserts on.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_corrupt: int = 0
+    store_evictions: int = 0
+    store_bytes_read: int = 0
+    store_bytes_written: int = 0
     #: Compile-cluster accounting, filled only on a clustered substrate (the
     #: sockets backend): fleet size, orphaned-region reassignments after worker
     #: deaths/timeouts, and speculative straggler re-executions.
@@ -197,6 +210,16 @@ class ServiceStats:
                 f"{self.region_cache_misses} miss(es) "
                 f"({self.region_cache_hit_rate * 100:.0f}% hit rate)"
             )
+        if self.store_hits or self.store_misses or self.store_writes:
+            lines += (
+                f", store {self.store_hits} hit(s) / {self.store_misses} miss(es) / "
+                f"{self.store_writes} write(s)"
+            )
+            if self.store_corrupt or self.store_evictions:
+                lines += (
+                    f" ({self.store_corrupt} quarantined, "
+                    f"{self.store_evictions} evicted)"
+                )
         if self.cluster_workers:
             lines += (
                 f", cluster {self.cluster_workers} worker(s) / "
@@ -244,6 +267,13 @@ class CompilationService:
         content (and engine) matches an earlier job replay those regions instead of
         re-evaluating them — results are identical, and ``stats()`` reports the
         hit/miss counters.
+    :param store: mount a persistent second tier under the artifact cache — a
+        path or :class:`repro.store.ArtifactStore`.  Implies caching: with
+        ``artifact_cache=False`` the service creates a store-backed cache; with
+        ``artifact_cache=True`` the created cache mounts this store.  Cannot be
+        combined with a borrowed cache instance (configure that cache's own
+        store instead).  A restarted service sharing the store replays regions
+        its predecessor recorded — warm-start across process death.
     """
 
     def __init__(
@@ -254,6 +284,7 @@ class CompilationService:
         workers: int = 0,
         receive_timeout: Optional[float] = None,
         artifact_cache: Union[bool, Any] = False,
+        store: Optional[Any] = None,
     ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
@@ -282,15 +313,22 @@ class CompilationService:
         self._queued = 0
         self._rejected = 0
         self._deadline_misses = 0
-        if artifact_cache is True:
+        if artifact_cache is True or (
+            store is not None and (artifact_cache is False or artifact_cache is None)
+        ):
             from repro.incremental.cache import ArtifactCache
 
-            self._artifact_cache: Optional[Any] = ArtifactCache()
+            self._artifact_cache: Optional[Any] = ArtifactCache(store=store)
         elif artifact_cache is False or artifact_cache is None:
             self._artifact_cache = None
         else:
             # An existing cache instance is borrowed as-is (note: an empty cache is
             # falsy — it has __len__ — so identity checks, not truthiness).
+            if store is not None:
+                raise ValueError(
+                    "pass store= to the cache you are sharing, not to the "
+                    "service borrowing it (ArtifactCache(store=...))"
+                )
             self._artifact_cache = artifact_cache
 
     # ---------------------------------------------------------------- lifecycle
@@ -442,6 +480,23 @@ class CompilationService:
         respawns = getattr(self._substrate, "respawns", 0)
         if not isinstance(respawns, int):  # pragma: no cover — defensive
             respawns = 0
+        # Persistent-store tier accounting: read-through hits/misses live on the
+        # cache, write/corruption/eviction totals on the store itself (which may
+        # be shared by several services — these are store-lifetime figures).
+        store_hits = store_misses = store_writes = 0
+        store_corrupt = store_evictions = 0
+        store_bytes_read = store_bytes_written = 0
+        cache = self._artifact_cache
+        cache_store = getattr(cache, "store", None) if cache is not None else None
+        if cache_store is not None:
+            store_hits = cache.store_hits
+            store_misses = cache.store_misses
+            store_snapshot = cache_store.stats()
+            store_writes = store_snapshot.writes
+            store_corrupt = store_snapshot.corrupt
+            store_evictions = store_snapshot.evictions
+            store_bytes_read = store_snapshot.bytes_read
+            store_bytes_written = store_snapshot.bytes_written
         return ServiceStats(
             jobs_submitted=submitted,
             jobs_completed=completed,
@@ -470,6 +525,13 @@ class CompilationService:
             worker_respawns=respawns,
             faults_injected=_faults.injected_count(),
             deadline_misses=deadline_misses,
+            store_hits=store_hits,
+            store_misses=store_misses,
+            store_writes=store_writes,
+            store_corrupt=store_corrupt,
+            store_evictions=store_evictions,
+            store_bytes_read=store_bytes_read,
+            store_bytes_written=store_bytes_written,
         )
 
     # ---------------------------------------------------------------- internals

@@ -1,0 +1,32 @@
+"""repro.store — the persistent content-addressed artifact store.
+
+A ``.git/objects``-style blob store (fingerprint → verified payload) that makes
+the incremental machinery a fleet-wide asset: region artifacts and cluster
+language bundles written by one process warm-start every later process — across
+service restarts, pooled workers and hosts — while damage of any kind reads as
+a miss, never a wrong answer.  See :mod:`repro.store.objects` for the format.
+"""
+
+from repro.store.objects import (
+    ArtifactStore,
+    BLOB_MAGIC,
+    GCReport,
+    StoreError,
+    StoreStats,
+    content_digest,
+    decode_blob,
+    encode_blob,
+    open_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "BLOB_MAGIC",
+    "GCReport",
+    "StoreError",
+    "StoreStats",
+    "content_digest",
+    "decode_blob",
+    "encode_blob",
+    "open_store",
+]

@@ -1,0 +1,491 @@
+"""The content-addressed on-disk object store behind warm-start compiles.
+
+PR 5's region artifacts and the cluster's language bundles are both *content*:
+they are keyed by fingerprints that depend only on what is being compiled and
+how, never on which process computed them.  This module gives that content a
+home that survives process death — a ``.git/objects``-style blob store::
+
+    store/
+      objects/
+        region/                    one namespace per payload kind
+          3f/9ab2...e1             fan-out dir = first two key chars
+        bundle/
+          a0/57c4...99
+      quarantine/                  blobs that failed verification, kept for autopsy
+      tmp/                         same-filesystem staging for atomic renames
+
+Every blob is framed: an 8-byte magic, the payload length, the payload, and a
+``blake2b`` integrity trailer.  Reads verify the whole frame; anything that does
+not verify — truncated file, flipped bit, zero-length blob, foreign format — is
+**a miss, never a wrong answer**: the damaged file is moved to ``quarantine/``
+and the caller re-derives the content from source exactly as if the entry had
+never existed.
+
+Concurrency model: writers stage under ``tmp/`` and publish with one atomic
+``os.replace``, so two processes writing the same fingerprint race benignly
+(last write wins, both wrote identical content by construction, and no reader
+ever observes a torn blob).  Readers bump the blob's mtime, which is the LRU
+clock :meth:`ArtifactStore.gc` evicts by — pinned (in-flight) entries are never
+evicted.
+
+Fault points (:mod:`repro.faults`): ``store.read`` (``corrupt`` feeds the
+verifier damaged bytes, ``error`` is an I/O failure → miss, ``delay`` sleeps)
+and ``store.write`` (``corrupt`` damages the encoded frame so a later read
+quarantines it, ``error`` drops the write, ``delay`` sleeps).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.faults import plan as _faults
+
+#: First bytes of every blob: identifies "a repro store object, format 1".
+BLOB_MAGIC = b"RSTORE1\n"
+
+#: blake2b digest size of the integrity trailer, bytes.
+TRAILER_BYTES = 16
+
+_LENGTH = struct.Struct(">Q")
+
+#: Characters allowed in namespaces and keys (path-safety: keys become file
+#: names, and fingerprints/digests are hex so this never bites in practice).
+_SAFE = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+class StoreError(ValueError):
+    """A malformed key/namespace or an unusable store root (caller mistakes).
+
+    Subclasses :class:`ValueError` to match the PackedTree/wire hardening
+    convention: structural invalidity is a ``ValueError`` everywhere in repro.
+    Note that *blob damage* never raises — it surfaces as a quarantined miss.
+    """
+
+
+def encode_blob(payload: bytes) -> bytes:
+    """Frame ``payload`` as one store blob (magic + length + payload + trailer)."""
+    trailer = hashlib.blake2b(payload, digest_size=TRAILER_BYTES).digest()
+    return BLOB_MAGIC + _LENGTH.pack(len(payload)) + payload + trailer
+
+
+def decode_blob(blob: bytes) -> bytes:
+    """Verify one framed blob and return its payload.
+
+    Raises :class:`ValueError` naming the first check that failed — magic,
+    announced length vs actual size, or the integrity trailer.  Callers treat
+    any such failure as a miss (see :meth:`ArtifactStore.read`).
+    """
+    if len(blob) < len(BLOB_MAGIC) + _LENGTH.size + TRAILER_BYTES:
+        raise ValueError(
+            f"store blob of {len(blob)} bytes is shorter than the "
+            f"{len(BLOB_MAGIC) + _LENGTH.size + TRAILER_BYTES}-byte frame minimum"
+        )
+    if blob[: len(BLOB_MAGIC)] != BLOB_MAGIC:
+        raise ValueError(
+            f"store blob magic {blob[:len(BLOB_MAGIC)]!r} is not {BLOB_MAGIC!r}"
+        )
+    (length,) = _LENGTH.unpack_from(blob, len(BLOB_MAGIC))
+    body_start = len(BLOB_MAGIC) + _LENGTH.size
+    expected = body_start + length + TRAILER_BYTES
+    if len(blob) != expected:
+        raise ValueError(
+            f"store blob announces {length} payload bytes "
+            f"({expected} framed) but the file holds {len(blob)}"
+        )
+    payload = blob[body_start : body_start + length]
+    trailer = blob[body_start + length :]
+    digest = hashlib.blake2b(payload, digest_size=TRAILER_BYTES).digest()
+    if trailer != digest:
+        raise ValueError("store blob integrity trailer does not match its payload")
+    return payload
+
+
+def content_digest(payload: bytes) -> str:
+    """The hex content address of raw payload bytes (cluster bundle keying)."""
+    return hashlib.blake2b(payload, digest_size=20).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time counters of one :class:`ArtifactStore`'s lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    corrupt: int = 0          #: blobs that failed verification (quarantined)
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_evicted: int = 0
+    gc_runs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "bytes_evicted": self.bytes_evicted,
+            "gc_runs": self.gc_runs,
+        }
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`ArtifactStore.gc` pass did."""
+
+    examined: int = 0
+    evicted: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    pinned_kept: int = 0
+    #: Relative blob names removed, oldest first (diagnostics / tests).
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def bytes_freed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+class ArtifactStore:
+    """A content-addressed blob store: fingerprint → verified payload bytes.
+
+    :param root: directory to mount (created, with subdirectories, on first use).
+    :param max_bytes: size budget enforced by :meth:`gc` — and opportunistically
+        after writes once the store grows past the budget.  ``None`` disables
+        automatic eviction (``gc(max_bytes=...)`` still works on demand).
+
+    Thread-safe; processes sharing a root coordinate purely through atomic
+    renames.  All methods treat damage as misses — the only exceptions raised
+    are :class:`StoreError` for caller mistakes (bad key, unusable root).
+    """
+
+    def __init__(self, root: Any, *, max_bytes: Optional[int] = None):
+        self.root = os.path.abspath(os.fspath(root))
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._objects = os.path.join(self.root, "objects")
+        self._quarantine = os.path.join(self.root, "quarantine")
+        self._tmp = os.path.join(self.root, "tmp")
+        for directory in (self._objects, self._quarantine, self._tmp):
+            os.makedirs(directory, exist_ok=True)
+        if not os.path.isdir(self._objects):  # pragma: no cover — racing rmtree
+            raise StoreError(f"store root {self.root!r} is not usable")
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+        self._pins: Dict[str, int] = {}
+        self._seq = 0
+        # Approximate live size, maintained incrementally so the post-write
+        # budget check never rescans the tree; gc() recomputes it exactly.
+        self._approx_bytes = self._scan_bytes()
+
+    # -------------------------------------------------------------------- paths
+
+    def _check_name(self, what: str, name: str) -> str:
+        if not name or not set(name) <= _SAFE:
+            raise StoreError(
+                f"{what} {name!r} is not storable: use non-empty "
+                "[A-Za-z0-9._-] names (fingerprints and digests already are)"
+            )
+        return name
+
+    def path_of(self, namespace: str, key: str) -> str:
+        """Where ``(namespace, key)`` lives on disk (whether or not it exists)."""
+        namespace = self._check_name("namespace", namespace)
+        key = self._check_name("key", key)
+        # Git-style fan-out: a two-hex-char shard dir keeps directory entries
+        # per dir at ~1/256th of the population.  Short keys land in "_".
+        shard, rest = (key[:2], key[2:]) if len(key) > 2 else ("_", key)
+        return os.path.join(self._objects, namespace, shard, rest)
+
+    def _relative(self, path: str) -> str:
+        return os.path.relpath(path, self._objects)
+
+    # --------------------------------------------------------------------- write
+
+    def write(self, namespace: str, key: str, payload: bytes) -> bool:
+        """Publish ``payload`` under ``(namespace, key)``; returns success.
+
+        Atomic: the blob is framed and staged in ``tmp/`` on the same
+        filesystem, then ``os.replace``d into place — concurrent writers of the
+        same key race benignly and readers never see a torn frame.  Failures
+        (disk full, permissions, injected faults) are swallowed into the
+        ``write_errors`` counter: persistence is an optimisation, so a failed
+        write must never fail the compile that attempted it.
+        """
+        path = self.path_of(namespace, key)
+        blob = encode_blob(payload)
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("store.write", f"{namespace}/{key}")
+            if hit is not None:
+                if hit.action in ("delay", "stall"):
+                    hit.sleep()
+                elif hit.action == "corrupt":
+                    # Damage the *encoded* frame (after the trailer was computed)
+                    # so a later read detects it — modelling a torn sector, not a
+                    # silently-wrong payload.
+                    mutated = bytearray(blob)
+                    mutated[len(mutated) // 2] ^= 0xFF
+                    blob = bytes(mutated)
+                else:
+                    with self._lock:
+                        self._stats.write_errors += 1
+                    return False
+        with self._lock:
+            self._seq += 1
+            staging = os.path.join(
+                self._tmp, f"w{os.getpid()}.{threading.get_ident()}.{self._seq}"
+            )
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(staging, "wb") as handle:
+                handle.write(blob)
+            os.replace(staging, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(staging)
+            with self._lock:
+                self._stats.write_errors += 1
+            return False
+        with self._lock:
+            self._stats.writes += 1
+            self._stats.bytes_written += len(blob)
+            self._approx_bytes += len(blob)
+            over_budget = (
+                self.max_bytes is not None and self._approx_bytes > self.max_bytes
+            )
+        if over_budget:
+            self.gc()
+        return True
+
+    # ---------------------------------------------------------------------- read
+
+    def read(self, namespace: str, key: str) -> Optional[bytes]:
+        """The payload stored under ``(namespace, key)``, or ``None`` (a miss).
+
+        A blob that fails verification — truncation, bit flips, zero length,
+        foreign bytes — is moved to ``quarantine/`` and reported as a miss, so
+        the caller recomputes the content instead of trusting damaged data.
+        Successful reads bump the blob's mtime (the :meth:`gc` LRU clock).
+        """
+        path = self.path_of(namespace, key)
+        injected: Optional[str] = None
+        if _faults.ACTIVE is not None:
+            hit = _faults.ACTIVE.check("store.read", f"{namespace}/{key}")
+            if hit is not None:
+                if hit.action in ("delay", "stall"):
+                    hit.sleep()
+                else:
+                    injected = hit.action
+        if injected == "error":
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        except OSError:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        if injected == "corrupt" and blob:
+            mutated = bytearray(blob)
+            mutated[len(mutated) // 2] ^= 0xFF
+            blob = bytes(mutated)
+        try:
+            payload = decode_blob(blob)
+        except ValueError:
+            self._quarantine_blob(namespace, key, path)
+            with self._lock:
+                self._stats.misses += 1
+                self._stats.corrupt += 1
+            return None
+        with contextlib.suppress(OSError):
+            os.utime(path)  # LRU clock: most-recently-read blobs survive gc longest
+        with self._lock:
+            self._stats.hits += 1
+            self._stats.bytes_read += len(payload)
+        return payload
+
+    def _quarantine_blob(self, namespace: str, key: str, path: str) -> None:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        target = os.path.join(
+            self._quarantine, f"{namespace}.{key}.{os.getpid()}.{seq}"
+        )
+        with contextlib.suppress(OSError):
+            os.replace(path, target)
+
+    # ------------------------------------------------------------------ contents
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Existence (not validity — only :meth:`read` verifies the frame)."""
+        return os.path.exists(self.path_of(namespace, key))
+
+    def delete(self, namespace: str, key: str) -> bool:
+        path = self.path_of(namespace, key)
+        try:
+            size = os.path.getsize(path)
+            os.unlink(path)
+        except OSError:
+            return False
+        with self._lock:
+            self._approx_bytes = max(0, self._approx_bytes - size)
+        return True
+
+    def keys(self, namespace: str) -> Iterator[str]:
+        """Every key currently stored under ``namespace`` (unverified)."""
+        base = os.path.join(self._objects, self._check_name("namespace", namespace))
+        try:
+            shards = sorted(os.listdir(base))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(base, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                yield name if shard == "_" else shard + name
+
+    def verified_keys(self, namespace: str) -> List[str]:
+        """Keys whose blobs verify *right now* (quarantining any that do not).
+
+        Used by the cluster worker to advertise which bundle digests it can
+        serve from disk — an advertisement must never promise damaged bytes.
+        """
+        good: List[str] = []
+        for key in list(self.keys(namespace)):
+            if self.read(namespace, key) is not None:
+                good.append(key)
+        return good
+
+    # ------------------------------------------------------------------ pinning
+
+    @contextlib.contextmanager
+    def pin(self, namespace: str, key: str) -> Iterator[None]:
+        """Protect one entry from :meth:`gc` while a caller is using it."""
+        relative = self._relative(self.path_of(namespace, key))
+        with self._lock:
+            self._pins[relative] = self._pins.get(relative, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                remaining = self._pins.get(relative, 1) - 1
+                if remaining <= 0:
+                    self._pins.pop(relative, None)
+                else:
+                    self._pins[relative] = remaining
+
+    # ----------------------------------------------------------------------- gc
+
+    def _walk(self) -> Iterator[Tuple[str, os.stat_result]]:
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                try:
+                    yield path, os.stat(path)
+                except OSError:
+                    continue  # deleted by a concurrent gc / writer: skip
+
+    def _scan_bytes(self) -> int:
+        return sum(stat.st_size for _path, stat in self._walk())
+
+    def size_bytes(self) -> int:
+        """Exact current size of the object tree (rescans; also resyncs gc's clock)."""
+        total = self._scan_bytes()
+        with self._lock:
+            self._approx_bytes = total
+        return total
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCReport:
+        """Evict least-recently-used blobs until the store fits its budget.
+
+        ``max_bytes`` overrides the store's configured budget for this pass.
+        Pinned (in-flight) entries are never evicted, even when that leaves the
+        store over budget.  Returns a :class:`GCReport`; with no budget at all
+        this is a (cheap) no-op scan.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        entries = sorted(
+            ((stat.st_mtime, path, stat.st_size) for path, stat in self._walk()),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        total = sum(size for _mtime, _path, size in entries)
+        report = GCReport(examined=len(entries), bytes_before=total)
+        report.bytes_after = total
+        with self._lock:
+            self._stats.gc_runs += 1
+            self._approx_bytes = total
+            pinned = set(self._pins)
+        if budget is None:
+            return report
+        remaining = total
+        for _mtime, path, size in entries:
+            if remaining <= budget:
+                break
+            if self._relative(path) in pinned:
+                report.pinned_kept += 1
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # concurrently removed or locked: count nothing
+            remaining -= size
+            report.evicted += 1
+            report.removed.append(self._relative(path))
+        report.bytes_after = remaining
+        with self._lock:
+            self._stats.evictions += report.evicted
+            self._stats.bytes_evicted += report.bytes_before - report.bytes_after
+            self._approx_bytes = remaining
+        return report
+
+    # -------------------------------------------------------------------- stats
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(**vars(self._stats))
+
+    def __repr__(self) -> str:
+        budget = f", budget {self.max_bytes}B" if self.max_bytes is not None else ""
+        return f"ArtifactStore({self.root!r}{budget})"
+
+
+def open_store(store: Any, *, max_bytes: Optional[int] = None) -> Optional[ArtifactStore]:
+    """Coerce ``store`` — a path, an :class:`ArtifactStore`, or ``None`` — to a store.
+
+    The one coercion rule every ``store=`` parameter in the codebase shares
+    (:class:`~repro.incremental.cache.ArtifactCache`, ``Session.open``,
+    ``CompilationService``, the server and cluster-worker CLIs).
+    """
+    if store is None:
+        return None
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store, max_bytes=max_bytes)
